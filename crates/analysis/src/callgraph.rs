@@ -1,0 +1,212 @@
+//! Static call graph over a [`Program`].
+//!
+//! Used by the inlining heuristics (recursion exclusion, "makes non-trivial
+//! calls" exclusion — paper §II-B1) and by dead-procedure elimination after
+//! conventional inlining.
+
+use fir::ast::{Ident, Program, UnitKind};
+use fir::visit::called_names;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A call graph: unit name → callee names (only callees defined in the
+/// program; calls to undefined externals are recorded separately).
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Defined-unit edges.
+    pub edges: BTreeMap<Ident, Vec<Ident>>,
+    /// Calls whose target has no definition in the program (external
+    /// library routines — inlinable only via annotations).
+    pub external: BTreeMap<Ident, Vec<Ident>>,
+    /// Name of the main program unit, if present.
+    pub main: Option<Ident>,
+}
+
+impl CallGraph {
+    /// Build the graph.
+    pub fn build(p: &Program) -> CallGraph {
+        let defined: BTreeSet<&str> = p.units.iter().map(|u| u.name.as_str()).collect();
+        let mut g = CallGraph::default();
+        for u in &p.units {
+            if u.kind == UnitKind::Program {
+                g.main = Some(u.name.clone());
+            }
+            let mut internal = Vec::new();
+            let mut external = Vec::new();
+            for callee in called_names(&u.body) {
+                if defined.contains(callee.as_str()) {
+                    internal.push(callee);
+                } else {
+                    external.push(callee);
+                }
+            }
+            g.edges.insert(u.name.clone(), internal);
+            g.external.insert(u.name.clone(), external);
+        }
+        g
+    }
+
+    /// Direct callees of `unit` (defined units only).
+    pub fn callees(&self, unit: &str) -> &[Ident] {
+        self.edges.get(unit).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct defined callees — the paper's "makes additional
+    /// non-trivial procedure calls" metric.
+    pub fn fanout(&self, unit: &str) -> usize {
+        self.callees(unit).len() + self.external.get(unit).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// True if `unit` can reach itself through the graph.
+    pub fn is_recursive(&self, unit: &str) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<&str> = self.callees(unit).iter().map(|s| s.as_str()).collect();
+        while let Some(n) = stack.pop() {
+            if n == unit {
+                return true;
+            }
+            if seen.insert(n.to_string()) {
+                stack.extend(self.callees(n).iter().map(|s| s.as_str()));
+            }
+        }
+        false
+    }
+
+    /// All units reachable from the main program (used for dead-procedure
+    /// elimination after inlining).
+    pub fn reachable_from_main(&self) -> BTreeSet<Ident> {
+        let mut out = BTreeSet::new();
+        let Some(main) = &self.main else { return out };
+        let mut stack = vec![main.clone()];
+        while let Some(n) = stack.pop() {
+            if out.insert(n.clone()) {
+                for c in self.callees(&n) {
+                    stack.push(c.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Units in bottom-up (callee-before-caller) order; cycles broken
+    /// arbitrarily.
+    pub fn bottom_up(&self) -> Vec<Ident> {
+        let mut order = Vec::new();
+        let mut mark: BTreeMap<&str, u8> = BTreeMap::new();
+        fn visit<'a>(
+            g: &'a CallGraph,
+            n: &'a str,
+            mark: &mut BTreeMap<&'a str, u8>,
+            order: &mut Vec<Ident>,
+        ) {
+            match mark.get(n) {
+                Some(_) => return,
+                None => {}
+            }
+            mark.insert(n, 1);
+            for c in g.callees(n) {
+                visit(g, c, mark, order);
+            }
+            mark.insert(n, 2);
+            order.push(n.to_string());
+        }
+        let names: Vec<&str> = self.edges.keys().map(|s| s.as_str()).collect();
+        for n in names {
+            visit(self, n, &mut mark, &mut order);
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::parser::parse;
+
+    fn graph(src: &str) -> CallGraph {
+        CallGraph::build(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn edges_and_externals() {
+        let g = graph(
+            "      PROGRAM MAIN
+      CALL A
+      CALL LIBROUTINE(X)
+      END
+      SUBROUTINE A
+      CALL B
+      END
+      SUBROUTINE B
+      RETURN
+      END
+",
+        );
+        assert_eq!(g.callees("MAIN"), &["A".to_string()]);
+        assert_eq!(g.external["MAIN"], vec!["LIBROUTINE".to_string()]);
+        assert_eq!(g.fanout("MAIN"), 2);
+        assert_eq!(g.main.as_deref(), Some("MAIN"));
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let g = graph(
+            "      PROGRAM MAIN
+      CALL A
+      END
+      SUBROUTINE A
+      CALL B
+      END
+      SUBROUTINE B
+      CALL A
+      END
+      SUBROUTINE C
+      RETURN
+      END
+",
+        );
+        assert!(g.is_recursive("A"));
+        assert!(g.is_recursive("B"));
+        assert!(!g.is_recursive("MAIN"));
+        assert!(!g.is_recursive("C"));
+    }
+
+    #[test]
+    fn reachability() {
+        let g = graph(
+            "      PROGRAM MAIN
+      CALL A
+      END
+      SUBROUTINE A
+      RETURN
+      END
+      SUBROUTINE DEAD
+      RETURN
+      END
+",
+        );
+        let r = g.reachable_from_main();
+        assert!(r.contains("MAIN"));
+        assert!(r.contains("A"));
+        assert!(!r.contains("DEAD"));
+    }
+
+    #[test]
+    fn bottom_up_order() {
+        let g = graph(
+            "      PROGRAM MAIN
+      CALL A
+      END
+      SUBROUTINE A
+      CALL B
+      END
+      SUBROUTINE B
+      RETURN
+      END
+",
+        );
+        let order = g.bottom_up();
+        let pos = |n: &str| order.iter().position(|x| x == n).unwrap();
+        assert!(pos("B") < pos("A"));
+        assert!(pos("A") < pos("MAIN"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # fdep — Polaris-style dependence analysis for MiniF77
+//!
+//! The analysis half of the ICPP 2011 reproduction: everything the
+//! auto-parallelizer (`fpar`) needs to decide whether a `DO` loop is safe to
+//! run in parallel, built the way the Polaris compiler is described in the
+//! paper — subscript-wise dependence tests over affine forms, scalar
+//! classification (reductions, privatizable scalars), induction-variable and
+//! forward substitution, and array privatization via kill analysis.
+//!
+//! The conservative failure modes are deliberately faithful, because they
+//! *are* the paper's subject: subscripted subscripts (§II-A1), linearized
+//! array dimensions with symbolic extents (§II-A2), opaque calls and error
+//! handling (§II-B1/2), and subset-kill privatization failures (§II-B3) all
+//! surface as [`analyze::Blocker`]s here. The `unique`/`unknown` annotation
+//! operators re-enable the corresponding tests (§III).
+//!
+//! Entry point: [`analyze::analyze_loop`].
+
+pub mod affine;
+pub mod analyze;
+pub mod callgraph;
+pub mod ddtest;
+pub mod fwdsub;
+pub mod ivsub;
+pub mod privatize;
+pub mod refs;
+pub mod scalar;
+
+pub use analyze::{analyze_loop, Blocker, LoopAnalysis, UnitCtx};
+pub use callgraph::CallGraph;
+pub use ddtest::{test_pair, DepCtx, DepResult};

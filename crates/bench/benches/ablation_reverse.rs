@@ -1,0 +1,85 @@
+//! Ablation: the reverse-inlining pattern matcher's tolerance (paper
+//! §III-C3). Measures the matcher on pristine tagged regions and on
+//! regions perturbed the way a normalizing compiler would — statements
+//! reordered, commutative operands swapped — which exercises the
+//! backtracking paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finline::annot::AnnotRegistry;
+use finline::{annot_inline, reverse};
+use fir::ast::{BinOp, Expr, Program, StmtKind};
+
+const ANNOT: &str = "
+subroutine KERNEL(A, B, K, C) {
+  dimension A[256], B[256];
+  A[K] = A[K] + C;
+  B[K] = B[K] + C;
+  A[K + 1] = unknown(B[K], C);
+  B[K + 1] = unknown(A[K], C);
+}
+";
+
+const CALLER: &str = "      PROGRAM MAIN
+      DIMENSION X(256), Y(256)
+      DO K = 1, 64
+        CALL KERNEL(X, Y, K, 2.5)
+      ENDDO
+      END
+";
+
+fn tagged_program(perturb: bool) -> (Program, AnnotRegistry) {
+    let reg = AnnotRegistry::parse(ANNOT).unwrap();
+    let mut p = fir::parse(CALLER).unwrap();
+    annot_inline::apply(&mut p, &reg);
+    if perturb {
+        fir::visit::walk_stmts_mut(&mut p.units[0].body, &mut |s| {
+            if let StmtKind::Tagged { body, .. } = &mut s.kind {
+                body.reverse();
+                for t in body.iter_mut() {
+                    if let StmtKind::Assign { rhs: Expr::Bin(BinOp::Add, l, r), .. } = &mut t.kind
+                    {
+                        std::mem::swap(l, r);
+                    }
+                }
+            }
+        });
+    }
+    (p, reg)
+}
+
+fn report_once() {
+    for perturb in [false, true] {
+        let (mut p, reg) = tagged_program(perturb);
+        let rep = reverse::apply(&mut p, &reg);
+        println!(
+            "ABLATION — reverse matcher, perturbed={perturb}: restored={} failed={}",
+            rep.restored.len(),
+            rep.failed.len()
+        );
+        assert!(rep.failed.is_empty(), "matcher must tolerate the perturbation");
+    }
+    println!();
+}
+
+fn bench_reverse(c: &mut Criterion) {
+    report_once();
+    let mut group = c.benchmark_group("ablation/reverse");
+    for perturb in [false, true] {
+        let (p, reg) = tagged_program(perturb);
+        group.bench_with_input(
+            BenchmarkId::new("match", if perturb { "perturbed" } else { "pristine" }),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    let mut q = p.clone();
+                    let rep = reverse::apply(&mut q, &reg);
+                    std::hint::black_box(rep.restored.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reverse);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation: the `unique` operator (paper §III-B5) vs `unknown` for the
+//! indirect-scatter idiom. Replacing the injective summary with an opaque
+//! one makes the scatter loops sequential — quantifying how much of the
+//! annotation gains come specifically from injectivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finline::annot::AnnotRegistry;
+use ipp_core::{compile, InlineMode, PipelineOptions};
+
+const CALLER: &str = "      PROGRAM MAIN
+      COMMON /G/ ACC(1024), PERM(256)
+      DO I = 1, 256
+        CALL SCAT(I)
+      ENDDO
+      END
+      SUBROUTINE SCAT(I)
+      COMMON /G/ ACC(1024), PERM(256)
+      ACC(PERM(I)) = ACC(PERM(I)) + I*0.5
+      END
+";
+
+const WITH_UNIQUE: &str = "
+subroutine SCAT(I) {
+  dimension ACC[1024];
+  int IU;
+  IU = unique(I);
+  ACC[IU] = ACC[IU] + unknown(I);
+}
+";
+
+const WITH_UNKNOWN: &str = "
+subroutine SCAT(I) {
+  dimension ACC[1024];
+  int IU;
+  IU = unknown(I);
+  ACC[IU] = ACC[IU] + unknown(I);
+}
+";
+
+fn gains(annot: &str) -> usize {
+    let p = fir::parse(CALLER).unwrap();
+    let reg = AnnotRegistry::parse(annot).unwrap();
+    let none = compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::None));
+    let ann = compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Annotation));
+    ann.parallel_loops().difference(&none.parallel_loops()).count()
+}
+
+fn report_once() {
+    println!("\nABLATION — unique vs unknown on the scatter idiom");
+    println!("  with unique:  +{} loops", gains(WITH_UNIQUE));
+    println!("  with unknown: +{} loops", gains(WITH_UNKNOWN));
+    assert_eq!(gains(WITH_UNIQUE), 1);
+    assert_eq!(gains(WITH_UNKNOWN), 0);
+    println!();
+}
+
+fn bench_unique(c: &mut Criterion) {
+    report_once();
+    let p = fir::parse(CALLER).unwrap();
+    let mut group = c.benchmark_group("ablation/unique");
+    for (label, annot) in [("unique", WITH_UNIQUE), ("unknown", WITH_UNKNOWN)] {
+        let reg = AnnotRegistry::parse(annot).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &reg, |b, reg| {
+            b.iter(|| {
+                let r = compile(&p, reg, &PipelineOptions::for_mode(InlineMode::Annotation));
+                std::hint::black_box(r.parallel_loops().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unique);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Microbenchmarks of the dependence-analysis substrate: affine extraction,
+//! the subscript-wise dependence tests (including the `unique` and
+//! symbolic-term paths), and whole-loop analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fdep::affine::{extract, SimpleClass};
+use fdep::analyze::{analyze_loop, UnitCtx};
+use fdep::ddtest::{test_pair, DepCtx};
+use fdep::refs::{ArrayAccess, Sub};
+use fir::ast::{Expr, StmtKind};
+use fir::symbol::SymbolTable;
+
+fn bench_affine(c: &mut Criterion) {
+    let cls = SimpleClass {
+        index_vars: vec!["I".into(), "J".into()],
+        variant: vec!["K".into()],
+    };
+    // 2*I + 3*J + IX(7) - 5
+    let e = Expr::sub(
+        Expr::add(
+            Expr::add(
+                Expr::mul(Expr::int(2), Expr::var("I")),
+                Expr::mul(Expr::int(3), Expr::var("J")),
+            ),
+            Expr::idx("IX", vec![Expr::int(7)]),
+        ),
+        Expr::int(5),
+    );
+    c.bench_function("micro/affine_extract", |b| {
+        b.iter(|| std::hint::black_box(extract(&e, &cls)))
+    });
+}
+
+fn bench_ddtest(c: &mut Criterion) {
+    let mk = |e: Expr, w: bool| ArrayAccess {
+        array: "T".into(),
+        subs: vec![Sub::At(e)],
+        is_write: w,
+        pos: 0,
+        guard_depth: 0,
+        inners: vec![],
+    };
+    let ctx = DepCtx { carried: "I".into(), carried_bounds: Some((1, 1000)), variant: vec![] };
+
+    let siv_w = mk(Expr::var("I"), true);
+    let siv_r = mk(Expr::sub(Expr::var("I"), Expr::int(1)), false);
+    c.bench_function("micro/ddtest_strong_siv", |b| {
+        b.iter(|| std::hint::black_box(test_pair(&siv_w, &siv_r, &ctx)))
+    });
+
+    let sym_a = mk(Expr::add(Expr::idx("IX", vec![Expr::int(7)]), Expr::var("I")), true);
+    let sym_b = mk(Expr::add(Expr::idx("IX", vec![Expr::int(8)]), Expr::var("I")), true);
+    c.bench_function("micro/ddtest_symbolic", |b| {
+        b.iter(|| std::hint::black_box(test_pair(&sym_a, &sym_b, &ctx)))
+    });
+
+    let u = mk(Expr::Unique(1, vec![Expr::add(Expr::var("NB"), Expr::var("I"))]), true);
+    c.bench_function("micro/ddtest_unique", |b| {
+        b.iter(|| std::hint::black_box(test_pair(&u, &u, &ctx)))
+    });
+}
+
+fn bench_analyze_loop(c: &mut Criterion) {
+    let p = fir::parse(
+        "      PROGRAM P
+      DIMENSION A(512), B(512), T(16)
+      DO I = 1, 512
+        S = A(I)*2.0
+        KNT = KNT + 1
+        DO J = 1, 16
+          T(J) = S + J
+        ENDDO
+        DO J = 1, 16
+          B(KNT) = B(KNT) + T(J)
+        ENDDO
+      ENDDO
+      END
+",
+    )
+    .unwrap();
+    let unit = &p.units[0];
+    let table = SymbolTable::build(unit);
+    let d = match &unit.body[0].kind {
+        StmtKind::Do(d) => d.clone(),
+        _ => unreachable!(),
+    };
+    c.bench_function("micro/analyze_loop", |b| {
+        let ctx = UnitCtx::new(&table);
+        b.iter(|| std::hint::black_box(analyze_loop(&d, &ctx).parallelizable))
+    });
+}
+
+criterion_group!(benches, bench_affine, bench_ddtest, bench_analyze_loop);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Table II pipeline: how long each inlining
+//! configuration takes to compile + parallelize a representative subset of
+//! the suite. Run with `cargo bench --bench table2`; the one-shot Table II
+//! data itself comes from `cargo run -p bench --bin gen_table2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipp_core::{compile, InlineMode, PipelineOptions};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/pipeline");
+    group.sample_size(10);
+    for name in ["BDNA", "DYFESM", "ARC2D"] {
+        let app = perfect::by_name(name).unwrap();
+        let program = app.program();
+        let registry = app.registry();
+        for mode in InlineMode::all() {
+            group.bench_with_input(
+                BenchmarkId::new(name, mode.label()),
+                &mode,
+                |b, &mode| {
+                    b.iter(|| {
+                        let r = compile(&program, &registry, &PipelineOptions::for_mode(mode));
+                        std::hint::black_box(r.parallel_loops().len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_loop_accounting(c: &mut Criterion) {
+    // The Table II row computation itself (diffing loop sets).
+    let app = perfect::by_name("MDG").unwrap();
+    let program = app.program();
+    let registry = app.registry();
+    let none = compile(&program, &registry, &PipelineOptions::for_mode(InlineMode::None));
+    let conv = compile(&program, &registry, &PipelineOptions::for_mode(InlineMode::Conventional));
+    let annot = compile(&program, &registry, &PipelineOptions::for_mode(InlineMode::Annotation));
+    c.bench_function("table2/rows", |b| {
+        b.iter(|| std::hint::black_box(ipp_core::table2_rows("MDG", &none, &conv, &annot)))
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_loop_accounting);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Regenerate every table and figure plus the verification summary.
+fn main() {
+    print!("{}", bench::table1_report());
+    println!();
+    let evals = bench::full_evaluation();
+    print!("{}", bench::table2_report(&evals));
+    println!();
+    print!("{}", bench::fig20_report(&evals));
+    println!();
+    print!("{}", bench::verify_report(&evals));
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Figure 20 (simulated speedups).
+fn main() {
+    let evals = bench::full_evaluation();
+    print!("{}", bench::fig20_report(&evals));
+}

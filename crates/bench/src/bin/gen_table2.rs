@@ -1,0 +1,9 @@
+//! Regenerate the paper's Table II. `--describe` prints Table I instead.
+fn main() {
+    if std::env::args().any(|a| a == "--describe") {
+        print!("{}", bench::table1_report());
+        return;
+    }
+    let evals = bench::full_evaluation();
+    print!("{}", bench::table2_report(&evals));
+}

@@ -1,0 +1,96 @@
+//! # bench — regenerates every table and figure of the paper
+//!
+//! Binaries:
+//! * `gen_table2` — prints Table II (per-app loop counts and code sizes
+//!   under the three inlining configurations) plus the column totals the
+//!   paper quotes in §IV-A. `--describe` prints Table I.
+//! * `gen_fig20` — prints Figure 20 (simulated speedups per app ×
+//!   configuration × machine, after §IV-B empirical tuning).
+//! * `gen_all` — both, plus the verification summary.
+//!
+//! Criterion benches (`cargo bench`):
+//! * `table2` / `fig20` — wall-clock of the pipeline per configuration and
+//!   of the measurement harness.
+//! * `ablation_threshold` — the ≤150-statement inlining budget swept.
+//! * `ablation_peel` — last-iteration peeling on/off (legality accounting).
+//! * `ablation_reverse` — reverse-inlining pattern matcher tolerance cost.
+//! * `analysis_micro` — dependence-test microbenchmarks.
+
+use fruntime::Machine;
+use ipp_core::{render_fig20, render_table2, totals_for, Fig20Point, Table2Row};
+use perfect::{evaluate_suite, AppEvaluation};
+
+/// The two machines of the paper's evaluation.
+pub fn machines() -> Vec<Machine> {
+    vec![Machine::intel8(), Machine::amd4()]
+}
+
+/// Evaluate the full suite on both machines.
+pub fn full_evaluation() -> Vec<AppEvaluation> {
+    evaluate_suite(&machines())
+}
+
+/// Flatten Table II rows from an evaluation.
+pub fn all_rows(evals: &[AppEvaluation]) -> Vec<Table2Row> {
+    evals.iter().flat_map(|e| e.rows.clone()).collect()
+}
+
+/// Flatten Figure 20 points from an evaluation.
+pub fn all_points(evals: &[AppEvaluation]) -> Vec<Fig20Point> {
+    evals.iter().flat_map(|e| e.fig20.clone()).collect()
+}
+
+/// Render the complete Table II report, including the §IV-A totals.
+pub fn table2_report(evals: &[AppEvaluation]) -> String {
+    let rows = all_rows(evals);
+    let mut out = String::from("TABLE II — automatically parallelized loops per inlining configuration\n\n");
+    out.push_str(&render_table2(&rows));
+    out.push('\n');
+    for config in ["no-inline", "conventional", "annotation"] {
+        let t = totals_for(&rows, config);
+        out.push_str(&format!(
+            "TOTAL {:<14} par-loops={:<4} par-loss={:<4} par-extra={:<4} loc={}\n",
+            config, t.par_loops, t.par_loss, t.par_extra, t.loc
+        ));
+    }
+    out.push_str("\npaper totals for comparison: conventional lost 90 / gained 12; annotation lost 0 / gained 37; conventional ≈ +10% code size\n");
+    out
+}
+
+/// Render the complete Figure 20 report.
+pub fn fig20_report(evals: &[AppEvaluation]) -> String {
+    let pts = all_points(evals);
+    let mut out = String::from(
+        "FIGURE 20 — simulated runtime speedups (machine cost model, after empirical tuning)\n\n",
+    );
+    out.push_str(&render_fig20(&pts));
+    out.push_str("\npaper observation for comparison: at most ~10% improvement on most benchmarks; annotation-based inlining best overall\n");
+    out
+}
+
+/// Verification summary (the paper's runtime-tester methodology).
+pub fn verify_report(evals: &[AppEvaluation]) -> String {
+    let mut out = String::from("RUNTIME TESTERS — original ≡ optimized ≡ threaded, per configuration\n\n");
+    for e in evals {
+        for (mode, v) in &e.verify {
+            out.push_str(&format!(
+                "{:<8} {:<14} orig-match={:<5} par-match={:<5} advisory-races={}\n",
+                e.name,
+                mode.label(),
+                v.matches_original,
+                v.parallel_consistent,
+                v.races
+            ));
+        }
+    }
+    out
+}
+
+/// Table I — the application descriptions.
+pub fn table1_report() -> String {
+    let mut out = String::from("TABLE I — summary of the PERFECT benchmarks (synthetic stand-ins)\n\n");
+    for a in perfect::all() {
+        out.push_str(&format!("{:<8} {}\n", a.name, a.description));
+    }
+    out
+}

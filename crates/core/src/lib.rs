@@ -1,0 +1,47 @@
+//! # ipp-core — the paper's contribution, assembled
+//!
+//! Reproduction of *"Enhancing the Role of Inlining in Effective
+//! Interprocedural Parallelization"* (Guo, Stiles, Yi, Psarris — ICPP
+//! 2011). This crate wires the substrates together into the Fig. 15
+//! pipeline and provides the evaluation machinery:
+//!
+//! * [`pipeline::compile`] — run a MiniF77 program through one of the three
+//!   inlining configurations (none / conventional / annotation-based with
+//!   reverse inlining) followed by Polaris-style auto-parallelization;
+//! * [`report`] — Table II rows (`#par-loops`, `#par-loss`, `#par-extra`,
+//!   code size) and Figure 20 speedup points, with the paper's accounting
+//!   rules;
+//! * [`verify`] — the runtime testers: original ≡ optimized, sequential ≡
+//!   threaded, and no cross-iteration races.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ipp_core::pipeline::{compile, InlineMode, PipelineOptions};
+//! use finline::annot::AnnotRegistry;
+//!
+//! let program = fir::parse(
+//!     "      PROGRAM MAIN
+//!       DIMENSION A(100), B(100)
+//!       DO I = 1, 100
+//!         A(I) = B(I)*2.0
+//!       ENDDO
+//!       END
+//! ").unwrap();
+//! let annotations = AnnotRegistry::default();
+//! let result = compile(&program, &annotations,
+//!                      &PipelineOptions::for_mode(InlineMode::None));
+//! assert_eq!(result.parallel_loops().len(), 1);
+//! assert!(result.source.contains("!$OMP PARALLEL DO"));
+//! ```
+
+pub mod pipeline;
+pub mod report;
+pub mod verify;
+
+pub use pipeline::{compile, InlineMode, PipelineOptions, PipelineResult};
+pub use report::{
+    extra_loops, lost_loops, render_fig20, render_table2, table2_rows, totals_for, Fig20Point,
+    Table2Row, Table2Totals,
+};
+pub use verify::{verify, VerifyResult};

@@ -1,0 +1,337 @@
+//! The enhanced-inlining compilation pipeline (paper Fig. 15).
+//!
+//! ```text
+//!            ┌────────────────────┐
+//!  input ───▶│ annotation-based   │   (or conventional inlining,
+//!            │ inlining           │    or no inlining at all)
+//!            └────────┬───────────┘
+//!                     ▼
+//!            ┌────────────────────┐
+//!            │ automatic          │   Polaris-style dependence analysis,
+//!            │ parallelization    │   OpenMP directive insertion
+//!            └────────┬───────────┘
+//!                     ▼
+//!            ┌────────────────────┐
+//!            │ reverse inlining   │   tagged regions → original CALLs,
+//!            └────────┬───────────┘   directives on outer loops kept
+//!                     ▼
+//!                parallelized source
+//! ```
+//!
+//! [`compile`] runs the whole pipeline under one of three
+//! [`InlineMode`]s — the three configurations compared in the paper's
+//! Table II.
+
+use fdep::analyze::Blocker;
+use finline::annot::AnnotRegistry;
+use finline::{annot_inline, conventional, reverse, Heuristics};
+use fir::ast::{LoopId, Program};
+use fir::fold::normalize_program;
+use fpar::{parallelize, ParOptions, ParReport};
+use std::collections::BTreeSet;
+
+/// Which inlining strategy feeds the parallelizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InlineMode {
+    /// Parallelize the program as-is.
+    None,
+    /// Polaris-default conventional inlining (paper §II).
+    Conventional,
+    /// The paper's contribution: annotation-based inlining + reverse
+    /// inlining (§III).
+    Annotation,
+}
+
+impl InlineMode {
+    /// Display label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            InlineMode::None => "no-inline",
+            InlineMode::Conventional => "conventional",
+            InlineMode::Annotation => "annotation",
+        }
+    }
+
+    /// All three configurations, in the paper's column order.
+    pub fn all() -> [InlineMode; 3] {
+        [InlineMode::None, InlineMode::Conventional, InlineMode::Annotation]
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Inlining strategy.
+    pub mode: InlineMode,
+    /// Conventional-inlining heuristics (Polaris defaults).
+    pub heuristics: Heuristics,
+    /// Parallelizer options.
+    pub par: ParOptions,
+}
+
+impl PipelineOptions {
+    /// Defaults for a given mode.
+    pub fn for_mode(mode: InlineMode) -> PipelineOptions {
+        PipelineOptions { mode, heuristics: Heuristics::polaris(), par: ParOptions::default() }
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The final (emitted) program.
+    pub program: Program,
+    /// Per-loop planner decisions (pre-reverse-inlining view).
+    pub par_report: ParReport,
+    /// Conventional-inlining report, when that mode ran.
+    pub conv_report: Option<conventional::ConvReport>,
+    /// Annotation-inlining report, when that mode ran.
+    pub annot_report: Option<annot_inline::AnnotInlineReport>,
+    /// Reverse-inlining report, when that mode ran.
+    pub reverse_report: Option<reverse::ReverseReport>,
+    /// Emitted source text.
+    pub source: String,
+    /// Code size: non-comment source lines (the paper's metric).
+    pub loc: usize,
+}
+
+impl PipelineResult {
+    /// Distinct *original* loops judged parallelizable — annotation-body
+    /// loops are excluded because they do not exist in the emitted program
+    /// (the reverse inliner replaced them with the original calls).
+    pub fn parallel_loops(&self) -> BTreeSet<LoopId> {
+        self.par_report
+            .parallel_ids()
+            .into_iter()
+            .filter(|id| !id.is_annotation())
+            .collect()
+    }
+
+    /// Blockers recorded for a given loop (all copies).
+    pub fn blockers_of(&self, id: &LoopId) -> Vec<&Blocker> {
+        self.par_report
+            .decisions
+            .iter()
+            .filter(|d| &d.id == id)
+            .flat_map(|d| d.blockers.iter())
+            .collect()
+    }
+}
+
+/// Run the full pipeline on `input` under `opts`, using `annotations` when
+/// the mode calls for them.
+pub fn compile(
+    input: &Program,
+    annotations: &AnnotRegistry,
+    opts: &PipelineOptions,
+) -> PipelineResult {
+    let mut p = input.clone();
+    normalize_program(&mut p);
+
+    let mut conv_report = None;
+    let mut annot_report = None;
+    match opts.mode {
+        InlineMode::None => {}
+        InlineMode::Conventional => {
+            conv_report = Some(conventional::inline_program(&mut p, &opts.heuristics));
+        }
+        InlineMode::Annotation => {
+            annot_report = Some(annot_inline::apply(&mut p, annotations));
+        }
+    }
+
+    let par_report = parallelize(&mut p, &opts.par);
+
+    let reverse_report = match opts.mode {
+        InlineMode::Annotation => Some(reverse::apply(&mut p, annotations)),
+        _ => None,
+    };
+
+    let source = fir::print_program(&p);
+    let loc = fir::count_loc(&source);
+    PipelineResult { program: p, par_report, conv_report, annot_report, reverse_report, source, loc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fir::parser::parse;
+
+    /// The MATMLT scenario end to end: the §II-A2 pathology under
+    /// conventional inlining, fixed by annotations (§III).
+    const MATMLT_PROGRAM: &str = "      PROGRAM MAIN
+      DIMENSION PP(8, 8, 15), PHIT(8, 8), TM1(8, 8)
+      NDIM = 8
+      DO KS = 1, 15
+        CALL MATMLT(PP(1, 1, KS), PHIT(1, 1), TM1(1, 1), NDIM, NDIM, NDIM)
+      ENDDO
+      END
+      SUBROUTINE MATMLT(M1, M2, M3, L, M, N)
+      DIMENSION M1(L, M), M2(M, N), M3(L, N)
+      DO JN = 1, N
+        DO JM = 1, M
+          M3(JM, JN) = M1(JM, JN) + M2(JM, JN)
+        ENDDO
+      ENDDO
+      END
+";
+
+    const MATMLT_ANNOT: &str = "
+subroutine MATMLT(M1, M2, M3, L, M, N) {
+  dimension M1[L,M], M2[M,N], M3[L,N];
+  do (JN = 1:N)
+    do (JM = 1:M)
+      M3[JM,JN] = M1[JM,JN] + M2[JM,JN];
+}
+";
+
+    fn compile_mode(src: &str, annot: &str, mode: InlineMode) -> PipelineResult {
+        let p = parse(src).unwrap();
+        let reg = if annot.is_empty() {
+            AnnotRegistry::default()
+        } else {
+            AnnotRegistry::parse(annot).unwrap()
+        };
+        compile(&p, &reg, &PipelineOptions::for_mode(mode))
+    }
+
+    #[test]
+    fn no_inline_parallelizes_callee_loops_only() {
+        let r = compile_mode(MATMLT_PROGRAM, "", InlineMode::None);
+        let ids = r.parallel_loops();
+        // The callee's loops are parallelizable in isolation; the caller's
+        // KS loop has an opaque call.
+        assert!(ids.contains(&LoopId::new("MATMLT", 1)), "{ids:?}");
+        assert!(!ids.contains(&LoopId::new("MAIN", 1)), "{ids:?}");
+    }
+
+    #[test]
+    fn conventional_inlining_loses_matmlt_loops() {
+        let r = compile_mode(MATMLT_PROGRAM, "", InlineMode::Conventional);
+        let ids = r.parallel_loops();
+        // Reshape linearization with symbolic extents kills the inlined
+        // loops, and dead-procedure elimination removed the standalone
+        // definition: total loss (paper Table II #par-loss).
+        assert!(!ids.contains(&LoopId::new("MATMLT", 1)), "{ids:?}");
+        assert!(r.conv_report.as_ref().unwrap().inlined.len() == 1);
+    }
+
+    #[test]
+    fn annotation_inlining_keeps_and_gains() {
+        let r = compile_mode(MATMLT_PROGRAM, MATMLT_ANNOT, InlineMode::Annotation);
+        let ids = r.parallel_loops();
+        // The caller's KS loop is now parallelizable: distinct KS iterations
+        // write disjoint PP columns and TM1 is... TM1(1,1) is written by
+        // every iteration — the KS loop is NOT parallel here, but the
+        // callee's loops stay parallel via the standalone definition.
+        assert!(ids.contains(&LoopId::new("MATMLT", 1)), "{ids:?}");
+        // Reverse inlining restored the call.
+        let rev = r.reverse_report.as_ref().unwrap();
+        assert!(rev.failed.is_empty(), "{:?}", rev.failed);
+        assert_eq!(rev.restored.len(), 1);
+        assert!(r.source.contains("CALL MATMLT"), "{}", r.source);
+        assert!(!r.source.contains("BEGIN(Code"), "{}", r.source);
+    }
+
+    #[test]
+    fn annotation_mode_no_code_explosion() {
+        let none = compile_mode(MATMLT_PROGRAM, "", InlineMode::None);
+        let annot = compile_mode(MATMLT_PROGRAM, MATMLT_ANNOT, InlineMode::Annotation);
+        // Annotation mode's output is within a few lines of the original
+        // (only directives added).
+        assert!(
+            annot.loc <= none.loc + 10,
+            "annotation LoC {} vs no-inline {}",
+            annot.loc,
+            none.loc
+        );
+    }
+
+    /// The FSMP scenario: opaque compositional subroutine with error
+    /// checking; only annotations make the surrounding loop parallel.
+    const FSMP_PROGRAM: &str = "      PROGRAM MAIN
+      COMMON /EL/ FE(16, 200), IDEDON(200), IDBEGS(20)
+      COMMON /WK/ XY(2, 32)
+      DO ISS = 1, 10
+        DO K = 1, 20
+          ID = IDBEGS(ISS) + 1 + K
+          IDE = K
+          CALL FSMP(ID, IDE)
+        ENDDO
+      ENDDO
+      END
+      SUBROUTINE FSMP(ID, IDE)
+      COMMON /EL/ FE(16, 200), IDEDON(200), IDBEGS(20)
+      COMMON /WK/ XY(2, 32)
+      CALL GETCR(ID)
+      IF (IDEDON(IDE) .EQ. 0) THEN
+        IDEDON(IDE) = 1
+        CALL FORMF(ID)
+        IF (IERR .NE. 0) THEN
+          WRITE(6,*) ' F ELEMENT ', IDE, ' IS SINGULAR '
+          STOP 'F SINGULAR'
+        ENDIF
+      ENDIF
+      END
+      SUBROUTINE GETCR(ID)
+      COMMON /WK/ XY(2, 32)
+      DO J = 1, 32
+        XY(1, J) = ID*0.5
+        XY(2, J) = ID*1.5
+      ENDDO
+      END
+      SUBROUTINE FORMF(ID)
+      COMMON /EL/ FE(16, 200), IDEDON(200), IDBEGS(20)
+      COMMON /WK/ XY(2, 32)
+      DO J = 1, 16
+        FE(J, ID) = XY(1, 2) + J
+      ENDDO
+      END
+";
+
+    const FSMP_ANNOT: &str = "
+subroutine FSMP(ID, IDE) {
+  dimension FE[16, 200], IDEDON[200];
+  XY = unknown(ID);
+  if (IDEDON[IDE] == 0) {
+    IDEDON[IDE] = 1;
+    FE[*, ID] = unknown(XY);
+  }
+}
+";
+
+    #[test]
+    fn fsmp_conventional_cannot_inline() {
+        let r = compile_mode(FSMP_PROGRAM, "", InlineMode::Conventional);
+        let conv = r.conv_report.as_ref().unwrap();
+        // FSMP makes further calls — excluded (paper §II-B1).
+        assert!(conv.inlined.iter().all(|(_, callee)| callee != "FSMP"), "{conv:?}");
+        let ids = r.parallel_loops();
+        assert!(!ids.contains(&LoopId::new("MAIN", 2)), "{ids:?}");
+    }
+
+    #[test]
+    fn fsmp_annotation_parallelizes_k_loop() {
+        let r = compile_mode(FSMP_PROGRAM, FSMP_ANNOT, InlineMode::Annotation);
+        let ids = r.parallel_loops();
+        // The inner K loop of MAIN (paper Fig. 7) becomes parallelizable:
+        // ID is affine in K after forward substitution, FE columns are
+        // disjoint, IDEDON(IDE)=IDEDON(K) disjoint, XY is a privatizable
+        // whole-array temp, and the error-checking I/O was omitted from the
+        // annotation (§III-B3).
+        assert!(ids.contains(&LoopId::new("MAIN", 2)), "{ids:?}");
+        let rev = r.reverse_report.as_ref().unwrap();
+        assert!(rev.failed.is_empty(), "{:?}", rev.failed);
+        assert!(r.source.contains("CALL FSMP(ID, IDE)"), "{}", r.source);
+        assert!(r.source.contains("!$OMP PARALLEL DO"), "{}", r.source);
+    }
+
+    #[test]
+    fn fsmp_no_inline_blocked_by_call() {
+        let r = compile_mode(FSMP_PROGRAM, "", InlineMode::None);
+        let ids = r.parallel_loops();
+        assert!(!ids.contains(&LoopId::new("MAIN", 2)));
+        let blockers = r.blockers_of(&LoopId::new("MAIN", 2));
+        assert!(blockers.iter().any(|b| matches!(b, Blocker::Call(_))), "{blockers:?}");
+    }
+}

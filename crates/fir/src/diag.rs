@@ -1,0 +1,85 @@
+//! Diagnostics: a single error type shared by the lexer, parser, and the
+//! semantic passes that run inside this crate.
+
+use crate::loc::Span;
+use std::fmt;
+
+/// A compile-time error produced while processing MiniF77 source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+    /// Which phase produced the error.
+    pub phase: Phase,
+}
+
+/// The compiler phase that produced an [`Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Name/shape resolution.
+    Resolve,
+    /// Any later transformation (inlining, parallelization, ...).
+    Transform,
+}
+
+impl Error {
+    /// Construct a lexer error.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        Error { message: message.into(), span, phase: Phase::Lex }
+    }
+
+    /// Construct a parser error.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        Error { message: message.into(), span, phase: Phase::Parse }
+    }
+
+    /// Construct a resolution error.
+    pub fn resolve(message: impl Into<String>, span: Span) -> Self {
+        Error { message: message.into(), span, phase: Phase::Resolve }
+    }
+
+    /// Construct a transformation error.
+    pub fn transform(message: impl Into<String>) -> Self {
+        Error { message: message.into(), span: Span::SYNTH, phase: Phase::Transform }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Resolve => "resolve",
+            Phase::Transform => "transform",
+        };
+        write!(f, "{} error at {}: {}", phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_line() {
+        let e = Error::parse("unexpected token", Span::new(0, 1, 3));
+        assert_eq!(e.to_string(), "parse error at line 3: unexpected token");
+    }
+
+    #[test]
+    fn transform_errors_are_synthetic() {
+        let e = Error::transform("cannot inline recursive subroutine");
+        assert!(e.span.is_synthetic());
+    }
+}

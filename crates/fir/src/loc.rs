@@ -1,0 +1,88 @@
+//! Source locations and spans.
+//!
+//! Every token and statement carries a [`Span`] so diagnostics and the
+//! reverse inliner can refer back to the original source. Spans are
+//! deliberately tiny (two `u32`s) because they are stored on every AST node.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text, plus the
+/// 1-based line of `start` for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based source line containing `start` (0 for synthesized nodes).
+    pub line: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for compiler-synthesized nodes
+    /// (inlined code, lowered annotations, peeled iterations).
+    pub const SYNTH: Span = Span { start: 0, end: 0, line: 0 };
+
+    /// Create a span.
+    pub fn new(start: u32, end: u32, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// True if this span was synthesized by a transformation rather than
+    /// parsed from source.
+    pub fn is_synthetic(&self) -> bool {
+        self.line == 0
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    /// Synthetic spans are absorbed by real ones.
+    pub fn merge(self, other: Span) -> Span {
+        if self.is_synthetic() {
+            return other;
+        }
+        if other.is_synthetic() {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<synthetic>")
+        } else {
+            write!(f, "line {}", self.line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_prefers_real_spans() {
+        let a = Span::new(4, 9, 2);
+        assert_eq!(Span::SYNTH.merge(a), a);
+        assert_eq!(a.merge(Span::SYNTH), a);
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(4, 9, 2);
+        let b = Span::new(12, 20, 5);
+        let m = a.merge(b);
+        assert_eq!(m, Span::new(4, 20, 2));
+    }
+
+    #[test]
+    fn synthetic_display() {
+        assert_eq!(Span::SYNTH.to_string(), "<synthetic>");
+        assert_eq!(Span::new(0, 1, 7).to_string(), "line 7");
+    }
+}

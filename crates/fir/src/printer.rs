@@ -1,0 +1,526 @@
+//! Fortran source emitter.
+//!
+//! Prints a [`Program`] back to fixed-form-flavored Fortran 77 text,
+//! including `!$OMP` directives inserted by the parallelizer and the
+//! `*//@;`-style tags delimiting annotation-inlined regions (paper Fig. 18).
+//! The emitted text re-parses to a structurally equal program (round-trip
+//! property, tested here and with proptest in the crate tests), except that
+//! tagged regions and the `unique`/`unknown` operators — which have no
+//! surface syntax — are printed in a readable pseudo-Fortran form.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Pretty-print a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for u in &p.units {
+        print_unit(u, &mut out);
+    }
+    out
+}
+
+/// Pretty-print one unit.
+pub fn print_unit(u: &ProcUnit, out: &mut String) {
+    match u.kind {
+        UnitKind::Program => {
+            let _ = writeln!(out, "      PROGRAM {}", u.name);
+        }
+        UnitKind::Subroutine => {
+            if u.params.is_empty() {
+                let _ = writeln!(out, "      SUBROUTINE {}", u.name);
+            } else {
+                let _ = writeln!(out, "      SUBROUTINE {}({})", u.name, u.params.join(", "));
+            }
+        }
+    }
+    for d in &u.decls {
+        print_decl(d, out);
+    }
+    print_block(&u.body, 1, out);
+    let _ = writeln!(out, "      END");
+}
+
+fn print_decl(d: &Decl, out: &mut String) {
+    match d {
+        Decl::Var(v) => {
+            let ty = v.ty.map(|t| t.keyword()).unwrap_or("DIMENSION");
+            let _ = writeln!(out, "      {} {}", ty, var_decl_str(v));
+        }
+        Decl::Common { block, vars } if block.is_empty() => {
+            // Anonymous group: a multi-entry type/DIMENSION declaration.
+            let ty = vars.iter().find_map(|v| v.ty).map(|t| t.keyword()).unwrap_or("DIMENSION");
+            let list: Vec<String> = vars.iter().map(var_decl_str).collect();
+            let _ = writeln!(out, "      {} {}", ty, list.join(", "));
+        }
+        Decl::Common { block, vars } => {
+            let list: Vec<String> = vars.iter().map(var_decl_str).collect();
+            let _ = writeln!(out, "      COMMON /{}/ {}", block, list.join(", "));
+        }
+        Decl::Param { name, value } => {
+            let _ = writeln!(out, "      PARAMETER ({} = {})", name, expr_str(value));
+        }
+    }
+}
+
+fn var_decl_str(v: &VarDecl) -> String {
+    if v.dims.is_empty() {
+        v.name.clone()
+    } else {
+        let dims: Vec<String> = v
+            .dims
+            .iter()
+            .map(|d| match d {
+                Dim::Extent(e) => expr_str(e),
+                Dim::Assumed => "*".to_string(),
+            })
+            .collect();
+        format!("{}({})", v.name, dims.join(", "))
+    }
+}
+
+fn indent(depth: usize) -> String {
+    // Column 7 base plus two spaces per nesting level.
+    format!("      {}", "  ".repeat(depth.saturating_sub(1)))
+}
+
+/// Print a statement block at the given nesting depth.
+pub fn print_block(b: &Block, depth: usize, out: &mut String) {
+    for s in b {
+        print_stmt(s, depth, out);
+    }
+}
+
+fn label_prefix(label: Option<u32>) -> Option<String> {
+    label.map(|l| format!("{l:<5} "))
+}
+
+fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    let ind = match label_prefix(s.label) {
+        Some(mut p) => {
+            p.push_str(&"  ".repeat(depth.saturating_sub(1)));
+            p
+        }
+        None => indent(depth),
+    };
+    match &s.kind {
+        StmtKind::Assign { lhs, rhs } => {
+            let _ = writeln!(out, "{}{} = {}", ind, expr_str(lhs), expr_str(rhs));
+        }
+        StmtKind::If { cond, then_blk, else_blk } => {
+            if else_blk.is_empty() && then_blk.len() == 1 && is_simple(&then_blk[0]) {
+                let mut inner = String::new();
+                print_stmt(&then_blk[0], 1, &mut inner);
+                let _ = writeln!(out, "{}IF ({}) {}", ind, expr_str(cond), inner[6..].trim_end());
+                return;
+            }
+            let _ = writeln!(out, "{}IF ({}) THEN", ind, expr_str(cond));
+            print_block(then_blk, depth + 1, out);
+            if !else_blk.is_empty() {
+                let _ = writeln!(out, "{}ELSE", indent(depth));
+                print_block(else_blk, depth + 1, out);
+            }
+            let _ = writeln!(out, "{}ENDIF", indent(depth));
+        }
+        StmtKind::Do(d) => {
+            if let Some(dir) = &d.directive {
+                print_directive(dir, depth, out);
+            }
+            let step = match &d.step {
+                Some(st) => format!(", {}", expr_str(st)),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "{}DO {} = {}, {}{}",
+                ind,
+                d.var,
+                expr_str(&d.lo),
+                expr_str(&d.hi),
+                step
+            );
+            print_block(&d.body, depth + 1, out);
+            let _ = writeln!(out, "{}ENDDO", indent(depth));
+            if let Some(dir) = &d.directive {
+                if dir.nowait {
+                    let _ = writeln!(out, "!$OMP END PARALLEL DO NOWAIT");
+                } else {
+                    let _ = writeln!(out, "!$OMP END PARALLEL DO");
+                }
+            }
+        }
+        StmtKind::Call { name, args } => {
+            if args.is_empty() {
+                let _ = writeln!(out, "{}CALL {}", ind, name);
+            } else {
+                let a: Vec<String> = args.iter().map(expr_str).collect();
+                let _ = writeln!(out, "{}CALL {}({})", ind, name, a.join(", "));
+            }
+        }
+        StmtKind::Write { unit, items } => {
+            let a: Vec<String> = items.iter().map(expr_str).collect();
+            if a.is_empty() {
+                let _ = writeln!(out, "{}WRITE({},*)", ind, unit);
+            } else {
+                let _ = writeln!(out, "{}WRITE({},*) {}", ind, unit, a.join(", "));
+            }
+        }
+        StmtKind::Stop { message } => match message {
+            Some(m) => {
+                let _ = writeln!(out, "{}STOP '{}'", ind, m.replace('\'', "''"));
+            }
+            None => {
+                let _ = writeln!(out, "{}STOP", ind);
+            }
+        },
+        StmtKind::Return => {
+            let _ = writeln!(out, "{}RETURN", ind);
+        }
+        StmtKind::Continue => {
+            let _ = writeln!(out, "{}CONTINUE", ind);
+        }
+        StmtKind::Tagged { tag, body } => {
+            let _ = writeln!(out, "*//@; BEGIN(Code, tag={}, callee={})", tag.tag_id, tag.callee);
+            let _ = writeln!(out, "*//@; @annot inline {}", tag.callee);
+            print_block(body, depth, out);
+            let _ = writeln!(out, "*//@; END(tag={})", tag.tag_id);
+        }
+    }
+}
+
+fn is_simple(s: &Stmt) -> bool {
+    s.label.is_none()
+        && matches!(
+            s.kind,
+            StmtKind::Assign { .. }
+                | StmtKind::Call { .. }
+                | StmtKind::Stop { .. }
+                | StmtKind::Return
+                | StmtKind::Write { .. }
+                | StmtKind::Continue
+        )
+}
+
+fn print_directive(d: &OmpDirective, _depth: usize, out: &mut String) {
+    let _ = writeln!(out, "!$OMP PARALLEL DO");
+    let _ = writeln!(out, "!$OMP+DEFAULT(SHARED)");
+    if !d.private.is_empty() {
+        let _ = writeln!(out, "!$OMP+PRIVATE({})", d.private.join(", "));
+    }
+    if !d.firstprivate.is_empty() {
+        let _ = writeln!(out, "!$OMP+FIRSTPRIVATE({})", d.firstprivate.join(", "));
+    }
+    if !d.lastprivate.is_empty() {
+        let _ = writeln!(out, "!$OMP+LASTPRIVATE({})", d.lastprivate.join(", "));
+    }
+    for (op, var) in &d.reductions {
+        let _ = writeln!(out, "!$OMP+REDUCTION({}:{})", op.omp_name(), var);
+    }
+}
+
+/// Operator precedence for parenthesization (higher binds tighter).
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div => 5,
+        BinOp::Pow => 7,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => " + ",
+        BinOp::Sub => " - ",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Pow => "**",
+        BinOp::Eq => " .EQ. ",
+        BinOp::Ne => " .NE. ",
+        BinOp::Lt => " .LT. ",
+        BinOp::Le => " .LE. ",
+        BinOp::Gt => " .GT. ",
+        BinOp::Ge => " .GE. ",
+        BinOp::And => " .AND. ",
+        BinOp::Or => " .OR. ",
+    }
+}
+
+/// Render an expression to Fortran text.
+pub fn expr_str(e: &Expr) -> String {
+    expr_prec(e, 0)
+}
+
+fn expr_prec(e: &Expr, outer: u8) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Real(R64(x)) => {
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                format!("{:.1}", x)
+            } else {
+                format!("{}", x)
+            }
+        }
+        Expr::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Expr::Logical(true) => ".TRUE.".to_string(),
+        Expr::Logical(false) => ".FALSE.".to_string(),
+        Expr::Var(n) => n.clone(),
+        Expr::Index(n, subs) => {
+            let a: Vec<String> = subs.iter().map(|s| expr_prec(s, 0)).collect();
+            format!("{}({})", n, a.join(", "))
+        }
+        Expr::Section(n, ranges) => {
+            let a: Vec<String> = ranges
+                .iter()
+                .map(|r| match r {
+                    SecRange::Full => "*".to_string(),
+                    SecRange::At(e) => expr_prec(e, 0),
+                    SecRange::Range { lo, hi, step } => {
+                        let mut s = String::new();
+                        if let Some(l) = lo {
+                            s.push_str(&expr_prec(l, 0));
+                        }
+                        s.push(':');
+                        if let Some(h) = hi {
+                            s.push_str(&expr_prec(h, 0));
+                        }
+                        if let Some(st) = step {
+                            s.push(':');
+                            s.push_str(&expr_prec(st, 0));
+                        }
+                        s
+                    }
+                })
+                .collect();
+            format!("{}({})", n, a.join(", "))
+        }
+        Expr::Intrinsic(i, args) => {
+            let a: Vec<String> = args.iter().map(|s| expr_prec(s, 0)).collect();
+            format!("{}({})", i.name(), a.join(", "))
+        }
+        Expr::Bin(op, l, r) => {
+            let p = prec(*op);
+            // Right operand of left-associative ops needs parens at equal
+            // precedence (e.g. a - (b - c)); Pow is right-associative.
+            let (lp, rp) = if *op == BinOp::Pow { (p + 1, p) } else { (p, p + 1) };
+            let s = format!("{}{}{}", expr_prec(l, lp), op_str(*op), expr_prec(r, rp));
+            if p < outer {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Un(UnOp::Neg, inner) => {
+            let s = format!("-{}", expr_prec(inner, 6));
+            if outer > 4 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Un(UnOp::Not, inner) => format!(".NOT. {}", expr_prec(inner, 3)),
+        Expr::Unique(id, args) => {
+            let a: Vec<String> = args.iter().map(|s| expr_prec(s, 0)).collect();
+            format!("UNIQ{}({})", id, a.join(", "))
+        }
+        Expr::Unknown(id, args) => {
+            let a: Vec<String> = args.iter().map(|s| expr_prec(s, 0)).collect();
+            format!("UNKN{}({})", id, a.join(", "))
+        }
+    }
+}
+
+/// Count non-blank, non-comment source lines — the "code size" metric of the
+/// paper's Table II ("the number of source code lines with all comments
+/// removed").
+pub fn count_loc(src: &str) -> usize {
+    src.lines()
+        .filter(|l| {
+            let t = l.trim();
+            if t.is_empty() {
+                return false;
+            }
+            // Full-line comments; the `*//@;` tag lines are comments too,
+            // but OMP directives (`!$OMP`) count as code.
+            if l.starts_with('!') && !l.starts_with("!$OMP") {
+                return false;
+            }
+            if let Some(c) = l.chars().next() {
+                if (c == 'C' || c == 'c' || c == '*') && !l.starts_with("!$OMP") {
+                    return false;
+                }
+            }
+            true
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(strip_ids(&p1), strip_ids(&p2), "printed:\n{printed}");
+    }
+
+    /// Loop ids depend on parse order only, so they survive the round trip;
+    /// spans and labels do not. Compare with spans/labels normalized.
+    fn strip_ids(p: &Program) -> Program {
+        use crate::loc::Span;
+        let mut p = p.clone();
+        fn fix(b: &mut Block) {
+            for s in b {
+                s.span = Span::SYNTH;
+                s.label = None;
+                match &mut s.kind {
+                    StmtKind::If { then_blk, else_blk, .. } => {
+                        fix(then_blk);
+                        fix(else_blk);
+                    }
+                    StmtKind::Do(d) => fix(&mut d.body),
+                    StmtKind::Tagged { body, .. } => fix(body),
+                    _ => {}
+                }
+            }
+        }
+        for u in &mut p.units {
+            u.span = Span::SYNTH;
+            fix(&mut u.body);
+        }
+        p
+    }
+
+    #[test]
+    fn roundtrip_loops_and_ifs() {
+        roundtrip(
+            "\
+      PROGRAM P
+      DO I = 1, 10
+        IF (A(I) .GT. 0.0) THEN
+          B(I) = A(I)**2
+        ELSE
+          B(I) = -A(I)
+        ENDIF
+      ENDDO
+      END
+",
+        );
+    }
+
+    #[test]
+    fn roundtrip_labeled_do() {
+        roundtrip(
+            "\
+      SUBROUTINE PCINIT(X2)
+      DIMENSION X2(*)
+      DO 200 N = 1, NTYPES
+        DO 200 J = 1, NSP
+          X2(J) = FX(J)*TSTEP**2/2.D0/DSUMM(N)
+  200 CONTINUE
+      END
+",
+        );
+    }
+
+    #[test]
+    fn roundtrip_decls() {
+        roundtrip(
+            "\
+      PROGRAM P
+      PARAMETER (N = 100)
+      INTEGER IDBEGS(N), K1
+      DOUBLE PRECISION FE(16, N)
+      COMMON /GEOM/ XY(2, N), NNPED
+      XY(1, 1) = 0.0
+      END
+",
+        );
+    }
+
+    #[test]
+    fn directive_printing() {
+        let mut p = parse("      PROGRAM P\n      DO I = 1, 10\n      A(I) = I\n      ENDDO\n      END\n")
+            .unwrap();
+        if let StmtKind::Do(d) = &mut p.units[0].body[0].kind {
+            d.directive = Some(OmpDirective {
+                private: vec!["T".into()],
+                reductions: vec![(RedOp::Add, "S".into())],
+                ..Default::default()
+            });
+        }
+        let s = print_program(&p);
+        assert!(s.contains("!$OMP PARALLEL DO"), "{s}");
+        assert!(s.contains("!$OMP+PRIVATE(T)"), "{s}");
+        assert!(s.contains("!$OMP+REDUCTION(+:S)"), "{s}");
+        assert!(s.contains("!$OMP END PARALLEL DO"), "{s}");
+    }
+
+    #[test]
+    fn tagged_region_printing() {
+        let body = vec![Stmt::assign(Expr::var("X"), Expr::int(1))];
+        let tagged = Stmt::synth(StmtKind::Tagged {
+            tag: TagInfo { tag_id: 3, callee: "MATMLT".into() },
+            body,
+        });
+        let mut out = String::new();
+        print_stmt(&tagged, 1, &mut out);
+        assert!(out.contains("BEGIN(Code, tag=3, callee=MATMLT)"));
+        assert!(out.contains("END(tag=3)"));
+    }
+
+    #[test]
+    fn paren_minimality() {
+        assert_eq!(expr_str(&Expr::add(Expr::var("A"), Expr::mul(Expr::var("B"), Expr::var("C")))), "A + B*C");
+        assert_eq!(
+            expr_str(&Expr::mul(Expr::add(Expr::var("A"), Expr::var("B")), Expr::var("C"))),
+            "(A + B)*C"
+        );
+        assert_eq!(
+            expr_str(&Expr::sub(Expr::var("A"), Expr::sub(Expr::var("B"), Expr::var("C")))),
+            "A - (B - C)"
+        );
+    }
+
+    #[test]
+    fn unique_unknown_printing() {
+        let e = Expr::Unique(2, vec![Expr::var("ID"), Expr::var("IN")]);
+        assert_eq!(expr_str(&e), "UNIQ2(ID, IN)");
+        let e = Expr::Unknown(7, vec![Expr::var("XY")]);
+        assert_eq!(expr_str(&e), "UNKN7(XY)");
+    }
+
+    #[test]
+    fn loc_counting_strips_comments() {
+        let src = "\
+C comment line
+      X = 1
+
+* another comment
+!$OMP PARALLEL DO
+      DO I = 1, 2
+      ENDDO
+*//@; BEGIN(Code, tag=1, callee=F)
+";
+        assert_eq!(count_loc(src), 4); // X=1, OMP, DO, ENDDO
+    }
+
+    #[test]
+    fn one_line_if_printing() {
+        roundtrip("      PROGRAM P\n      IF (I .EQ. 0) J = 1\n      END\n");
+    }
+
+    #[test]
+    fn negative_real_and_sections() {
+        let e = Expr::Section(
+            "FE".into(),
+            vec![SecRange::Full, SecRange::At(Expr::var("IDE"))],
+        );
+        assert_eq!(expr_str(&e), "FE(*, IDE)");
+    }
+}

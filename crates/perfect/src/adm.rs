@@ -1,0 +1,151 @@
+//! ADM — pseudospectral air pollution simulation.
+//!
+//! Vertical diffusion (`DIFFUZ`) operates on wind/concentration fields
+//! addressed indirectly through the layer table `LOFF` — conventional
+//! inlining produces subscripted subscripts and loses the diffusion loops
+//! (paper §II-A1). The horizontal smoother (`SMOOTH`) takes runtime-shaped
+//! planes; its annotation keeps the true 2-D shape and wins the layer
+//! sweep loop (§II-A2 avoided). `SCALEC` is the constant-stride slice
+//! kernel both inliners can exploit.
+
+use crate::suite::App;
+
+const SOURCE: &str = "      PROGRAM ADM
+      COMMON /FIELD/ F(6144), LOFF(12)
+      COMMON /PLANE/ AIR(8, 8, 16), WK(4, 96)
+      COMMON /CTL/ NH, NLAY, NSTEP
+      CALL SETUP
+      CALL DIFFUZ(F(LOFF(1)), F(LOFF(2)), F(LOFF(3)), F(LOFF(4)), NH)
+      DO ISTEP = 1, NSTEP
+        CALL DIFFUZ(F(LOFF(1)), F(LOFF(2)), F(LOFF(3)), F(LOFF(4)), NH)
+        CALL DIFFUZ(F(LOFF(5)), F(LOFF(6)), F(LOFF(7)), F(LOFF(8)), NH)
+        DO L = 1, NLAY
+          CALL SMOOTH(AIR(1, 1, L), NH, NH)
+        ENDDO
+        DO J = 1, 96
+          CALL SCALEC(WK(1, J), 4)
+        ENDDO
+      ENDDO
+      CALL CHECK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /FIELD/ F(6144), LOFF(12)
+      COMMON /PLANE/ AIR(8, 8, 16), WK(4, 96)
+      COMMON /CTL/ NH, NLAY, NSTEP
+      NH = 8
+      NLAY = 16
+      NSTEP = 2
+      DO K = 1, 12
+        LOFF(K) = (K - 1)*512 + 1
+      ENDDO
+      DO I = 1, 6144
+        F(I) = 0.003*MOD(I, 29)
+      ENDDO
+      DO L = 1, 16
+        DO J = 1, 8
+          DO I = 1, 8
+            AIR(I, J, L) = 0.01*I + 0.005*J + 0.002*L
+          ENDDO
+        ENDDO
+      ENDDO
+      DO J = 1, 96
+        WK(1, J) = J*0.02
+        WK(2, J) = J*0.03
+        WK(3, J) = J*0.04
+        WK(4, J) = J*0.05
+      ENDDO
+      END
+
+      SUBROUTINE DIFFUZ(U, V, W, C, N)
+      DIMENSION U(*), V(*), W(*), C(*)
+      DO I = 1, N
+        U(I) = U(I)*0.98 + V(I)*0.01
+      ENDDO
+      DO I = 1, N
+        V(I) = V(I)*0.97 + W(I)*0.02
+      ENDDO
+      DO I = 1, N
+        W(I) = W(I)*0.96 + U(I)*0.03
+      ENDDO
+      DO I = 1, N
+        C(I) = C(I) + U(I)*0.1 + V(I)*0.05 + W(I)*0.025
+      ENDDO
+      END
+
+      SUBROUTINE SMOOTH(P, LD, N)
+      DIMENSION P(LD, N)
+      DO J = 1, N
+        DO I = 1, LD
+          P(I, J) = P(I, J)*0.9 + 0.01*I + 0.005*J
+        ENDDO
+      ENDDO
+      DO J = 1, N
+        P(1, J) = P(2, J)*0.75
+      ENDDO
+      END
+
+      SUBROUTINE SCALEC(X, N)
+      DIMENSION X(*)
+      DO I = 1, N
+        X(I) = X(I)*1.002 + 0.004
+      ENDDO
+      END
+
+      SUBROUTINE CHECK
+      COMMON /FIELD/ F(6144), LOFF(12)
+      COMMON /PLANE/ AIR(8, 8, 16), WK(4, 96)
+      S1 = 0.0
+      DO I = 1, 6144
+        S1 = S1 + F(I)
+      ENDDO
+      S2 = 0.0
+      DO L = 1, 16
+        DO J = 1, 8
+          DO I = 1, 8
+            S2 = S2 + AIR(I, J, L)
+          ENDDO
+        ENDDO
+      ENDDO
+      S3 = 0.0
+      DO J = 1, 96
+        S3 = S3 + WK(1, J) + WK(4, J)
+      ENDDO
+      WRITE(6,*) 'ADM CHECKSUMS ', S1, S2, S3
+      END
+";
+
+const ANNOTATIONS: &str = "
+subroutine DIFFUZ(U, V, W, C, N) {
+  dimension U[N], V[N], W[N], C[N];
+  U[1:N] = unknown(V[1:N], N);
+  V[1:N] = unknown(W[1:N], N);
+  W[1:N] = unknown(U[1:N], N);
+  C[1:N] = unknown(U[1:N], V[1:N], W[1:N], N);
+}
+
+subroutine SMOOTH(P, LD, N) {
+  dimension P[LD,N];
+  do (J = 1:N)
+    do (I = 1:LD)
+      P[I,J] = unknown(P[I,J], I, J);
+  do (J = 1:N)
+    P[1,J] = unknown(P[2,J]);
+}
+
+subroutine SCALEC(X, N) {
+  dimension X[N];
+  do (I = 1:N)
+    X[I] = unknown(X[I]);
+}
+";
+
+/// Build the application descriptor.
+pub fn app() -> App {
+    App {
+        name: "ADM",
+        description: "Pseudospectral air pollution simulation",
+        source: SOURCE,
+        annotations: ANNOTATIONS,
+    }
+}

@@ -1,0 +1,176 @@
+//! ARC2D — two-dimensional fluid solver of the Euler equations.
+//!
+//! The reshape-heavy PERFECT member: implicit-solver kernels (`MATMLT`,
+//! `FILTRX`, `STEPFX`) declare their operands with *runtime* extents
+//! (`M1(L,M)` with `L = NDIM`) while the caller passes slices of
+//! three-dimensional arrays. Conventional inlining linearizes the caller
+//! arrays "without any explicit shape information" (paper §II-A2, Figs.
+//! 4–5), leaving the inlined loops with symbolic strides the dependence
+//! tests cannot analyze — every kernel loop is lost. The Fig. 16-style
+//! annotations declare the true shapes, so the surrounding sweep loops
+//! parallelize instead (Figs. 17–19). `SCALEP` is a constant-stride slice
+//! kernel that conventional inlining *does* win (one of the 12-of-37).
+
+use crate::suite::App;
+
+const SOURCE: &str = "      PROGRAM ARC2D
+      COMMON /FLOW/ PP(8, 8, 24), PHIT(8, 8), TM2(8, 8, 24)
+      COMMON /GRID/ Q(8, 8, 24), W(4, 128)
+      COMMON /CTL/ NDIM, NSWEEP
+      CALL SETUP
+      DO IT = 1, NSWEEP
+        DO KS = 1, 24
+          CALL MATMLT(PP(1, 1, KS), PHIT(1, 1), TM2(1, 1, KS), NDIM, NDIM, NDIM)
+        ENDDO
+        DO KS = 1, 24
+          CALL FILTRX(Q(1, 1, KS), NDIM, NDIM)
+        ENDDO
+        DO KS = 1, 24
+          CALL STEPFX(Q(1, 1, KS), TM2(1, 1, KS), NDIM, NDIM)
+        ENDDO
+        DO J = 1, 128
+          CALL SCALEP(W(1, J), 4)
+        ENDDO
+      ENDDO
+      CALL CHECK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /FLOW/ PP(8, 8, 24), PHIT(8, 8), TM2(8, 8, 24)
+      COMMON /GRID/ Q(8, 8, 24), W(4, 128)
+      COMMON /CTL/ NDIM, NSWEEP
+      NDIM = 8
+      NSWEEP = 2
+      DO K = 1, 24
+        DO J = 1, 8
+          DO I = 1, 8
+            PP(I, J, K) = 0.01*I + 0.02*J + 0.003*K
+            TM2(I, J, K) = 0.0
+            Q(I, J, K) = 0.05*I - 0.01*J + 0.002*K
+          ENDDO
+        ENDDO
+      ENDDO
+      DO J = 1, 8
+        DO I = 1, 8
+          PHIT(I, J) = 0.125*I + 0.0625*J
+        ENDDO
+      ENDDO
+      DO J = 1, 128
+        W(1, J) = J*0.01
+        W(2, J) = J*0.02
+        W(3, J) = J*0.03
+        W(4, J) = J*0.04
+      ENDDO
+      END
+
+      SUBROUTINE MATMLT(M1, M2, M3, L, M, N)
+      DIMENSION M1(L, M), M2(M, N), M3(L, N)
+      DO JN = 1, N
+        DO JL = 1, L
+          M3(JL, JN) = 0.0
+        ENDDO
+      ENDDO
+      DO JN = 1, N
+        DO JM = 1, M
+          DO JL = 1, L
+            M3(JL, JN) = M3(JL, JN) + M1(JL, JM)*M2(JM, JN)
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE FILTRX(F, LD, N)
+      DIMENSION F(LD, N)
+      DO J = 1, N
+        DO I = 1, LD
+          F(I, J) = F(I, J)*0.96 + 0.001*I
+        ENDDO
+      ENDDO
+      DO J = 1, N
+        F(1, J) = F(2, J)*0.5
+      ENDDO
+      END
+
+      SUBROUTINE STEPFX(F, G, LD, N)
+      DIMENSION F(LD, N), G(LD, N)
+      DO J = 1, N
+        DO I = 1, LD
+          F(I, J) = F(I, J) + G(I, J)*0.25
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE SCALEP(X, N)
+      DIMENSION X(*)
+      DO I = 1, N
+        X(I) = X(I)*1.005 + 0.01
+      ENDDO
+      END
+
+      SUBROUTINE CHECK
+      COMMON /FLOW/ PP(8, 8, 24), PHIT(8, 8), TM2(8, 8, 24)
+      COMMON /GRID/ Q(8, 8, 24), W(4, 128)
+      S1 = 0.0
+      S2 = 0.0
+      DO K = 1, 24
+        DO J = 1, 8
+          DO I = 1, 8
+            S1 = S1 + TM2(I, J, K)
+            S2 = S2 + Q(I, J, K)
+          ENDDO
+        ENDDO
+      ENDDO
+      S3 = 0.0
+      DO J = 1, 128
+        S3 = S3 + W(1, J) + W(4, J)
+      ENDDO
+      WRITE(6,*) 'ARC2D CHECKSUMS ', S1, S2, S3
+      END
+";
+
+const ANNOTATIONS: &str = "
+// Fig. 16: the annotation declares the true two-dimensional shapes even
+// though the implementation would be linearized by conventional inlining.
+subroutine MATMLT(M1, M2, M3, L, M, N) {
+  dimension M1[L,M], M2[M,N], M3[L,N];
+  do (JN = 1:N)
+    do (JL = 1:L)
+      M3[JL,JN] = 0.0;
+  do (JN = 1:N)
+    do (JM = 1:M)
+      do (JL = 1:L)
+        M3[JL,JN] = M3[JL,JN] + M1[JL,JM] * M2[JM,JN];
+}
+
+subroutine FILTRX(F, LD, N) {
+  dimension F[LD,N];
+  do (J = 1:N)
+    do (I = 1:LD)
+      F[I,J] = unknown(F[I,J], I);
+  do (J = 1:N)
+    F[1,J] = unknown(F[2,J]);
+}
+
+subroutine STEPFX(F, G, LD, N) {
+  dimension F[LD,N], G[LD,N];
+  do (J = 1:N)
+    do (I = 1:LD)
+      F[I,J] = F[I,J] + unknown(G[I,J]);
+}
+
+subroutine SCALEP(X, N) {
+  dimension X[N];
+  do (I = 1:N)
+    X[I] = unknown(X[I]);
+}
+";
+
+/// Build the application descriptor.
+pub fn app() -> App {
+    App {
+        name: "ARC2D",
+        description: "Two-dimensional fluid solver of the Euler equations",
+        source: SOURCE,
+        annotations: ANNOTATIONS,
+    }
+}

@@ -1,0 +1,185 @@
+//! BDNA — molecular dynamics package for the simulation of nucleic acids.
+//!
+//! This is the application behind the paper's Figures 2–3: predictor-
+//! corrector initializers (`PCINIT`) and Verlet updates are called with
+//! *indirect array-element actuals* — regions of one big coordinate array
+//! `T` addressed through the index table `IX`. Conventional inlining turns
+//! the callees' clean stride-1 loops into subscripted-subscript accesses
+//! `T(IX(7)+I-1)` that the dependence tests cannot separate, losing every
+//! loop (Table II `#par-loss`). The per-bond energy driver `BONDFC` is an
+//! opaque compositional subroutine whose annotation (disjoint `EBOND`
+//! entries, temporaries omitted) wins the `MB` loop back (`#par-extra`).
+
+use crate::suite::App;
+
+const SOURCE: &str = "      PROGRAM BDNA
+      COMMON /COORD/ T(6144), IX(12)
+      COMMON /FRC/ FX(1024), FY(1024), FZ(1024), DSUMM(8)
+      COMMON /BOND/ EBOND(128), TWORK(16)
+      COMMON /CTL/ NPART, NSTEP, NBOND
+      CALL SETUP
+C     prime the predictor-corrector state once before time stepping
+      CALL PCINIT(T(IX(7)), T(IX(8)), T(IX(9)), NPART)
+      DO ISTEP = 1, NSTEP
+        CALL FORCES(NPART)
+        CALL PCINIT(T(IX(7)), T(IX(8)), T(IX(9)), NPART)
+        CALL PCINIT(T(IX(10)), T(IX(11)), T(IX(12)), NPART)
+        CALL VERLET(T(IX(1)), T(IX(2)), T(IX(3)), T(IX(7)), T(IX(8)), T(IX(9)), NPART)
+        DO MB = 1, NBOND
+          CALL BONDFC(MB)
+        ENDDO
+      ENDDO
+      CALL CHECK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /COORD/ T(6144), IX(12)
+      COMMON /FRC/ FX(1024), FY(1024), FZ(1024), DSUMM(8)
+      COMMON /BOND/ EBOND(128), TWORK(16)
+      COMMON /CTL/ NPART, NSTEP, NBOND
+      NPART = 256
+      NSTEP = 2
+      NBOND = 64
+      DO K = 1, 12
+        IX(K) = (K - 1)*512 + 1
+      ENDDO
+      DO I = 1, 1024
+        FX(I) = MOD(I, 7)*0.25
+        FY(I) = MOD(I, 11)*0.5
+        FZ(I) = MOD(I, 13)*0.125
+      ENDDO
+      DO N = 1, 8
+        DSUMM(N) = N*1.0
+      ENDDO
+      DO I = 1, 6144
+        T(I) = 0.01*MOD(I, 17)
+      ENDDO
+      DO M = 1, 128
+        EBOND(M) = 0.0
+      ENDDO
+      END
+
+      SUBROUTINE FORCES(N)
+      COMMON /FRC/ FX(1024), FY(1024), FZ(1024), DSUMM(8)
+      DO I = 1, N
+        FX(I) = FX(I)*0.995 + 0.001
+      ENDDO
+      DO I = 1, N
+        FY(I) = FY(I)*0.997 + 0.002
+      ENDDO
+      DO I = 1, N
+        FZ(I) = FZ(I)*0.999 + 0.003
+      ENDDO
+      END
+
+      SUBROUTINE PCINIT(X2, Y2, Z2, NSP)
+      DIMENSION X2(*), Y2(*), Z2(*)
+      COMMON /FRC/ FX(1024), FY(1024), FZ(1024), DSUMM(8)
+      TSTEP = 0.5
+      I = 0
+      DO 200 N = 1, 4
+        DO 200 J = 1, 64
+          I = I + 1
+          X2(I) = FX(I)*TSTEP**2/2.D0/DSUMM(N)
+          Y2(I) = FY(I)*TSTEP**2/2.D0/DSUMM(N)
+          Z2(I) = FZ(I)*TSTEP**2/2.D0/DSUMM(N)
+  200 CONTINUE
+      K = 0
+      DO 300 N = 1, 4
+        DO 300 J = 1, 64
+          K = K + 1
+          X2(K) = X2(K) + FX(K)*0.0625
+          Y2(K) = Y2(K) + FY(K)*0.0625
+  300 CONTINUE
+      END
+
+      SUBROUTINE VERLET(X, Y, Z, DX, DY, DZ, N)
+      DIMENSION X(*), Y(*), Z(*), DX(*), DY(*), DZ(*)
+      DO I = 1, N
+        X(I) = X(I) + DX(I)
+        Y(I) = Y(I) + DY(I)
+      ENDDO
+      DO I = 1, N
+        Z(I) = Z(I) + DZ(I)
+      ENDDO
+      END
+
+      SUBROUTINE BONDFC(MB)
+      COMMON /BOND/ EBOND(128), TWORK(16)
+      CALL STRETC(MB)
+      CALL BENDC(MB)
+      IF (EBOND(MB) .GT. 1.0E30) THEN
+        WRITE(6,*) ' BOND ', MB, ' DIVERGED '
+        STOP 'BOND DIVERGED'
+      ENDIF
+      END
+
+      SUBROUTINE STRETC(MB)
+      COMMON /BOND/ EBOND(128), TWORK(16)
+      DO K = 1, 16
+        TWORK(K) = MB*0.25 + K*0.125
+      ENDDO
+      END
+
+      SUBROUTINE BENDC(MB)
+      COMMON /BOND/ EBOND(128), TWORK(16)
+      E = 0.0
+      DO K = 1, 16
+        E = E + TWORK(K)*TWORK(K)
+      ENDDO
+      EBOND(MB) = E*0.01
+      END
+
+      SUBROUTINE CHECK
+      COMMON /COORD/ T(6144), IX(12)
+      COMMON /BOND/ EBOND(128), TWORK(16)
+      S1 = 0.0
+      DO I = 1, 6144
+        S1 = S1 + T(I)
+      ENDDO
+      S2 = 0.0
+      DO M = 1, 128
+        S2 = S2 + EBOND(M)
+      ENDDO
+      WRITE(6,*) 'BDNA CHECKSUMS ', S1, S2
+      END
+";
+
+const ANNOTATIONS: &str = "
+// PCINIT/VERLET: faithful side-effect summaries. They enable nothing new
+// (the ISTEP loop is genuinely sequential) but keep the originals intact —
+// the paper's zero-#par-loss property.
+subroutine PCINIT(X2, Y2, Z2, NSP) {
+  dimension X2[NSP], Y2[NSP], Z2[NSP];
+  X2[1:NSP] = unknown(FX, DSUMM, NSP);
+  Y2[1:NSP] = unknown(FY, DSUMM, NSP);
+  Z2[1:NSP] = unknown(FZ, DSUMM, NSP);
+}
+
+subroutine VERLET(X, Y, Z, DX, DY, DZ, N) {
+  dimension X[N], Y[N], Z[N], DX[N], DY[N], DZ[N];
+  X[1:N] = unknown(DX[1:N], N);
+  Y[1:N] = unknown(DY[1:N], N);
+  Z[1:N] = unknown(DZ[1:N], N);
+}
+
+// BONDFC: opaque compositional subroutine. Distinct bonds write distinct
+// EBOND entries; TWORK is a per-call temporary (written before read inside
+// the callee chain) so it is summarized as an atomic scalar; the error
+// checking WRITE/STOP is deliberately omitted (paper SIII-B3).
+subroutine BONDFC(MB) {
+  dimension EBOND[128];
+  TWORK = unknown(MB);
+  EBOND[MB] = unknown(TWORK);
+}
+";
+
+/// Build the application descriptor.
+pub fn app() -> App {
+    App {
+        name: "BDNA",
+        description: "Molecular dynamics package for the simulation of nucleic acids",
+        source: SOURCE,
+        annotations: ANNOTATIONS,
+    }
+}

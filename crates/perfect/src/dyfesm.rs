@@ -1,0 +1,197 @@
+//! DYFESM — structural dynamics benchmark (finite elements).
+//!
+//! The application behind the paper's Figures 6–11 and 13–14. `FSMP`
+//! assembles one element column per call: an *opaque compositional*
+//! subroutine (calls `GETCR`, `SHAPE1`, `FORMF`, `FORMS`, `FORMM`) with
+//! singular-matrix error checking and the global temporaries `XY`/`WTDET`
+//! passed between its callees. Conventional inlining refuses it (too many
+//! further calls, paper §II-B1), so the element loop stays sequential. The
+//! Fig. 13-style annotation — disjoint `FE`/`SE`/`ME` columns, `XY`/`WTDET`
+//! as atomic temporaries, error checking omitted — makes the inner `K`
+//! loop parallelizable (Fig. 7). `ASSEM` adds the Fig. 10/14 `unique`
+//! idiom over the one-to-one index tables `ICOND`/`IWHERD`.
+
+use crate::suite::App;
+
+const SOURCE: &str = "      PROGRAM DYFESM
+      COMMON /ELEM/ FE(16, 200), SE(16, 200), ME(16, 200), IDEDON(200)
+      COMMON /SUBST/ IDBEGS(8), NEPSS(8), NSS
+      COMMON /WORK/ XY(2, 32), WTDET(8), NNPED
+      COMMON /RHS/ RHSB(4096), RHSI(4096), ICOND(2, 256), IWHERD(2, 256)
+      CALL SETUP
+C     . LOOP OVER THE SUBSTRUCTURES .
+      DO 35 ISS = 1, NSS
+C     . LOOP OVER THE ELEMENTS IN THIS SUBSTRUCTURE .
+        DO 30 K = 1, NEPSS(ISS)
+C     . FORM THE ELEMENTAL ARRAYS .
+          ID = IDBEGS(ISS) + 1 + K
+          IDE = K
+          CALL FSMP(ID, IDE)
+   30   CONTINUE
+   35 CONTINUE
+      DO IN = 1, 2
+        DO I = 1, 128
+          CALL ASSEM(I, IN)
+        ENDDO
+      ENDDO
+      CALL SOLVE
+      CALL CHECK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /ELEM/ FE(16, 200), SE(16, 200), ME(16, 200), IDEDON(200)
+      COMMON /SUBST/ IDBEGS(8), NEPSS(8), NSS
+      COMMON /WORK/ XY(2, 32), WTDET(8), NNPED
+      COMMON /RHS/ RHSB(4096), RHSI(4096), ICOND(2, 256), IWHERD(2, 256)
+      NSS = 8
+      NNPED = 24
+      DO ISS = 1, 8
+        IDBEGS(ISS) = (ISS - 1)*24
+        NEPSS(ISS) = 20
+      ENDDO
+      DO J = 1, 200
+        IDEDON(J) = 0
+        DO I = 1, 16
+          FE(I, J) = 0.0
+          SE(I, J) = 0.0
+          ME(I, J) = 0.0
+        ENDDO
+      ENDDO
+      DO I = 1, 256
+        ICOND(1, I) = 2*I - 1
+        ICOND(2, I) = 2*I
+        IWHERD(1, I) = 2*I
+        IWHERD(2, I) = 2*I - 1
+      ENDDO
+      DO I = 1, 4096
+        RHSB(I) = 0.0
+        RHSI(I) = 0.0
+      ENDDO
+      END
+
+      SUBROUTINE FSMP(ID, IDE)
+      COMMON /ELEM/ FE(16, 200), SE(16, 200), ME(16, 200), IDEDON(200)
+      COMMON /WORK/ XY(2, 32), WTDET(8), NNPED
+      CALL GETCR(ID)
+      CALL SHAPE1
+      IF (IDEDON(IDE) .EQ. 0) THEN
+        IDEDON(IDE) = 1
+        CALL FORMF(ID)
+        IF (FE(1, ID) .GT. 1.0E30) THEN
+          WRITE(6,*) ' F ELEMENT ', IDE, ' IS SINGULAR '
+          STOP 'F SINGULAR'
+        ENDIF
+        CALL FORMS(ID)
+        CALL FORMM(ID)
+      ENDIF
+      END
+
+      SUBROUTINE GETCR(ID)
+      COMMON /WORK/ XY(2, 32), WTDET(8), NNPED
+      DO J = 1, NNPED
+        XY(1, J) = ID*0.125 + J*0.5
+        XY(2, J) = ID*0.25 - J*0.125
+      ENDDO
+      END
+
+      SUBROUTINE SHAPE1
+      COMMON /WORK/ XY(2, 32), WTDET(8), NNPED
+      DO K = 1, 8
+        WTDET(K) = XY(1, K)*0.5 + XY(2, K + 1)*0.25
+      ENDDO
+      END
+
+      SUBROUTINE FORMF(ID)
+      COMMON /ELEM/ FE(16, 200), SE(16, 200), ME(16, 200), IDEDON(200)
+      COMMON /WORK/ XY(2, 32), WTDET(8), NNPED
+      DO J = 1, 16
+        FE(J, ID) = WTDET(MOD(J, 8) + 1)*0.01 + J*0.001
+      ENDDO
+      END
+
+      SUBROUTINE FORMS(ID)
+      COMMON /ELEM/ FE(16, 200), SE(16, 200), ME(16, 200), IDEDON(200)
+      COMMON /WORK/ XY(2, 32), WTDET(8), NNPED
+      DO J = 1, 16
+        SE(J, ID) = WTDET(MOD(J, 8) + 1)*0.02 + J*0.002
+      ENDDO
+      END
+
+      SUBROUTINE FORMM(ID)
+      COMMON /ELEM/ FE(16, 200), SE(16, 200), ME(16, 200), IDEDON(200)
+      COMMON /WORK/ XY(2, 32), WTDET(8), NNPED
+      DO J = 1, 16
+        ME(J, ID) = WTDET(MOD(J, 8) + 1)*0.03 + J*0.003
+      ENDDO
+      END
+
+      SUBROUTINE ASSEM(ID, IN)
+      COMMON /RHS/ RHSB(4096), RHSI(4096), ICOND(2, 256), IWHERD(2, 256)
+      RHSB(ICOND(IN, ID)) = RHSB(ICOND(IN, ID)) + ID*0.5
+      RHSI(IWHERD(IN, ID)) = RHSI(IWHERD(IN, ID)) + IN*0.25
+      END
+
+      SUBROUTINE SOLVE
+      COMMON /ELEM/ FE(16, 200), SE(16, 200), ME(16, 200), IDEDON(200)
+      DO J = 1, 200
+        DO I = 1, 16
+          FE(I, J) = FE(I, J) + SE(I, J)*0.5 - ME(I, J)*0.25
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE CHECK
+      COMMON /ELEM/ FE(16, 200), SE(16, 200), ME(16, 200), IDEDON(200)
+      COMMON /RHS/ RHSB(4096), RHSI(4096), ICOND(2, 256), IWHERD(2, 256)
+      S1 = 0.0
+      DO J = 1, 200
+        DO I = 1, 16
+          S1 = S1 + FE(I, J)
+        ENDDO
+      ENDDO
+      S2 = 0.0
+      DO I = 1, 4096
+        S2 = S2 + RHSB(I) + RHSI(I)
+      ENDDO
+      WRITE(6,*) 'DYFESM CHECKSUMS ', S1, S2
+      END
+";
+
+const ANNOTATIONS: &str = "
+// Fig. 13: summary of the opaque compositional FSMP. The temporaries XY
+// and WTDET are modified before use, so they appear as atomic scalars; the
+// singular-element error check (WRITE + STOP) is omitted (paper SIII-B3);
+// distinct (ID, IDE) touch distinct columns/entries.
+subroutine FSMP(ID, IDE) {
+  dimension FE[16, 200], SE[16, 200], ME[16, 200], IDEDON[200];
+  XY = unknown(ID, NNPED);
+  WTDET = unknown(XY);
+  if (IDEDON[IDE] == 0) {
+    IDEDON[IDE] = 1;
+    FE[*, ID] = unknown(WTDET);
+    SE[*, ID] = unknown(WTDET);
+    ME[*, ID] = unknown(WTDET);
+  }
+}
+
+// Fig. 14: ICOND and IWHERD hold one-to-one mappings (initialized once in
+// SETUP), so the elements they select are uniquely determined by (ID, IN).
+subroutine ASSEM(ID, IN) {
+  dimension RHSB[4096], RHSI[4096];
+  int IC, IW;
+  IC = unique(ICOND, ID, IN);
+  IW = unique(IWHERD, ID, IN);
+  RHSB[IC] = RHSB[IC] + unknown(ID);
+  RHSI[IW] = RHSI[IW] + unknown(IN);
+}
+";
+
+/// Build the application descriptor.
+pub fn app() -> App {
+    App {
+        name: "DYFESM",
+        description: "Structural dynamics benchmark (finite element method)",
+        source: SOURCE,
+        annotations: ANNOTATIONS,
+    }
+}

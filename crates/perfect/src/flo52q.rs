@@ -1,0 +1,144 @@
+//! FLO52Q — transonic inviscid flow past an airfoil.
+//!
+//! The residual smoother `PSMOO` is invoked with indirect regions of the
+//! flow-state vector (the §II-A1 loss idiom, four coupled loops), while the
+//! flux kernels `DFLUX`/`EFLUX` take runtime-shaped mesh planes (the
+//! §II-A2 reshape idiom) inside wing-section sweeps that only the
+//! annotations parallelize.
+
+use crate::suite::App;
+
+const SOURCE: &str = "      PROGRAM FLO52Q
+      COMMON /STATE/ WS(8192), IWX(10)
+      COMMON /MESH/ FS(8, 8, 20), ES(8, 8, 20)
+      COMMON /CTL/ NPTS, NSEC, NCYC, NPTS8
+      CALL SETUP
+      CALL PSMOO(WS(IWX(1)), WS(IWX(2)), WS(IWX(3)), WS(IWX(4)), NPTS)
+      DO ICYC = 1, NCYC
+        CALL PSMOO(WS(IWX(1)), WS(IWX(2)), WS(IWX(3)), WS(IWX(4)), NPTS)
+        CALL PSMOO(WS(IWX(5)), WS(IWX(6)), WS(IWX(7)), WS(IWX(8)), NPTS)
+        DO KS = 1, NSEC
+          CALL DFLUX(FS(1, 1, KS), NPTS8, NPTS8)
+        ENDDO
+        DO KS = 1, NSEC
+          CALL EFLUX(ES(1, 1, KS), FS(1, 1, KS), NPTS8, NPTS8)
+        ENDDO
+      ENDDO
+      CALL CHECK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /STATE/ WS(8192), IWX(10)
+      COMMON /MESH/ FS(8, 8, 20), ES(8, 8, 20)
+      COMMON /CTL/ NPTS, NSEC, NCYC, NPTS8
+      NPTS = 400
+      NSEC = 20
+      NCYC = 2
+      NPTS8 = 8
+      DO K = 1, 10
+        IWX(K) = (K - 1)*800 + 1
+      ENDDO
+      DO I = 1, 8192
+        WS(I) = 0.004*MOD(I, 31)
+      ENDDO
+      DO K = 1, 20
+        DO J = 1, 8
+          DO I = 1, 8
+            FS(I, J, K) = 0.02*I - 0.01*J + 0.001*K
+            ES(I, J, K) = 0.0
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE PSMOO(RW, RX, RY, RZ, N)
+      DIMENSION RW(*), RX(*), RY(*), RZ(*)
+      DO I = 1, N
+        RW(I) = RW(I)*0.95 + RX(I)*0.02
+      ENDDO
+      DO I = 1, N
+        RX(I) = RX(I)*0.94 + RY(I)*0.03
+      ENDDO
+      DO I = 1, N
+        RY(I) = RY(I)*0.93 + RZ(I)*0.04
+      ENDDO
+      DO I = 1, N
+        RZ(I) = RZ(I)*0.92 + RW(I)*0.05
+      ENDDO
+      END
+
+      SUBROUTINE DFLUX(FP, LD, N)
+      DIMENSION FP(LD, N)
+      DO J = 1, N
+        DO I = 1, LD
+          FP(I, J) = FP(I, J)*0.88 + 0.002*I + 0.001*J
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE EFLUX(EP, FP, LD, N)
+      DIMENSION EP(LD, N), FP(LD, N)
+      DO J = 1, N
+        DO I = 1, LD
+          EP(I, J) = EP(I, J) + FP(I, J)*0.5
+        ENDDO
+      ENDDO
+      DO J = 1, N
+        EP(1, J) = EP(2, J)*0.25
+      ENDDO
+      END
+
+      SUBROUTINE CHECK
+      COMMON /STATE/ WS(8192), IWX(10)
+      COMMON /MESH/ FS(8, 8, 20), ES(8, 8, 20)
+      S1 = 0.0
+      DO I = 1, 8192
+        S1 = S1 + WS(I)
+      ENDDO
+      S2 = 0.0
+      DO K = 1, 20
+        DO J = 1, 8
+          DO I = 1, 8
+            S2 = S2 + ES(I, J, K)
+          ENDDO
+        ENDDO
+      ENDDO
+      WRITE(6,*) 'FLO52Q CHECKSUMS ', S1, S2
+      END
+";
+
+const ANNOTATIONS: &str = "
+subroutine PSMOO(RW, RX, RY, RZ, N) {
+  dimension RW[N], RX[N], RY[N], RZ[N];
+  RW[1:N] = unknown(RX[1:N], N);
+  RX[1:N] = unknown(RY[1:N], N);
+  RY[1:N] = unknown(RZ[1:N], N);
+  RZ[1:N] = unknown(RW[1:N], N);
+}
+
+subroutine DFLUX(FP, LD, N) {
+  dimension FP[LD,N];
+  do (J = 1:N)
+    do (I = 1:LD)
+      FP[I,J] = unknown(FP[I,J], I, J);
+}
+
+subroutine EFLUX(EP, FP, LD, N) {
+  dimension EP[LD,N], FP[LD,N];
+  do (J = 1:N)
+    do (I = 1:LD)
+      EP[I,J] = EP[I,J] + unknown(FP[I,J]);
+  do (J = 1:N)
+    EP[1,J] = unknown(EP[2,J]);
+}
+";
+
+/// Build the application descriptor.
+pub fn app() -> App {
+    App {
+        name: "FLO52Q",
+        description: "Transonic inviscid flow past an airfoil",
+        source: SOURCE,
+        annotations: ANNOTATIONS,
+    }
+}

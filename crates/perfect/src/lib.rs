@@ -1,0 +1,23 @@
+//! # perfect — synthetic PERFECT-club benchmark suite
+//!
+//! Twelve runnable MiniF77 applications, named for the PERFECT benchmarks
+//! of the paper's Table I, each built around the inlining idioms the paper
+//! reports for that code. See [`suite`] and DESIGN.md.
+
+pub mod adm;
+pub mod arc2d;
+pub mod bdna;
+pub mod dyfesm;
+pub mod flo52q;
+pub mod mdg;
+pub mod mg3d;
+pub mod ocean;
+pub mod qcd;
+pub mod metrics;
+pub mod spec77;
+pub mod suite;
+pub mod track;
+pub mod trfd;
+
+pub use metrics::{evaluate_app, evaluate_suite, AppEvaluation};
+pub use suite::{all, by_name, App};

@@ -1,0 +1,181 @@
+//! MDG — molecular dynamics for the simulation of liquid water.
+//!
+//! Mixes three of the paper's idioms: `INTERF`/`POTENG` are clean leaf
+//! kernels invoked with indirect `T(IW(k))` actuals (the §II-A1
+//! subscripted-subscript loss under conventional inlining), `UPDATE` is an
+//! opaque compositional per-molecule routine whose annotation wins the
+//! molecule loop (§II-B1), and `SCALEV` is a slice kernel that *both*
+//! conventional and annotation inlining can exploit — one of the 12-of-37
+//! extra loops conventional inlining also finds (Table II).
+
+use crate::suite::App;
+
+const SOURCE: &str = "      PROGRAM MDG
+      COMMON /STATE/ T(4096), IW(8)
+      COMMON /VELO/ VEL(3, 512)
+      COMMON /ENERGY/ ENER(256), EWORK(12)
+      COMMON /CTL/ NATOM, NMOL, NSTEP
+      CALL SETUP
+      CALL INTERF(T(IW(1)), T(IW(2)), T(IW(3)), NATOM)
+      DO ISTEP = 1, NSTEP
+        CALL INTERF(T(IW(1)), T(IW(2)), T(IW(3)), NATOM)
+        CALL INTERF(T(IW(6)), T(IW(7)), T(IW(8)), NATOM)
+        CALL POTENG(T(IW(4)), T(IW(5)), NATOM)
+        DO M = 1, NMOL
+          CALL UPDATE(M)
+        ENDDO
+        DO J = 1, NMOL
+          CALL SCALEV(VEL(1, J), 3)
+        ENDDO
+      ENDDO
+      CALL CHECK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /STATE/ T(4096), IW(8)
+      COMMON /VELO/ VEL(3, 512)
+      COMMON /ENERGY/ ENER(256), EWORK(12)
+      COMMON /CTL/ NATOM, NMOL, NSTEP
+      NATOM = 320
+      NMOL = 96
+      NSTEP = 2
+      DO K = 1, 8
+        IW(K) = (K - 1)*512 + 1
+      ENDDO
+      DO I = 1, 4096
+        T(I) = 0.005*MOD(I, 23)
+      ENDDO
+      DO J = 1, 512
+        VEL(1, J) = MOD(J, 5)*0.1
+        VEL(2, J) = MOD(J, 7)*0.2
+        VEL(3, J) = MOD(J, 9)*0.3
+      ENDDO
+      DO M = 1, 256
+        ENER(M) = 0.0
+      ENDDO
+      END
+
+      SUBROUTINE INTERF(XF, YF, ZF, N)
+      DIMENSION XF(*), YF(*), ZF(*)
+      DO I = 1, N
+        XF(I) = XF(I)*0.99 + 0.004
+      ENDDO
+      DO I = 1, N
+        YF(I) = YF(I)*0.98 + 0.006
+      ENDDO
+      DO I = 1, N
+        ZF(I) = ZF(I)*0.97 + 0.008
+      ENDDO
+      DO I = 1, N
+        XF(I) = XF(I) + YF(I)*0.01 - ZF(I)*0.02
+      ENDDO
+      END
+
+      SUBROUTINE POTENG(RS, PE, N)
+      DIMENSION RS(*), PE(*)
+      DO I = 1, N
+        RS(I) = RS(I) + 0.001*I
+      ENDDO
+      DO I = 1, N
+        PE(I) = RS(I)*RS(I)*0.5
+      ENDDO
+      DO I = 1, N
+        PE(I) = PE(I) + RS(I)*0.125
+      ENDDO
+      END
+
+      SUBROUTINE UPDATE(M)
+      COMMON /ENERGY/ ENER(256), EWORK(12)
+      CALL KINETI(M)
+      CALL BNDRY(M)
+      IF (ENER(M) .GT. 1.0E30) THEN
+        WRITE(6,*) ' MOLECULE ', M, ' ENERGY OVERFLOW '
+        STOP 'ENERGY OVERFLOW'
+      ENDIF
+      END
+
+      SUBROUTINE KINETI(M)
+      COMMON /ENERGY/ ENER(256), EWORK(12)
+      DO K = 1, 12
+        EWORK(K) = M*0.5 + K*0.0625
+      ENDDO
+      END
+
+      SUBROUTINE BNDRY(M)
+      COMMON /ENERGY/ ENER(256), EWORK(12)
+      E = 0.0
+      DO K = 1, 12
+        E = E + EWORK(K)*0.25
+      ENDDO
+      ENER(M) = E
+      END
+
+      SUBROUTINE SCALEV(X, N)
+      DIMENSION X(*)
+      DO I = 1, N
+        X(I) = X(I)*1.01 + 0.002
+      ENDDO
+      END
+
+      SUBROUTINE CHECK
+      COMMON /STATE/ T(4096), IW(8)
+      COMMON /VELO/ VEL(3, 512)
+      COMMON /ENERGY/ ENER(256), EWORK(12)
+      S1 = 0.0
+      DO I = 1, 4096
+        S1 = S1 + T(I)
+      ENDDO
+      S2 = 0.0
+      DO J = 1, 512
+        S2 = S2 + VEL(1, J) + VEL(2, J) + VEL(3, J)
+      ENDDO
+      S3 = 0.0
+      DO M = 1, 256
+        S3 = S3 + ENER(M)
+      ENDDO
+      WRITE(6,*) 'MDG CHECKSUMS ', S1, S2, S3
+      END
+";
+
+const ANNOTATIONS: &str = "
+// Faithful summaries of the force kernels: keep originals intact
+// (zero #par-loss) without claiming the ISTEP loop parallel.
+subroutine INTERF(XF, YF, ZF, N) {
+  dimension XF[N], YF[N], ZF[N];
+  XF[1:N] = unknown(YF[1:N], ZF[1:N], N);
+  YF[1:N] = unknown(N);
+  ZF[1:N] = unknown(N);
+}
+
+subroutine POTENG(RS, PE, N) {
+  dimension RS[N], PE[N];
+  RS[1:N] = unknown(N);
+  PE[1:N] = unknown(RS[1:N], N);
+}
+
+// The opaque compositional per-molecule update: EWORK is a per-call
+// temporary; distinct molecules write distinct ENER entries; the overflow
+// check is omitted (paper SIII-B3).
+subroutine UPDATE(M) {
+  dimension ENER[256];
+  EWORK = unknown(M);
+  ENER[M] = unknown(EWORK);
+}
+
+// Per-molecule velocity scaling: column J of VEL only.
+subroutine SCALEV(X, N) {
+  dimension X[N];
+  do (I = 1:N)
+    X[I] = unknown(X[I]);
+}
+";
+
+/// Build the application descriptor.
+pub fn app() -> App {
+    App {
+        name: "MDG",
+        description: "Molecular dynamics for the simulation of liquid water",
+        source: SOURCE,
+        annotations: ANNOTATIONS,
+    }
+}

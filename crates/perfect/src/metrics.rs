@@ -1,0 +1,120 @@
+//! Per-application evaluation driver: everything Table II and Figure 20
+//! need, computed from one [`App`].
+//!
+//! For each of the three inlining configurations the driver compiles the
+//! application, verifies it with the runtime testers (original ≡ optimized,
+//! sequential ≡ threaded), measures the op counts, applies the §IV-B
+//! empirical-tuning step per machine, and emits the table rows / figure
+//! points.
+
+use crate::suite::App;
+use fruntime::{run, simulate, tune, ExecOptions, Machine};
+use ipp_core::{
+    compile, table2_rows, verify, Fig20Point, InlineMode, PipelineOptions, PipelineResult,
+    Table2Row, VerifyResult,
+};
+
+/// Everything measured for one application.
+#[derive(Debug, Clone)]
+pub struct AppEvaluation {
+    /// Application name.
+    pub name: &'static str,
+    /// The three Table II rows (no-inline / conventional / annotation).
+    pub rows: Vec<Table2Row>,
+    /// Figure 20 points (configurations × machines).
+    pub fig20: Vec<Fig20Point>,
+    /// Verification results per configuration.
+    pub verify: Vec<(InlineMode, VerifyResult)>,
+    /// The three pipeline results, for deeper inspection.
+    pub results: Vec<(InlineMode, PipelineResult)>,
+}
+
+impl AppEvaluation {
+    /// True when every configuration passed both runtime-tester gates.
+    pub fn all_verified(&self) -> bool {
+        self.verify.iter().all(|(_, v)| v.ok())
+    }
+}
+
+/// Threads used for the correctness-checking parallel runs.
+pub const VERIFY_THREADS: usize = 4;
+
+/// Evaluate one application on the given machines.
+pub fn evaluate_app(app: &App, machines: &[Machine]) -> AppEvaluation {
+    let program = app.program();
+    let registry = app.registry();
+
+    let mut results = Vec::new();
+    let mut verifies = Vec::new();
+    let mut fig20 = Vec::new();
+
+    for mode in InlineMode::all() {
+        let r = compile(&program, &registry, &PipelineOptions::for_mode(mode));
+        let v = verify(&program, &r.program, VERIFY_THREADS)
+            .unwrap_or_else(|e| panic!("{} [{}]: runtime tester failed: {e}", app.name, mode.label()));
+
+        // Figure 20: simulate each machine with empirical tuning.
+        let seq = run(&r.program, &ExecOptions::default())
+            .unwrap_or_else(|e| panic!("{} [{}]: {e}", app.name, mode.label()));
+        for m in machines {
+            let disabled = tune(&seq.par_events, m);
+            let sim = simulate(seq.total_ops, &seq.par_events, m, &disabled);
+            fig20.push(Fig20Point {
+                app: app.name.to_string(),
+                config: mode.label().to_string(),
+                machine: m.name.to_string(),
+                speedup: sim.speedup(),
+                tuned_off: disabled.len(),
+            });
+        }
+
+        verifies.push((mode, v));
+        results.push((mode, r));
+    }
+
+    let rows = table2_rows(app.name, &results[0].1, &results[1].1, &results[2].1);
+    AppEvaluation { name: app.name, rows, fig20, verify: verifies, results }
+}
+
+/// Evaluate the whole suite.
+pub fn evaluate_suite(machines: &[Machine]) -> Vec<AppEvaluation> {
+    crate::suite::all().iter().map(|a| evaluate_app(a, machines)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::by_name;
+
+    #[test]
+    fn dyfesm_evaluation_shape() {
+        let ev = evaluate_app(&by_name("DYFESM").unwrap(), &[Machine::intel8()]);
+        assert!(ev.all_verified());
+        assert_eq!(ev.rows.len(), 3);
+        let annot = &ev.rows[2];
+        assert_eq!(annot.config, "annotation");
+        assert_eq!(annot.par_loss, 0);
+        assert!(annot.par_extra >= 1, "{annot:?}");
+        assert_eq!(ev.fig20.len(), 3); // 3 configs × 1 machine
+    }
+
+    #[test]
+    fn bdna_conventional_loses_annotation_does_not() {
+        let ev = evaluate_app(&by_name("BDNA").unwrap(), &[]);
+        let conv = &ev.rows[1];
+        let annot = &ev.rows[2];
+        assert!(conv.par_loss > 0, "{conv:?}");
+        assert_eq!(annot.par_loss, 0, "{annot:?}");
+        assert!(ev.all_verified());
+    }
+
+    #[test]
+    fn speedups_are_modest_like_fig20() {
+        // The paper: "at most 10% performance improvement" on these small
+        // inputs. The simulated speedups should stay in a sane band.
+        let ev = evaluate_app(&by_name("MDG").unwrap(), &[Machine::intel8(), Machine::amd4()]);
+        for p in &ev.fig20 {
+            assert!(p.speedup >= 0.95 && p.speedup < 4.0, "{p:?}");
+        }
+    }
+}

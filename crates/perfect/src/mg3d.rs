@@ -1,0 +1,144 @@
+//! MG3D — depth migration code (seismic).
+//!
+//! Heavy on the §II-A1 loss idiom: the wavefield extrapolators `MIGRAT`
+//! and `TRIDWN` run many coupled sweeps over indirect trace regions; after
+//! conventional inlining every sweep reads/writes the flat trace buffer at
+//! unknown offsets and the loops are lost. Only the slice kernel `SCALET`
+//! is recovered by both inliners; the paper reports MG3D-class codes as
+//! gaining little from annotations, which this stand-in reproduces.
+
+use crate::suite::App;
+
+const SOURCE: &str = "      PROGRAM MG3D
+      COMMON /TRACE/ TR(10240), ITR(12)
+      COMMON /VELO/ VV(4, 160)
+      COMMON /CTL/ NSAMP, NPASS
+      CALL SETUP
+      CALL MIGRAT(TR(ITR(1)), TR(ITR(2)), TR(ITR(3)), TR(ITR(4)), NSAMP)
+      CALL TRIDWN(TR(ITR(5)), TR(ITR(6)), TR(ITR(7)), NSAMP)
+      DO IPASS = 1, NPASS
+        CALL MIGRAT(TR(ITR(1)), TR(ITR(2)), TR(ITR(3)), TR(ITR(4)), NSAMP)
+        CALL MIGRAT(TR(ITR(8)), TR(ITR(9)), TR(ITR(10)), TR(ITR(11)), NSAMP)
+        CALL TRIDWN(TR(ITR(5)), TR(ITR(6)), TR(ITR(7)), NSAMP)
+        DO J = 1, 160
+          CALL SCALET(VV(1, J), 4)
+        ENDDO
+      ENDDO
+      CALL CHECK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /TRACE/ TR(10240), ITR(12)
+      COMMON /VELO/ VV(4, 160)
+      COMMON /CTL/ NSAMP, NPASS
+      NSAMP = 640
+      NPASS = 2
+      DO K = 1, 12
+        ITR(K) = (K - 1)*800 + 1
+      ENDDO
+      DO I = 1, 10240
+        TR(I) = 0.001*MOD(I, 43)
+      ENDDO
+      DO J = 1, 160
+        VV(1, J) = J*0.005
+        VV(2, J) = J*0.01
+        VV(3, J) = J*0.015
+        VV(4, J) = J*0.02
+      ENDDO
+      END
+
+      SUBROUTINE MIGRAT(P0, P1, P2, Q, N)
+      DIMENSION P0(*), P1(*), P2(*), Q(*)
+      DO I = 1, N
+        P0(I) = P0(I)*0.9 + P1(I)*0.04
+      ENDDO
+      DO I = 1, N
+        P1(I) = P1(I)*0.9 + P2(I)*0.04
+      ENDDO
+      DO I = 1, N
+        P2(I) = P2(I)*0.9 + P0(I)*0.04
+      ENDDO
+      DO I = 1, N
+        Q(I) = Q(I) + P0(I)*0.02 + P1(I)*0.02
+      ENDDO
+      DO I = 1, N
+        Q(I) = Q(I)*0.999 + P2(I)*0.001
+      ENDDO
+      DO I = 1, N
+        P0(I) = P0(I) + Q(I)*0.005
+      ENDDO
+      END
+
+      SUBROUTINE TRIDWN(A, B, C, N)
+      DIMENSION A(*), B(*), C(*)
+      DO I = 1, N
+        A(I) = A(I)*0.8 + B(I)*0.1
+      ENDDO
+      DO I = 1, N
+        B(I) = B(I)*0.8 + C(I)*0.1
+      ENDDO
+      DO I = 1, N
+        C(I) = C(I)*0.8 + A(I)*0.1
+      ENDDO
+      DO I = 1, N
+        A(I) = A(I) + C(I)*0.05
+      ENDDO
+      END
+
+      SUBROUTINE SCALET(X, N)
+      DIMENSION X(*)
+      DO I = 1, N
+        X(I) = X(I)*1.001 + 0.003
+      ENDDO
+      END
+
+      SUBROUTINE CHECK
+      COMMON /TRACE/ TR(10240), ITR(12)
+      COMMON /VELO/ VV(4, 160)
+      S1 = 0.0
+      DO I = 1, 10240
+        S1 = S1 + TR(I)
+      ENDDO
+      S2 = 0.0
+      DO J = 1, 160
+        S2 = S2 + VV(1, J) + VV(3, J)
+      ENDDO
+      WRITE(6,*) 'MG3D CHECKSUMS ', S1, S2
+      END
+";
+
+const ANNOTATIONS: &str = "
+subroutine MIGRAT(P0, P1, P2, Q, N) {
+  dimension P0[N], P1[N], P2[N], Q[N];
+  P0[1:N] = unknown(P1[1:N], N);
+  P1[1:N] = unknown(P2[1:N], N);
+  P2[1:N] = unknown(P0[1:N], N);
+  Q[1:N] = unknown(P0[1:N], P1[1:N], N);
+  Q[1:N] = unknown(P2[1:N], N);
+  P0[1:N] = unknown(Q[1:N], N);
+}
+
+subroutine TRIDWN(A, B, C, N) {
+  dimension A[N], B[N], C[N];
+  A[1:N] = unknown(B[1:N], N);
+  B[1:N] = unknown(C[1:N], N);
+  C[1:N] = unknown(A[1:N], N);
+  A[1:N] = unknown(C[1:N], N);
+}
+
+subroutine SCALET(X, N) {
+  dimension X[N];
+  do (I = 1:N)
+    X[I] = unknown(X[I]);
+}
+";
+
+/// Build the application descriptor.
+pub fn app() -> App {
+    App {
+        name: "MG3D",
+        description: "Depth migration code",
+        source: SOURCE,
+        annotations: ANNOTATIONS,
+    }
+}

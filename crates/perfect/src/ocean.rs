@@ -1,0 +1,167 @@
+//! OCEAN — two-dimensional ocean simulation.
+//!
+//! The spectral step (`FTRVMT`) works on indirect regions of the stream-
+//! function vector (§II-A1 loss under conventional inlining); the
+//! scatter-accumulate routines `SCATRE`/`SCATRI` update grid cells through
+//! one-to-one permutation tables — the `unique` annotation idiom
+//! (§III-B5) wins both scatter loops. `SCALEW` is the slice kernel both
+//! inliners can exploit.
+
+use crate::suite::App;
+
+const SOURCE: &str = "      PROGRAM OCEAN
+      COMMON /SPEC/ PSI(8192), KOFF(10)
+      COMMON /GRID/ GR(2048), GI(2048), IPERM(512), JPERM(512)
+      COMMON /WIND/ WD(4, 128)
+      COMMON /CTL/ NWAVE, NCYC
+      CALL SETUP
+      CALL FTRVMT(PSI(KOFF(1)), PSI(KOFF(2)), PSI(KOFF(3)), NWAVE)
+      DO ICYC = 1, NCYC
+        CALL FTRVMT(PSI(KOFF(1)), PSI(KOFF(2)), PSI(KOFF(3)), NWAVE)
+        CALL FTRVMT(PSI(KOFF(4)), PSI(KOFF(5)), PSI(KOFF(6)), NWAVE)
+        DO I = 1, 512
+          CALL SCATRE(I)
+        ENDDO
+        DO I = 1, 512
+          CALL SCATRI(I)
+        ENDDO
+        DO J = 1, 128
+          CALL SCALEW(WD(1, J), 4)
+        ENDDO
+      ENDDO
+      CALL CHECK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /SPEC/ PSI(8192), KOFF(10)
+      COMMON /GRID/ GR(2048), GI(2048), IPERM(512), JPERM(512)
+      COMMON /WIND/ WD(4, 128)
+      COMMON /CTL/ NWAVE, NCYC
+      NWAVE = 512
+      NCYC = 2
+      DO K = 1, 10
+        KOFF(K) = (K - 1)*800 + 1
+      ENDDO
+      DO I = 1, 8192
+        PSI(I) = 0.001*MOD(I, 37)
+      ENDDO
+      DO I = 1, 512
+        IPERM(I) = MOD(I*3, 512)*4 + 1
+        JPERM(I) = MOD(I*5, 512)*4 + 2
+      ENDDO
+      DO I = 1, 2048
+        GR(I) = 0.0
+        GI(I) = 0.0
+      ENDDO
+      DO J = 1, 128
+        WD(1, J) = J*0.01
+        WD(2, J) = J*0.015
+        WD(3, J) = J*0.02
+        WD(4, J) = J*0.025
+      ENDDO
+      END
+
+      SUBROUTINE FTRVMT(AR, AI, TW, N)
+      DIMENSION AR(*), AI(*), TW(*)
+      DO I = 1, N
+        AR(I) = AR(I)*0.9 - AI(I)*0.1
+      ENDDO
+      DO I = 1, N
+        AI(I) = AI(I)*0.9 + AR(I)*0.1
+      ENDDO
+      DO I = 1, N
+        TW(I) = AR(I)*0.5 + AI(I)*0.5
+      ENDDO
+      DO I = 1, N
+        AR(I) = AR(I) + TW(I)*0.01
+      ENDDO
+      DO I = 1, N
+        AI(I) = AI(I) - TW(I)*0.01
+      ENDDO
+      DO I = 1, N
+        TW(I) = TW(I)*0.999
+      ENDDO
+      END
+
+      SUBROUTINE SCATRE(I)
+      COMMON /SPEC/ PSI(8192), KOFF(10)
+      COMMON /GRID/ GR(2048), GI(2048), IPERM(512), JPERM(512)
+      GR(IPERM(I)) = GR(IPERM(I)) + PSI(I)*0.5
+      END
+
+      SUBROUTINE SCATRI(I)
+      COMMON /SPEC/ PSI(8192), KOFF(10)
+      COMMON /GRID/ GR(2048), GI(2048), IPERM(512), JPERM(512)
+      GI(JPERM(I)) = GI(JPERM(I)) + PSI(I + 512)*0.25
+      END
+
+      SUBROUTINE SCALEW(X, N)
+      DIMENSION X(*)
+      DO I = 1, N
+        X(I) = X(I)*1.003 + 0.006
+      ENDDO
+      END
+
+      SUBROUTINE CHECK
+      COMMON /SPEC/ PSI(8192), KOFF(10)
+      COMMON /GRID/ GR(2048), GI(2048), IPERM(512), JPERM(512)
+      COMMON /WIND/ WD(4, 128)
+      S1 = 0.0
+      DO I = 1, 8192
+        S1 = S1 + PSI(I)
+      ENDDO
+      S2 = 0.0
+      DO I = 1, 2048
+        S2 = S2 + GR(I) + GI(I)
+      ENDDO
+      S3 = 0.0
+      DO J = 1, 128
+        S3 = S3 + WD(2, J) + WD(3, J)
+      ENDDO
+      WRITE(6,*) 'OCEAN CHECKSUMS ', S1, S2, S3
+      END
+";
+
+const ANNOTATIONS: &str = "
+subroutine FTRVMT(AR, AI, TW, N) {
+  dimension AR[N], AI[N], TW[N];
+  AR[1:N] = unknown(AI[1:N], N);
+  AI[1:N] = unknown(AR[1:N], N);
+  TW[1:N] = unknown(AR[1:N], AI[1:N], N);
+  AR[1:N] = unknown(TW[1:N], N);
+  AI[1:N] = unknown(TW[1:N], N);
+  TW[1:N] = unknown(N);
+}
+
+// IPERM/JPERM are permutations (3 and 5 are coprime to 512): distinct I
+// touch distinct grid cells.
+subroutine SCATRE(I) {
+  dimension GR[2048];
+  int IG;
+  IG = unique(IPERM, I);
+  GR[IG] = GR[IG] + unknown(PSI, I);
+}
+
+subroutine SCATRI(I) {
+  dimension GI[2048];
+  int JG;
+  JG = unique(JPERM, I);
+  GI[JG] = GI[JG] + unknown(PSI, I);
+}
+
+subroutine SCALEW(X, N) {
+  dimension X[N];
+  do (I = 1:N)
+    X[I] = unknown(X[I]);
+}
+";
+
+/// Build the application descriptor.
+pub fn app() -> App {
+    App {
+        name: "OCEAN",
+        description: "Two-dimensional ocean simulation",
+        source: SOURCE,
+        annotations: ANNOTATIONS,
+    }
+}

@@ -1,0 +1,166 @@
+//! QCD — quantum chromodynamics.
+//!
+//! Lattice gauge theory: per-site SU(3)-like matrix kernels (`SU3MUL`)
+//! take runtime-shaped operands from slices of the link array (§II-A2
+//! reshape loss; annotation wins the site sweep), the gauge-force kernel
+//! (`GFORCE`) reads staple regions through indirect offsets (§II-A1 loss),
+//! and the link update scatters through a permutation (`unique` gain).
+
+use crate::suite::App;
+
+const SOURCE: &str = "      PROGRAM QCD
+      COMMON /LINKS/ U(6, 6, 64), UP(6, 6, 64)
+      COMMON /STAPLE/ ST(4096), MOFF(8)
+      COMMON /ACC/ ACTS(256), LPERM(256)
+      COMMON /CTL/ NC, NSITE, NSWEEP
+      CALL SETUP
+      CALL GFORCE(ST(MOFF(1)), ST(MOFF(2)), ST(MOFF(3)), NSITE)
+      DO ISW = 1, NSWEEP
+        DO IS = 1, NSITE
+          CALL SU3MUL(U(1, 1, IS), UP(1, 1, IS), NC, NC)
+        ENDDO
+        CALL GFORCE(ST(MOFF(1)), ST(MOFF(2)), ST(MOFF(3)), NSITE)
+        CALL GFORCE(ST(MOFF(4)), ST(MOFF(5)), ST(MOFF(6)), NSITE)
+        DO IS = 1, 256
+          CALL LUPDAT(IS)
+        ENDDO
+      ENDDO
+      CALL CHECK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /LINKS/ U(6, 6, 64), UP(6, 6, 64)
+      COMMON /STAPLE/ ST(4096), MOFF(8)
+      COMMON /ACC/ ACTS(256), LPERM(256)
+      COMMON /CTL/ NC, NSITE, NSWEEP
+      NC = 6
+      NSITE = 64
+      NSWEEP = 2
+      DO K = 1, 8
+        MOFF(K) = (K - 1)*512 + 1
+      ENDDO
+      DO IS = 1, 64
+        DO J = 1, 6
+          DO I = 1, 6
+            U(I, J, IS) = 0.01*I + 0.02*J + 0.001*IS
+            UP(I, J, IS) = 0.0
+          ENDDO
+        ENDDO
+      ENDDO
+      DO I = 1, 4096
+        ST(I) = 0.002*MOD(I, 41)
+      ENDDO
+      DO I = 1, 256
+        ACTS(I) = 0.0
+        LPERM(I) = MOD(I*9, 256) + 1
+      ENDDO
+      END
+
+      SUBROUTINE SU3MUL(A, B, L, N)
+      DIMENSION A(L, N), B(L, N)
+      DO J = 1, N
+        DO I = 1, L
+          B(I, J) = 0.0
+        ENDDO
+      ENDDO
+      DO J = 1, N
+        DO K = 1, N
+          DO I = 1, L
+            B(I, J) = B(I, J) + A(I, K)*A(K, J)*0.1
+          ENDDO
+        ENDDO
+      ENDDO
+      DO J = 1, N
+        DO I = 1, L
+          B(I, J) = B(I, J)*0.5 + A(I, J)*0.25
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE GFORCE(S1, S2, S3, N)
+      DIMENSION S1(*), S2(*), S3(*)
+      DO I = 1, N
+        S1(I) = S1(I)*0.9 + S2(I)*0.05
+      ENDDO
+      DO I = 1, N
+        S2(I) = S2(I)*0.9 + S3(I)*0.05
+      ENDDO
+      DO I = 1, N
+        S3(I) = S3(I)*0.9 + S1(I)*0.05
+      ENDDO
+      DO I = 1, N
+        S1(I) = S1(I) + S2(I)*0.01 + S3(I)*0.01
+      ENDDO
+      END
+
+      SUBROUTINE LUPDAT(IS)
+      COMMON /STAPLE/ ST(4096), MOFF(8)
+      COMMON /ACC/ ACTS(256), LPERM(256)
+      ACTS(LPERM(IS)) = ACTS(LPERM(IS)) + ST(IS)*0.125
+      END
+
+      SUBROUTINE CHECK
+      COMMON /LINKS/ U(6, 6, 64), UP(6, 6, 64)
+      COMMON /STAPLE/ ST(4096), MOFF(8)
+      COMMON /ACC/ ACTS(256), LPERM(256)
+      S1 = 0.0
+      DO IS = 1, 64
+        DO J = 1, 6
+          DO I = 1, 6
+            S1 = S1 + UP(I, J, IS)
+          ENDDO
+        ENDDO
+      ENDDO
+      S2 = 0.0
+      DO I = 1, 4096
+        S2 = S2 + ST(I)
+      ENDDO
+      S3 = 0.0
+      DO I = 1, 256
+        S3 = S3 + ACTS(I)
+      ENDDO
+      WRITE(6,*) 'QCD CHECKSUMS ', S1, S2, S3
+      END
+";
+
+const ANNOTATIONS: &str = "
+subroutine SU3MUL(A, B, L, N) {
+  dimension A[L,N], B[L,N];
+  do (J = 1:N)
+    do (I = 1:L)
+      B[I,J] = 0.0;
+  do (J = 1:N)
+    do (K = 1:N)
+      do (I = 1:L)
+        B[I,J] = B[I,J] + unknown(A[I,K], A[K,J]);
+  do (J = 1:N)
+    do (I = 1:L)
+      B[I,J] = unknown(B[I,J], A[I,J]);
+}
+
+subroutine GFORCE(S1, S2, S3, N) {
+  dimension S1[N], S2[N], S3[N];
+  S1[1:N] = unknown(S2[1:N], N);
+  S2[1:N] = unknown(S3[1:N], N);
+  S3[1:N] = unknown(S1[1:N], N);
+  S1[1:N] = unknown(S2[1:N], S3[1:N], N);
+}
+
+// LPERM is injective on 1..256 (9 is coprime to 256).
+subroutine LUPDAT(IS) {
+  dimension ACTS[256];
+  int IL;
+  IL = unique(LPERM, IS);
+  ACTS[IL] = ACTS[IL] + unknown(ST, IS);
+}
+";
+
+/// Build the application descriptor.
+pub fn app() -> App {
+    App {
+        name: "QCD",
+        description: "Quantum chromodynamics",
+        source: SOURCE,
+        annotations: ANNOTATIONS,
+    }
+}

@@ -1,0 +1,156 @@
+//! SPEC77 — spectral global weather model (the suite's twelfth member;
+//! Table I of the paper lists eleven rows but the text counts twelve
+//! applications — see EXPERIMENTS.md).
+//!
+//! Legendre transforms (`LEGTRA`) take runtime-shaped coefficient planes
+//! (§II-A2 reshape loss; annotation wins the latitude sweep); the water-
+//! vapor update (`GWATER`) runs coupled sweeps over indirect field regions
+//! (§II-A1 loss); the spectral scatter uses a permutation (`unique` gain).
+
+use crate::suite::App;
+
+const SOURCE: &str = "      PROGRAM SPEC77
+      COMMON /FLDS/ FW(9216), LFX(12)
+      COMMON /COEF/ CP(8, 8, 18), SP(2048), MPERM(256)
+      COMMON /CTL/ NLON, NLAT, NDAY, NL8
+      CALL SETUP
+      CALL GWATER(FW(LFX(1)), FW(LFX(2)), FW(LFX(3)), FW(LFX(4)), NLON)
+      DO IDAY = 1, NDAY
+        CALL GWATER(FW(LFX(1)), FW(LFX(2)), FW(LFX(3)), FW(LFX(4)), NLON)
+        CALL GWATER(FW(LFX(5)), FW(LFX(6)), FW(LFX(7)), FW(LFX(8)), NLON)
+        DO LT = 1, NLAT
+          CALL LEGTRA(CP(1, 1, LT), NL8, NL8)
+        ENDDO
+        DO I = 1, 256
+          CALL SPSCAT(I)
+        ENDDO
+      ENDDO
+      CALL CHECK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /FLDS/ FW(9216), LFX(12)
+      COMMON /COEF/ CP(8, 8, 18), SP(2048), MPERM(256)
+      COMMON /CTL/ NLON, NLAT, NDAY, NL8
+      NLON = 700
+      NLAT = 18
+      NDAY = 2
+      NL8 = 8
+      DO K = 1, 12
+        LFX(K) = (K - 1)*768 + 1
+      ENDDO
+      DO I = 1, 9216
+        FW(I) = 0.002*MOD(I, 47)
+      ENDDO
+      DO L = 1, 18
+        DO J = 1, 8
+          DO I = 1, 8
+            CP(I, J, L) = 0.01*I - 0.005*J + 0.002*L
+          ENDDO
+        ENDDO
+      ENDDO
+      DO I = 1, 2048
+        SP(I) = 0.0
+      ENDDO
+      DO I = 1, 256
+        MPERM(I) = MOD(I*7, 256)*8 + 1
+      ENDDO
+      END
+
+      SUBROUTINE GWATER(QV, QC, QR, TT, N)
+      DIMENSION QV(*), QC(*), QR(*), TT(*)
+      DO I = 1, N
+        QV(I) = QV(I)*0.96 + QC(I)*0.02
+      ENDDO
+      DO I = 1, N
+        QC(I) = QC(I)*0.95 + QR(I)*0.03
+      ENDDO
+      DO I = 1, N
+        QR(I) = QR(I)*0.94 + QV(I)*0.04
+      ENDDO
+      DO I = 1, N
+        TT(I) = TT(I) + QV(I)*0.01 - QC(I)*0.005
+      ENDDO
+      DO I = 1, N
+        TT(I) = TT(I)*0.9995 + QR(I)*0.0005
+      ENDDO
+      END
+
+      SUBROUTINE LEGTRA(C, LD, N)
+      DIMENSION C(LD, N)
+      DO J = 1, N
+        DO I = 1, LD
+          C(I, J) = C(I, J)*0.92 + 0.003*I + 0.001*J
+        ENDDO
+      ENDDO
+      DO J = 1, N
+        C(1, J) = C(2, J)*0.5 + C(3, J)*0.25
+      ENDDO
+      END
+
+      SUBROUTINE SPSCAT(I)
+      COMMON /FLDS/ FW(9216), LFX(12)
+      COMMON /COEF/ CP(8, 8, 18), SP(2048), MPERM(256)
+      SP(MPERM(I)) = SP(MPERM(I)) + FW(I)*0.0625
+      END
+
+      SUBROUTINE CHECK
+      COMMON /FLDS/ FW(9216), LFX(12)
+      COMMON /COEF/ CP(8, 8, 18), SP(2048), MPERM(256)
+      S1 = 0.0
+      DO I = 1, 9216
+        S1 = S1 + FW(I)
+      ENDDO
+      S2 = 0.0
+      DO L = 1, 18
+        DO J = 1, 8
+          DO I = 1, 8
+            S2 = S2 + CP(I, J, L)
+          ENDDO
+        ENDDO
+      ENDDO
+      S3 = 0.0
+      DO I = 1, 2048
+        S3 = S3 + SP(I)
+      ENDDO
+      WRITE(6,*) 'SPEC77 CHECKSUMS ', S1, S2, S3
+      END
+";
+
+const ANNOTATIONS: &str = "
+subroutine GWATER(QV, QC, QR, TT, N) {
+  dimension QV[N], QC[N], QR[N], TT[N];
+  QV[1:N] = unknown(QC[1:N], N);
+  QC[1:N] = unknown(QR[1:N], N);
+  QR[1:N] = unknown(QV[1:N], N);
+  TT[1:N] = unknown(QV[1:N], QC[1:N], N);
+  TT[1:N] = unknown(QR[1:N], N);
+}
+
+subroutine LEGTRA(C, LD, N) {
+  dimension C[LD,N];
+  do (J = 1:N)
+    do (I = 1:LD)
+      C[I,J] = unknown(C[I,J], I, J);
+  do (J = 1:N)
+    C[1,J] = unknown(C[2,J], C[3,J]);
+}
+
+// MPERM is injective (7 coprime to 256).
+subroutine SPSCAT(I) {
+  dimension SP[2048];
+  int IS;
+  IS = unique(MPERM, I);
+  SP[IS] = SP[IS] + unknown(FW, I);
+}
+";
+
+/// Build the application descriptor.
+pub fn app() -> App {
+    App {
+        name: "SPEC77",
+        description: "Spectral global weather simulation",
+        source: SOURCE,
+        annotations: ANNOTATIONS,
+    }
+}

@@ -1,0 +1,97 @@
+//! TRACK — missile tracking.
+//!
+//! The smallest PERFECT member in this suite and — as in the paper, where
+//! inlining does not improve half the benchmarks — one where neither
+//! inlining strategy enables anything new: the Kalman-style filter loop is
+//! genuinely sequential (each update reads the previous state estimate).
+//! Conventional inlining still *loses* the filter kernel's inner loops
+//! through indirect state-vector actuals.
+
+use crate::suite::App;
+
+const SOURCE: &str = "      PROGRAM TRACK
+      COMMON /KAL/ SV(2048), KOF(6)
+      COMMON /OBS/ Z(256)
+      COMMON /CTL/ NST, NOBS
+      CALL SETUP
+      CALL FILTRK(SV(KOF(1)), SV(KOF(2)), SV(KOF(3)), NST)
+      DO IOBS = 1, NOBS
+        CALL FILTRK(SV(KOF(1)), SV(KOF(2)), SV(KOF(3)), NST)
+        CALL FILTRK(SV(KOF(4)), SV(KOF(5)), SV(KOF(6)), NST)
+        CALL PREDCT(IOBS)
+      ENDDO
+      CALL CHECK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /KAL/ SV(2048), KOF(6)
+      COMMON /OBS/ Z(256)
+      COMMON /CTL/ NST, NOBS
+      NST = 160
+      NOBS = 8
+      DO K = 1, 6
+        KOF(K) = (K - 1)*320 + 1
+      ENDDO
+      DO I = 1, 2048
+        SV(I) = 0.002*MOD(I, 13)
+      ENDDO
+      DO I = 1, 256
+        Z(I) = 0.01*MOD(I, 9)
+      ENDDO
+      END
+
+      SUBROUTINE FILTRK(X, P, G, N)
+      DIMENSION X(*), P(*), G(*)
+      DO I = 1, N
+        G(I) = P(I)/(P(I) + 0.5)
+      ENDDO
+      DO I = 1, N
+        X(I) = X(I) + G(I)*(0.3 - X(I))
+      ENDDO
+      DO I = 1, N
+        P(I) = P(I)*(1.0 - G(I)) + 0.001
+      ENDDO
+      END
+
+      SUBROUTINE PREDCT(IOBS)
+      COMMON /KAL/ SV(2048), KOF(6)
+      COMMON /OBS/ Z(256)
+      Z(IOBS) = Z(IOBS)*0.5 + SV(KOF(1))*0.25
+      END
+
+      SUBROUTINE CHECK
+      COMMON /KAL/ SV(2048), KOF(6)
+      COMMON /OBS/ Z(256)
+      S1 = 0.0
+      DO I = 1, 2048
+        S1 = S1 + SV(I)
+      ENDDO
+      S2 = 0.0
+      DO I = 1, 256
+        S2 = S2 + Z(I)
+      ENDDO
+      WRITE(6,*) 'TRACK CHECKSUMS ', S1, S2
+      END
+";
+
+const ANNOTATIONS: &str = "
+// Faithful summary; the IOBS loop stays sequential (PREDCT reads the
+// state the filter just advanced) — annotations gain nothing here, as in
+// the paper's no-improvement benchmarks.
+subroutine FILTRK(X, P, G, N) {
+  dimension X[N], P[N], G[N];
+  G[1:N] = unknown(P[1:N], N);
+  X[1:N] = unknown(G[1:N], N);
+  P[1:N] = unknown(G[1:N], N);
+}
+";
+
+/// Build the application descriptor.
+pub fn app() -> App {
+    App {
+        name: "TRACK",
+        description: "Missile tracking",
+        source: SOURCE,
+        annotations: ANNOTATIONS,
+    }
+}

@@ -1,0 +1,124 @@
+//! TRFD — kernel simulating a two-electron integral transformation.
+//!
+//! The PERFECT member whose integral-address arithmetic motivates the
+//! `unique` operator (paper §III-B5): transposition/scatter routines write
+//! through one-to-one index tables (`IA`, `IB`), which defeats both plain
+//! dependence analysis and conventional inlining (the inlined subscripts
+//! are subscripted subscripts). Annotations with `unique` recover the two
+//! scatter loops; the `OLDA` kernel with indirect region actuals supplies
+//! the conventional-inlining loss.
+
+use crate::suite::App;
+
+const SOURCE: &str = "      PROGRAM TRFD
+      COMMON /INTS/ XIJ(4096), IA(512), IB(512)
+      COMMON /WS/ XRSIQ(2048), XRSPQ(2048)
+      COMMON /CTL/ NORB, NPASS
+      CALL SETUP
+      DO IPASS = 1, NPASS
+        CALL OLDA(XIJ(IA(1)), XIJ(IA(2)), XIJ(IA(3)), NORB)
+        DO I = 1, 256
+          CALL XPOSE1(I)
+        ENDDO
+        DO I = 1, 256
+          CALL XPOSE2(I)
+        ENDDO
+      ENDDO
+      CALL CHECK
+      END
+
+      SUBROUTINE SETUP
+      COMMON /INTS/ XIJ(4096), IA(512), IB(512)
+      COMMON /WS/ XRSIQ(2048), XRSPQ(2048)
+      COMMON /CTL/ NORB, NPASS
+      NORB = 256
+      NPASS = 2
+      DO K = 1, 512
+        IA(K) = MOD(K*5, 8)*512 + 1
+        IB(K) = MOD(K*11, 512)*4 + 1
+      ENDDO
+      DO I = 1, 4096
+        XIJ(I) = 0.002*MOD(I, 19)
+      ENDDO
+      DO I = 1, 2048
+        XRSIQ(I) = 0.0
+        XRSPQ(I) = 0.0
+      ENDDO
+      END
+
+      SUBROUTINE OLDA(V1, V2, V3, N)
+      DIMENSION V1(*), V2(*), V3(*)
+      DO I = 1, N
+        V1(I) = V1(I)*0.875 + 0.01
+      ENDDO
+      DO I = 1, N
+        V2(I) = V2(I)*0.75 + 0.02
+      ENDDO
+      DO I = 1, N
+        V3(I) = V3(I) + V1(I)*0.1 + V2(I)*0.05
+      ENDDO
+      END
+
+      SUBROUTINE XPOSE1(I)
+      COMMON /INTS/ XIJ(4096), IA(512), IB(512)
+      COMMON /WS/ XRSIQ(2048), XRSPQ(2048)
+      XRSIQ(MOD(I*7, 512) + 1) = XRSIQ(MOD(I*7, 512) + 1) + XIJ(I)*0.5
+      END
+
+      SUBROUTINE XPOSE2(I)
+      COMMON /INTS/ XIJ(4096), IA(512), IB(512)
+      COMMON /WS/ XRSIQ(2048), XRSPQ(2048)
+      XRSPQ(MOD(I*11, 512) + 1) = XRSPQ(MOD(I*11, 512) + 1) + XIJ(I + 256)*0.25
+      END
+
+      SUBROUTINE CHECK
+      COMMON /INTS/ XIJ(4096), IA(512), IB(512)
+      COMMON /WS/ XRSIQ(2048), XRSPQ(2048)
+      S1 = 0.0
+      DO I = 1, 4096
+        S1 = S1 + XIJ(I)
+      ENDDO
+      S2 = 0.0
+      DO I = 1, 2048
+        S2 = S2 + XRSIQ(I) + XRSPQ(I)
+      ENDDO
+      WRITE(6,*) 'TRFD CHECKSUMS ', S1, S2
+      END
+";
+
+const ANNOTATIONS: &str = "
+// OLDA: faithful region summary (keeps the originals intact).
+subroutine OLDA(V1, V2, V3, N) {
+  dimension V1[N], V2[N], V3[N];
+  V1[1:N] = unknown(N);
+  V2[1:N] = unknown(N);
+  V3[1:N] = unknown(V1[1:N], V2[1:N], N);
+}
+
+// The transposition scatters: MOD(I*7,512)+1 is a bijection on 1..512 for
+// I in 1..256 (7 and 11 are coprime to 512) — domain knowledge expressed
+// with unique (paper SIII-B5).
+subroutine XPOSE1(I) {
+  dimension XRSIQ[2048];
+  int IQ;
+  IQ = unique(I);
+  XRSIQ[IQ] = XRSIQ[IQ] + unknown(XIJ, I);
+}
+
+subroutine XPOSE2(I) {
+  dimension XRSPQ[2048];
+  int IP;
+  IP = unique(I);
+  XRSPQ[IP] = XRSPQ[IP] + unknown(XIJ, I);
+}
+";
+
+/// Build the application descriptor.
+pub fn app() -> App {
+    App {
+        name: "TRFD",
+        description: "Kernel simulating a two-electron integral transformation",
+        source: SOURCE,
+        annotations: ANNOTATIONS,
+    }
+}

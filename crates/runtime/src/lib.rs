@@ -1,0 +1,23 @@
+//! # fruntime — execution substrate for the ICPP 2011 reproduction
+//!
+//! Runs MiniF77 programs so the pipeline's output can be *verified* and
+//! *measured*:
+//!
+//! * [`interp`] — a sequential interpreter with Fortran call-by-reference /
+//!   sequence-association semantics, plus a threaded executor (crossbeam
+//!   scoped threads, per-thread write logs merged in iteration order) and a
+//!   runtime race checker — the paper's "runtime testers" (§III-D).
+//! * [`memory`] — flat column-major storage with COMMON sharing and
+//!   view-based aliasing.
+//! * [`cost`] — a deterministic machine model (profiles for the paper's two
+//!   evaluation machines) that converts interpreter op counts into the
+//!   simulated speedups of Figure 20, including the §IV-B empirical-tuning
+//!   step that disables unprofitable loops.
+
+pub mod cost;
+pub mod interp;
+pub mod memory;
+
+pub use cost::{simulate, tune, Machine, SimResult};
+pub use interp::{run, ExecOptions, ParLoopEvent, RaceViolation, RtError, RunResult};
+pub use memory::{Memory, Scalar, Slot, View};

@@ -1,0 +1,306 @@
+//! Flat storage model for MiniF77 execution.
+//!
+//! All variables live in a slot arena. A slot is a typed `Vec<f64>` (column
+//! -major for arrays; integers and logicals are stored exactly as small
+//! floats, well inside the 2^53 exact range). COMMON members are shared
+//! slots keyed by `(block, name)`; locals are stack-allocated per call and
+//! reclaimed by truncating the arena; dummy arguments are *views* — slot +
+//! element offset + resolved shape — which is what gives Fortran's
+//! sequence-association semantics (`CALL PCINIT(T(IX(7)))` makes the formal
+//! an alias into `T`).
+
+use fir::ast::Type;
+use std::collections::HashMap;
+
+/// A runtime scalar value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// Integer.
+    I(i64),
+    /// Real / double.
+    F(f64),
+    /// Logical.
+    B(bool),
+}
+
+impl Scalar {
+    /// Numeric view (logicals are 0/1).
+    pub fn as_f(self) -> f64 {
+        match self {
+            Scalar::I(v) => v as f64,
+            Scalar::F(v) => v,
+            Scalar::B(b) => b as i64 as f64,
+        }
+    }
+
+    /// Integer view (reals are truncated, Fortran INT()).
+    pub fn as_i(self) -> i64 {
+        match self {
+            Scalar::I(v) => v,
+            Scalar::F(v) => v as i64,
+            Scalar::B(b) => b as i64,
+        }
+    }
+
+    /// Logical view (nonzero is true).
+    pub fn as_b(self) -> bool {
+        match self {
+            Scalar::I(v) => v != 0,
+            Scalar::F(v) => v != 0.0,
+            Scalar::B(b) => b,
+        }
+    }
+}
+
+/// One storage slot: a typed flat array.
+#[derive(Debug, Clone)]
+pub struct Slot {
+    /// Element type (affects get/set conversion).
+    pub ty: Type,
+    /// Raw storage.
+    pub data: Vec<f64>,
+}
+
+impl Slot {
+    /// New zero-initialized slot.
+    pub fn new(ty: Type, len: usize) -> Slot {
+        Slot { ty, data: vec![0.0; len] }
+    }
+
+    /// Typed read.
+    pub fn get(&self, i: usize) -> Scalar {
+        let raw = self.data[i];
+        match self.ty {
+            Type::Integer => Scalar::I(raw as i64),
+            Type::Real | Type::Double => Scalar::F(raw),
+            Type::Logical => Scalar::B(raw != 0.0),
+        }
+    }
+
+    /// Typed write.
+    pub fn set(&mut self, i: usize, v: Scalar) {
+        self.data[i] = match self.ty {
+            Type::Integer => v.as_i() as f64,
+            Type::Real | Type::Double => v.as_f(),
+            Type::Logical => v.as_b() as i64 as f64,
+        };
+    }
+}
+
+/// A view of (part of) a slot: what a variable name denotes in a frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct View {
+    /// Arena slot index.
+    pub slot: usize,
+    /// Element offset of the view's first element.
+    pub offset: usize,
+    /// Resolved extents (empty for scalars). A trailing 0 means
+    /// assumed-size (extent = whatever remains in the slot).
+    pub dims: Vec<usize>,
+}
+
+impl View {
+    /// Scalar view of one element.
+    pub fn scalar(slot: usize, offset: usize) -> View {
+        View { slot, offset, dims: vec![] }
+    }
+
+    /// Column-major flat offset of `subs` (1-based Fortran subscripts)
+    /// relative to the slot, or `None` when out of the view's bounds.
+    /// Assumed-size final dimensions are not bounds-checked.
+    pub fn flat(&self, subs: &[i64], slot_len: usize) -> Option<usize> {
+        if self.dims.is_empty() {
+            return if subs.is_empty() { Some(self.offset) } else { None };
+        }
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for (k, &s) in subs.iter().enumerate() {
+            let extent = self.dims.get(k).copied().unwrap_or(1);
+            let idx = s - 1;
+            if idx < 0 {
+                return None;
+            }
+            // Bounds-check explicit extents; assumed-size (0) passes.
+            if extent != 0 && k + 1 < subs.len() && idx as usize >= extent {
+                return None;
+            }
+            off += idx as usize * stride;
+            stride *= if extent == 0 { 1 } else { extent };
+        }
+        let abs = self.offset + off;
+        if abs >= slot_len {
+            return None;
+        }
+        Some(abs)
+    }
+
+    /// Number of elements the view covers inside a slot of `slot_len`.
+    pub fn len(&self, slot_len: usize) -> usize {
+        if self.dims.is_empty() {
+            return 1;
+        }
+        let mut n = 1usize;
+        let mut assumed = false;
+        for &d in &self.dims {
+            if d == 0 {
+                assumed = true;
+            } else {
+                n *= d;
+            }
+        }
+        if assumed {
+            slot_len.saturating_sub(self.offset)
+        } else {
+            n.min(slot_len.saturating_sub(self.offset))
+        }
+    }
+
+    /// True when the view is a bare scalar.
+    pub fn is_scalar(&self) -> bool {
+        self.dims.is_empty()
+    }
+}
+
+/// The slot arena plus the COMMON-block directory.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    /// All storage.
+    pub slots: Vec<Slot>,
+    /// `(block, name)` → slot index for COMMON members.
+    pub commons: HashMap<(String, String), usize>,
+}
+
+impl Memory {
+    /// Allocate a fresh slot; returns its index.
+    pub fn alloc(&mut self, ty: Type, len: usize) -> usize {
+        self.slots.push(Slot::new(ty, len));
+        self.slots.len() - 1
+    }
+
+    /// Find or create the slot of a COMMON member; grows the slot when a
+    /// later unit declares a larger shape.
+    pub fn common(&mut self, block: &str, name: &str, ty: Type, len: usize) -> usize {
+        if let Some(&idx) = self.commons.get(&(block.to_string(), name.to_string())) {
+            if self.slots[idx].data.len() < len {
+                self.slots[idx].data.resize(len, 0.0);
+            }
+            return idx;
+        }
+        let idx = self.alloc(ty, len);
+        self.commons.insert((block.to_string(), name.to_string()), idx);
+        idx
+    }
+
+    /// Stack mark for local reclamation.
+    pub fn mark(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Release everything allocated after `mark` (call frames only — COMMON
+    /// slots are always allocated before any call executes... except lazily
+    /// created ones, which we pin by never truncating below them).
+    pub fn release(&mut self, mark: usize) {
+        let min_keep = self.commons.values().copied().max().map(|m| m + 1).unwrap_or(0);
+        self.slots.truncate(mark.max(min_keep));
+    }
+
+    /// Read through a view.
+    pub fn read(&self, v: &View, subs: &[i64]) -> Option<Scalar> {
+        let slot = self.slots.get(v.slot)?;
+        let i = v.flat(subs, slot.data.len())?;
+        Some(slot.get(i))
+    }
+
+    /// Write through a view.
+    pub fn write(&mut self, v: &View, subs: &[i64], val: Scalar) -> Option<usize> {
+        let len = self.slots.get(v.slot)?.data.len();
+        let i = v.flat(subs, len)?;
+        self.slots[v.slot].set(i, val);
+        Some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_slots_round_values() {
+        let mut s = Slot::new(Type::Integer, 4);
+        s.set(0, Scalar::F(3.9));
+        assert_eq!(s.get(0), Scalar::I(3));
+        let mut s = Slot::new(Type::Double, 2);
+        s.set(1, Scalar::I(7));
+        assert_eq!(s.get(1), Scalar::F(7.0));
+    }
+
+    #[test]
+    fn column_major_layout() {
+        // A(2,3): A(i,j) at (i-1) + (j-1)*2.
+        let v = View { slot: 0, offset: 0, dims: vec![2, 3] };
+        assert_eq!(v.flat(&[1, 1], 6), Some(0));
+        assert_eq!(v.flat(&[2, 1], 6), Some(1));
+        assert_eq!(v.flat(&[1, 2], 6), Some(2));
+        assert_eq!(v.flat(&[2, 3], 6), Some(5));
+        assert_eq!(v.flat(&[1, 4], 6), None); // beyond slot
+    }
+
+    #[test]
+    fn views_alias_with_offset() {
+        let mut m = Memory::default();
+        let slot = m.alloc(Type::Real, 100);
+        // Formal X2(*) bound to T(41): element i of the view is T(40 + i).
+        let view = View { slot, offset: 40, dims: vec![0] };
+        m.write(&view, &[1], Scalar::F(5.0)).unwrap();
+        let whole = View { slot, offset: 0, dims: vec![100] };
+        assert_eq!(m.read(&whole, &[41]), Some(Scalar::F(5.0)));
+    }
+
+    #[test]
+    fn commons_are_shared_and_grow() {
+        let mut m = Memory::default();
+        let a = m.common("BLK", "T", Type::Real, 10);
+        let b = m.common("BLK", "T", Type::Real, 20);
+        assert_eq!(a, b);
+        assert_eq!(m.slots[a].data.len(), 20);
+        let c = m.common("BLK", "U", Type::Real, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stack_discipline() {
+        let mut m = Memory::default();
+        let _g = m.common("B", "X", Type::Real, 4);
+        let mark = m.mark();
+        let _l1 = m.alloc(Type::Real, 8);
+        let _l2 = m.alloc(Type::Integer, 8);
+        assert_eq!(m.slots.len(), 3);
+        m.release(mark);
+        assert_eq!(m.slots.len(), 1);
+    }
+
+    #[test]
+    fn assumed_size_length() {
+        let v = View { slot: 0, offset: 10, dims: vec![0] };
+        assert_eq!(v.len(100), 90);
+        let v = View { slot: 0, offset: 0, dims: vec![2, 0] };
+        assert_eq!(v.len(100), 100);
+    }
+
+    #[test]
+    fn scalar_views() {
+        let mut m = Memory::default();
+        let s = m.alloc(Type::Integer, 1);
+        let v = View::scalar(s, 0);
+        m.write(&v, &[], Scalar::I(42)).unwrap();
+        assert_eq!(m.read(&v, &[]), Some(Scalar::I(42)));
+        assert!(v.is_scalar());
+    }
+
+    #[test]
+    fn negative_subscript_rejected() {
+        let v = View { slot: 0, offset: 0, dims: vec![10] };
+        assert_eq!(v.flat(&[0], 10), None);
+        assert_eq!(v.flat(&[-3], 10), None);
+    }
+}

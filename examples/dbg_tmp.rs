@@ -1,0 +1,22 @@
+use finline::autogen::{generate_program, AutoGenOptions};
+fn main() {
+    let app = perfect::by_name("MDG").unwrap();
+    let p = app.program();
+    let (reg, _) = generate_program(&p, &AutoGenOptions::default());
+    let mut q = p.clone();
+    fir::fold::normalize_program(&mut q);
+    finline::annot_inline::apply(&mut q, &reg);
+    let _rep = fpar::parallelize(&mut q, &fpar::ParOptions::default());
+    let mut count = 0;
+    fir::visit::walk_stmts(&q.units[0].body, &mut |s| {
+        if let fir::ast::StmtKind::Tagged { tag, body } = &s.kind {
+            if tag.callee == "INTERF" && count < 3 {
+                count += 1;
+                println!("== tag {} ==", tag.tag_id);
+                for st in body { println!("  {:?}", st.kind); }
+            }
+        }
+    });
+    let rev = finline::reverse::apply(&mut q, &reg);
+    println!("failed: {:?}", rev.failed.iter().map(|f| f.0).collect::<Vec<_>>());
+}

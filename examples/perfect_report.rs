@@ -1,0 +1,15 @@
+//! Regenerate the paper's Table I and Table II from the synthetic PERFECT
+//! suite (same output as `cargo run -p bench --bin gen_table2`).
+//!
+//! ```sh
+//! cargo run --release --example perfect_report
+//! ```
+
+fn main() {
+    print!("{}", bench::table1_report());
+    println!();
+    let evals = bench::full_evaluation();
+    print!("{}", bench::table2_report(&evals));
+    println!();
+    print!("{}", bench::verify_report(&evals));
+}

@@ -1,0 +1,12 @@
+//! Regenerate the paper's Figure 20: simulated runtime speedups for every
+//! application × configuration × machine, with the §IV-B empirical-tuning
+//! step applied.
+//!
+//! ```sh
+//! cargo run --release --example speedup_report
+//! ```
+
+fn main() {
+    let evals = bench::full_evaluation();
+    print!("{}", bench::fig20_report(&evals));
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate re-exporting the full annotation-based inlining toolchain.
+//!
+//! The heavy lifting lives in the member crates: [`fir`] (frontend/IR),
+//! [`fdep`] (dependence analysis), [`fpar`] (auto-parallelizer), [`finline`]
+//! (conventional/annotation/reverse inliners), [`fruntime`] (interpreter +
+//! parallel executor + cost model), [`perfect`] (synthetic PERFECT suite) and
+//! [`ipp_core`] (the Figure-15 pipeline tying everything together).
+pub use fdep;
+pub use finline;
+pub use fir;
+pub use fpar;
+pub use fruntime;
+pub use ipp_core;
+pub use perfect;

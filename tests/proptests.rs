@@ -1,0 +1,264 @@
+//! Property-based tests over the core invariants:
+//!
+//! * printer/parser round trip for generated programs;
+//! * affine-form algebra is linear;
+//! * the dependence tests are *sound* against brute-force enumeration
+//!   (`Independent`/`LoopIndependent` verdicts are never contradicted by an
+//!   actual collision);
+//! * threaded execution equals sequential execution for legal parallel
+//!   loops;
+//! * annotation inline → reverse inline is the identity on the call.
+
+use fdep::affine::{extract, SimpleClass};
+use fdep::ddtest::{test_pair, DepCtx, DepResult};
+use fdep::refs::{ArrayAccess, Sub};
+use finline::annot::AnnotRegistry;
+use finline::{annot_inline, reverse};
+use fir::ast::{BinOp, Expr, OmpDirective, StmtKind};
+use fruntime::{run, ExecOptions};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Affine algebra
+// ---------------------------------------------------------------------------
+
+fn small_affine_expr() -> impl Strategy<Value = Expr> {
+    // c0 + c1*I + c2*J with small integer coefficients.
+    (-6i64..=6, -6i64..=6, -6i64..=6).prop_map(|(c0, c1, c2)| {
+        Expr::add(
+            Expr::add(
+                Expr::mul(Expr::int(c1), Expr::var("I")),
+                Expr::mul(Expr::int(c2), Expr::var("J")),
+            ),
+            Expr::int(c0),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn affine_extraction_is_linear(a in small_affine_expr(), b in small_affine_expr()) {
+        let cls = SimpleClass { index_vars: vec!["I".into(), "J".into()], variant: vec![] };
+        let fa = extract(&a, &cls).unwrap();
+        let fb = extract(&b, &cls).unwrap();
+        let fsum = extract(&Expr::add(a.clone(), b.clone()), &cls).unwrap();
+        prop_assert_eq!(fa.add(&fb), fsum);
+        let fdiff = extract(&Expr::sub(a, b), &cls).unwrap();
+        prop_assert_eq!(fa.sub(&fb), fdiff);
+    }
+
+    #[test]
+    fn affine_rename_roundtrip(a in small_affine_expr()) {
+        let cls = SimpleClass { index_vars: vec!["I".into(), "J".into()], variant: vec![] };
+        let f = extract(&a, &cls).unwrap();
+        let g = f.rename("I", "I'").rename("I'", "I");
+        prop_assert_eq!(f, g);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dependence-test soundness against brute force
+// ---------------------------------------------------------------------------
+
+fn check_sound(a1: i64, c1: i64, a2: i64, c2: i64, lo: i64, hi: i64) -> Result<(), TestCaseError> {
+    let sub1 = Expr::add(Expr::mul(Expr::int(a1), Expr::var("I")), Expr::int(c1));
+    let sub2 = Expr::add(Expr::mul(Expr::int(a2), Expr::var("I")), Expr::int(c2));
+    let w = ArrayAccess {
+        array: "A".into(),
+        subs: vec![Sub::At(sub1)],
+        is_write: true,
+        pos: 0,
+        guard_depth: 0,
+        inners: vec![],
+    };
+    let r = ArrayAccess {
+        array: "A".into(),
+        subs: vec![Sub::At(sub2)],
+        is_write: false,
+        pos: 1,
+        guard_depth: 0,
+        inners: vec![],
+    };
+    let ctx = DepCtx { carried: "I".into(), carried_bounds: Some((lo, hi)), variant: vec![] };
+    let verdict = test_pair(&w, &r, &ctx);
+
+    // Brute force: does any (i, i') pair collide? Cross-iteration?
+    let mut any = false;
+    let mut cross = false;
+    for i in lo..=hi {
+        for ip in lo..=hi {
+            if a1 * i + c1 == a2 * ip + c2 {
+                any = true;
+                if i != ip {
+                    cross = true;
+                }
+            }
+        }
+    }
+    match verdict {
+        DepResult::Independent => prop_assert!(!any, "Independent but collision exists"),
+        DepResult::LoopIndependent => {
+            prop_assert!(!cross, "LoopIndependent but cross-iteration collision exists")
+        }
+        DepResult::Carried(_) => {}
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn dependence_tests_are_sound(
+        a1 in -4i64..=4, c1 in -20i64..=20,
+        a2 in -4i64..=4, c2 in -20i64..=20,
+        lo in 1i64..=3, span in 0i64..=12,
+    ) {
+        check_sound(a1, c1, a2, c2, lo, lo + span)?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded execution equivalence
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn threaded_equals_sequential_for_disjoint_writes(
+        n in 4i64..=96,
+        scale in 1i64..=9,
+        threads in 2usize..=6,
+    ) {
+        let src = format!(
+            "      PROGRAM P
+      COMMON /B/ A({n}), S
+      DO I = 1, {n}
+        A(I) = I*{scale}.0 + 1.0
+      ENDDO
+      S = 0.0
+      DO I = 1, {n}
+        S = S + A(I)
+      ENDDO
+      WRITE(6,*) S
+      END
+"
+        );
+        let mut p = fir::parse(&src).unwrap();
+        let mut k = 0;
+        fir::visit::walk_loops_mut(&mut p.units[0].body, &mut |d| {
+            k += 1;
+            d.directive = Some(if k == 2 {
+                OmpDirective {
+                    reductions: vec![(fir::ast::RedOp::Add, "S".into())],
+                    ..Default::default()
+                }
+            } else {
+                OmpDirective::default()
+            });
+        });
+        let seq = run(&p, &ExecOptions::default()).unwrap();
+        let par = run(&p, &ExecOptions { threads, ..Default::default() }).unwrap();
+        prop_assert!(seq.same_observable(&par, 1e-9), "{:?} vs {:?}", seq.io, par.io);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Printer/parser round trip for generated bodies
+// ---------------------------------------------------------------------------
+
+fn small_value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (1i64..=99).prop_map(|v| v.to_string()),
+        (1i64..=99).prop_map(|v| format!("{v}.5")),
+        Just("X".to_string()),
+        Just("Y".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn printer_roundtrip_on_generated_programs(
+        vals in proptest::collection::vec(small_value(), 1..8),
+        trip in 1i64..=50,
+    ) {
+        let mut body = String::new();
+        for (i, v) in vals.iter().enumerate() {
+            body.push_str(&format!("        B{i} = {v} + {i}\n"));
+        }
+        let src = format!(
+            "      PROGRAM G
+      DO I = 1, {trip}
+{body}      ENDDO
+      END
+"
+        );
+        let p1 = fir::parse(&src).unwrap();
+        let printed = fir::print_program(&p1);
+        let p2 = fir::parse(&printed).unwrap();
+        // Structural equality modulo spans/labels.
+        prop_assert_eq!(fir::print_program(&p2), printed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Annotation inline/reverse identity
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn inline_then_reverse_restores_calls(offset in 1i64..=40, n in 1i64..=30) {
+        let annot = "subroutine S(X, N) { dimension X[N]; do (I = 1:N) X[I] = unknown(X[I]); }";
+        let reg = AnnotRegistry::parse(annot).unwrap();
+        let src = format!(
+            "      PROGRAM MAIN
+      DIMENSION T(100)
+      DO K = 1, 3
+        CALL S(T({offset}), {n})
+      ENDDO
+      END
+"
+        );
+        let mut p = fir::parse(&src).unwrap();
+        annot_inline::apply(&mut p, &reg);
+        let rep = reverse::apply(&mut p, &reg);
+        prop_assert!(rep.failed.is_empty(), "{:?}", rep.failed);
+        let out = fir::print_program(&p);
+        // `T(1)` and `T` denote the same region (sequence association); the
+        // reverse inliner canonicalizes offset-1 actuals to the bare name.
+        let exact = format!("CALL S(T({offset}), {n})");
+        let canonical = format!("CALL S(T, {n})");
+        prop_assert!(
+            out.contains(&exact) || (offset == 1 && out.contains(&canonical)),
+            "call not restored: {out}"
+        );
+    }
+
+    #[test]
+    fn reverse_tolerates_commutation(c in 1i64..=50) {
+        let annot = "subroutine AX(A, K, C) { dimension A[64]; A[K] = A[K] + C; }";
+        let reg = AnnotRegistry::parse(annot).unwrap();
+        let src = format!(
+            "      PROGRAM MAIN
+      DIMENSION V(64)
+      DO K = 1, 10
+        CALL AX(V, K, {c}.0)
+      ENDDO
+      END
+"
+        );
+        let mut p = fir::parse(&src).unwrap();
+        annot_inline::apply(&mut p, &reg);
+        fir::visit::walk_stmts_mut(&mut p.units[0].body, &mut |s| {
+            if let StmtKind::Tagged { body, .. } = &mut s.kind {
+                for t in body.iter_mut() {
+                    if let StmtKind::Assign { rhs: Expr::Bin(BinOp::Add, l, r), .. } = &mut t.kind {
+                        std::mem::swap(l, r);
+                    }
+                }
+            }
+        });
+        let rep = reverse::apply(&mut p, &reg);
+        prop_assert!(rep.failed.is_empty(), "{:?}", rep.failed);
+    }
+}

@@ -1,0 +1,91 @@
+//! Paper §II-A1 / Figures 2–3: forward substitution of non-linear
+//! subscripts. Conventional inlining of `PCINIT`-style callees invoked with
+//! indirect array-element actuals creates subscripted subscripts; the
+//! callee's parallel loops are lost. Annotation-based inlining preserves
+//! them by reverting to the original call.
+
+use finline::annot::AnnotRegistry;
+use fir::ast::LoopId;
+use ipp_core::{compile, verify, InlineMode, PipelineOptions};
+
+const PROGRAM: &str = "      PROGRAM MAIN
+      COMMON /BLK/ T(4096), IX(12)
+      COMMON /FRC/ FX(512), FY(512), FZ(512)
+      CALL SETUP
+      DO STEP = 1, 3
+        CALL PCINIT(T(IX(7)), T(IX(8)), T(IX(9)), 256)
+      ENDDO
+      WRITE(6,*) T(IX(7)), T(IX(9) + 255)
+      END
+      SUBROUTINE SETUP
+      COMMON /BLK/ T(4096), IX(12)
+      COMMON /FRC/ FX(512), FY(512), FZ(512)
+      DO K = 1, 12
+        IX(K) = (K - 1)*300 + 1
+      ENDDO
+      DO I = 1, 512
+        FX(I) = I*0.5
+        FY(I) = I*0.25
+        FZ(I) = I*0.125
+      ENDDO
+      END
+      SUBROUTINE PCINIT(X2, Y2, Z2, NSP)
+      DIMENSION X2(*), Y2(*), Z2(*)
+      COMMON /FRC/ FX(512), FY(512), FZ(512)
+      TSTEP = 0.5
+      DO 200 I = 1, NSP
+        X2(I) = FX(I)*TSTEP**2/2.D0
+        Y2(I) = FY(I)*TSTEP**2/2.D0
+        Z2(I) = FZ(I)*TSTEP**2/2.D0
+  200 CONTINUE
+      END
+";
+
+const ANNOTATION: &str = "
+subroutine PCINIT(X2, Y2, Z2, NSP) {
+  dimension X2[NSP], Y2[NSP], Z2[NSP];
+  X2[1:NSP] = unknown(NSP);
+  Y2[1:NSP] = unknown(NSP);
+  Z2[1:NSP] = unknown(NSP);
+}
+";
+
+fn run_mode(mode: InlineMode) -> ipp_core::PipelineResult {
+    let p = fir::parse(PROGRAM).unwrap();
+    let reg = AnnotRegistry::parse(ANNOTATION).unwrap();
+    compile(&p, &reg, &PipelineOptions::for_mode(mode))
+}
+
+#[test]
+fn pcinit_loop_parallel_without_inlining() {
+    let r = run_mode(InlineMode::None);
+    assert!(r.parallel_loops().contains(&LoopId::new("PCINIT", 1)));
+}
+
+#[test]
+fn conventional_inlining_loses_the_loop() {
+    let r = run_mode(InlineMode::Conventional);
+    // The inlined copy has subscripted subscripts T(IX(7)+I-1) etc.
+    assert!(!r.parallel_loops().contains(&LoopId::new("PCINIT", 1)));
+    // And the emitted source shows them.
+    assert!(r.source.contains("T(IX(7) + (I"), "{}", r.source);
+}
+
+#[test]
+fn annotation_inlining_preserves_the_loop() {
+    let r = run_mode(InlineMode::Annotation);
+    assert!(r.parallel_loops().contains(&LoopId::new("PCINIT", 1)));
+    // The reverse inliner restored the original call.
+    assert!(r.source.contains("CALL PCINIT(T(IX(7)), T(IX(8)), T(IX(9)), 256)"), "{}", r.source);
+    assert!(r.reverse_report.as_ref().unwrap().failed.is_empty());
+}
+
+#[test]
+fn all_three_modes_execute_identically() {
+    let p = fir::parse(PROGRAM).unwrap();
+    for mode in InlineMode::all() {
+        let r = run_mode(mode);
+        let v = verify(&p, &r.program, 4).unwrap();
+        assert!(v.ok(), "{}: {v:?}", mode.label());
+    }
+}

@@ -1,0 +1,97 @@
+//! Paper §II-B / Figures 6–9, 13: opaque compositional subroutines, error
+//! checking, and global temporary arrays — asserted on the DYFESM suite
+//! member, which embeds the paper's FSMP verbatim in spirit.
+
+use fdep::analyze::Blocker;
+use fir::ast::LoopId;
+use ipp_core::{compile, verify, InlineMode, PipelineOptions};
+
+fn dyfesm(mode: InlineMode) -> ipp_core::PipelineResult {
+    let app = perfect::by_name("DYFESM").unwrap();
+    compile(&app.program(), &app.registry(), &PipelineOptions::for_mode(mode))
+}
+
+#[test]
+fn element_loop_blocked_without_inlining() {
+    let r = dyfesm(InlineMode::None);
+    let k_loop = LoopId::new("DYFESM", 2);
+    assert!(!r.parallel_loops().contains(&k_loop));
+    assert!(
+        r.blockers_of(&k_loop).iter().any(|b| matches!(b, Blocker::Call(n) if n == "FSMP")),
+        "{:?}",
+        r.blockers_of(&k_loop)
+    );
+}
+
+#[test]
+fn conventional_inlining_refuses_fsmp() {
+    // §II-B1: "conventional inlining typically leaves out subroutines that
+    // make additional non-trivial procedure calls".
+    let r = dyfesm(InlineMode::Conventional);
+    let conv = r.conv_report.as_ref().unwrap();
+    assert!(conv.inlined.iter().all(|(_, callee)| callee != "FSMP"));
+    assert!(conv
+        .skipped
+        .iter()
+        .any(|(_, callee, reason)| callee == "FSMP"
+            && matches!(reason, finline::SkipReason::TooManyCalls { .. })));
+    assert!(!r.parallel_loops().contains(&LoopId::new("DYFESM", 2)));
+}
+
+#[test]
+fn annotation_wins_the_element_loop() {
+    let r = dyfesm(InlineMode::Annotation);
+    let ids = r.parallel_loops();
+    // Fig. 7: the inner K loop over elements.
+    assert!(ids.contains(&LoopId::new("DYFESM", 2)), "{ids:?}");
+    // The outer substructure loop is NOT parallel (IDBEGS(ISS) is not
+    // annotated as unique across substructures).
+    assert!(!ids.contains(&LoopId::new("DYFESM", 1)), "{ids:?}");
+}
+
+#[test]
+fn error_checking_is_omitted_not_preserved() {
+    // §III-B3: the singular-element STOP exists in the real FSMP (and would
+    // block a loop containing it), but the annotation omits it.
+    let app = perfect::by_name("DYFESM").unwrap();
+    assert!(app.source.contains("STOP 'F SINGULAR'"));
+    // The annotation *text* (comments stripped) contains no error handling.
+    let code: String = app
+        .annotations
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("//"))
+        .collect();
+    assert!(!code.to_uppercase().contains("STOP"));
+    assert!(!code.to_uppercase().contains("WRITE"));
+}
+
+#[test]
+fn global_temporaries_privatized_with_peeling() {
+    let r = dyfesm(InlineMode::Annotation);
+    // The emitted element loop is peeled (shortened bound + guarded last
+    // iteration) and privatizes XY/WTDET.
+    assert!(r.source.contains("PRIVATE"), "{}", r.source);
+    assert!(r.source.contains("XY"), "{}", r.source);
+    assert!(r.source.contains("NEPSS(ISS) - 1"), "{}", r.source);
+}
+
+#[test]
+fn runtime_testers_pass_in_every_mode() {
+    let app = perfect::by_name("DYFESM").unwrap();
+    let p = app.program();
+    for mode in InlineMode::all() {
+        let r = dyfesm(mode);
+        let v = verify(&p, &r.program, 4).unwrap();
+        assert!(v.ok(), "{}: {v:?}", mode.label());
+    }
+}
+
+#[test]
+fn reverse_inlining_restores_all_tags() {
+    let r = dyfesm(InlineMode::Annotation);
+    let rev = r.reverse_report.as_ref().unwrap();
+    assert!(rev.failed.is_empty(), "{:?}", rev.failed);
+    assert!(!r.source.contains("BEGIN(Code"), "{}", r.source);
+    assert!(r.source.contains("CALL FSMP"), "{}", r.source);
+    assert!(r.source.contains("CALL ASSEM"), "{}", r.source);
+}

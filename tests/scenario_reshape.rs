@@ -1,0 +1,133 @@
+//! Paper §II-A2 / Figures 4–5 and §III-C / Figures 16–19: linearization of
+//! array dimensions under conventional inlining of MATMLT, and the full
+//! annotation-based walkthrough.
+
+use finline::annot::AnnotRegistry;
+use fir::ast::LoopId;
+use ipp_core::{compile, verify, InlineMode, PipelineOptions};
+
+const PROGRAM: &str = "      PROGRAM MAIN
+      COMMON /CTL/ NDIM
+      DIMENSION PP(8, 8, 15), PHIT(8, 8), TM1(8, 8, 15)
+      NDIM = 8
+      DO J = 1, 8
+        DO I = 1, 8
+          PHIT(I, J) = I*0.1 + J*0.2
+        ENDDO
+      ENDDO
+      DO KS = 1, 15
+        DO J = 1, 8
+          DO I = 1, 8
+            PP(I, J, KS) = I + J*0.5 + KS*0.25
+          ENDDO
+        ENDDO
+      ENDDO
+      DO KS = 1, 15
+        CALL MATMLT(PP(1, 1, KS), PHIT(1, 1), TM1(1, 1, KS), NDIM, NDIM, NDIM)
+      ENDDO
+      WRITE(6,*) TM1(4, 4, 7)
+      END
+      SUBROUTINE MATMLT(M1, M2, M3, L, M, N)
+      DIMENSION M1(L, M), M2(M, N), M3(L, N)
+      DO JN = 1, N
+        DO JL = 1, L
+          M3(JL, JN) = 0.0
+        ENDDO
+      ENDDO
+      DO JN = 1, N
+        DO JM = 1, M
+          DO JL = 1, L
+            M3(JL, JN) = M3(JL, JN) + M1(JL, JM)*M2(JM, JN)
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+";
+
+const ANNOTATION: &str = "
+subroutine MATMLT(M1, M2, M3, L, M, N) {
+  dimension M1[L,M], M2[M,N], M3[L,N];
+  do (JN = 1:N)
+    do (JL = 1:L)
+      M3[JL,JN] = 0.0;
+  do (JN = 1:N)
+    do (JM = 1:M)
+      do (JL = 1:L)
+        M3[JL,JN] = M3[JL,JN] + M1[JL,JM] * M2[JM,JN];
+}
+";
+
+fn run_mode(mode: InlineMode) -> ipp_core::PipelineResult {
+    let p = fir::parse(PROGRAM).unwrap();
+    let reg = AnnotRegistry::parse(ANNOTATION).unwrap();
+    compile(&p, &reg, &PipelineOptions::for_mode(mode))
+}
+
+#[test]
+fn matmlt_loops_parallel_standalone() {
+    let r = run_mode(InlineMode::None);
+    let ids = r.parallel_loops();
+    // MATMLT#4 (the JM accumulation loop) is a genuine recurrence on
+    // M3(JL,JN); the other four loops are parallel.
+    for k in [1, 2, 3, 5] {
+        assert!(ids.contains(&LoopId::new("MATMLT", k)), "MATMLT#{k} missing: {ids:?}");
+    }
+    assert!(!ids.contains(&LoopId::new("MATMLT", 4)), "{ids:?}");
+    // The KS call loop (MAIN#6, after the init loops) is blocked by the
+    // opaque call.
+    assert!(!ids.contains(&LoopId::new("MAIN", 6)), "{ids:?}");
+}
+
+#[test]
+fn conventional_linearization_loses_matmlt() {
+    let r = run_mode(InlineMode::Conventional);
+    let ids = r.parallel_loops();
+    // The outer (JN) loops index with the symbolic stride NDIM: lost. The
+    // innermost stride-1 (JL) loops remain analyzable — linearization
+    // degrades, it does not annihilate.
+    for k in [1, 3] {
+        assert!(!ids.contains(&LoopId::new("MATMLT", k)), "MATMLT#{k} survived: {ids:?}");
+    }
+    // Caller arrays lose their multi-dimensional shape (flat declarations).
+    assert!(r.source.contains("PP(960)"), "{}", r.source);
+    assert!(r.source.contains("TM1(960)"), "{}", r.source);
+    assert!(r.source.contains("*NDIM)"), "{}", r.source);
+}
+
+#[test]
+fn annotation_gains_the_sweep_loop_and_keeps_matmlt() {
+    let r = run_mode(InlineMode::Annotation);
+    let ids = r.parallel_loops();
+    // Fig. 17: the KS sweep is parallel (disjoint TM1 slices)...
+    assert!(ids.contains(&LoopId::new("MAIN", 6)), "{ids:?}");
+    // ...and the standalone MATMLT loops are untouched.
+    assert!(ids.contains(&LoopId::new("MATMLT", 1)), "{ids:?}");
+    // Fig. 19: reverse inlining restored the call, directives only outside.
+    assert!(r.source.contains("CALL MATMLT"), "{}", r.source);
+    assert!(!r.source.contains("BEGIN(Code"), "{}", r.source);
+    let omp_before_call = r
+        .source
+        .find("!$OMP PARALLEL DO")
+        .and_then(|d| r.source.find("CALL MATMLT").map(|c| d < c));
+    assert_eq!(omp_before_call, Some(true), "{}", r.source);
+}
+
+#[test]
+fn no_code_explosion_under_annotation() {
+    let none = run_mode(InlineMode::None);
+    let annot = run_mode(InlineMode::Annotation);
+    // Annotation mode only added directives (the suite-level test in
+    // table2_shape.rs checks conventional growth where definitions stay
+    // alive across multiple call sites).
+    assert!(annot.loc <= none.loc + 8, "annot {} vs none {}", annot.loc, none.loc);
+}
+
+#[test]
+fn execution_is_equivalent_in_all_modes() {
+    let p = fir::parse(PROGRAM).unwrap();
+    for mode in InlineMode::all() {
+        let r = run_mode(mode);
+        let v = verify(&p, &r.program, 4).unwrap();
+        assert!(v.ok(), "{}: {v:?}", mode.label());
+    }
+}

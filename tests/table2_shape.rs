@@ -1,0 +1,105 @@
+//! Suite-level assertions of the paper's §IV-A claims (Table II shape).
+//!
+//! We do not pin exact counts — the suite is synthetic — but the
+//! *relationships* the paper reports must hold:
+//!
+//! * annotation-based inlining loses **zero** loops on every benchmark;
+//! * conventional inlining loses many loops and gains few;
+//! * annotation-based inlining gains several times what conventional does;
+//! * conventional inlining grows the code (~+10% in the paper);
+//! * annotation mode's code growth is small (directives only).
+
+use ipp_core::{table2_rows, totals_for, InlineMode, PipelineOptions};
+
+fn all_rows() -> Vec<ipp_core::Table2Row> {
+    let mut rows = Vec::new();
+    for app in perfect::all() {
+        let p = app.program();
+        let reg = app.registry();
+        let none = ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::None));
+        let conv =
+            ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Conventional));
+        let annot =
+            ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Annotation));
+        rows.extend(table2_rows(app.name, &none, &conv, &annot));
+    }
+    rows
+}
+
+#[test]
+fn table2_shape_matches_the_paper() {
+    let rows = all_rows();
+    assert_eq!(rows.len(), 36); // 12 apps × 3 configs
+
+    let base = totals_for(&rows, "no-inline");
+    let conv = totals_for(&rows, "conventional");
+    let annot = totals_for(&rows, "annotation");
+
+    // Annotation: zero loss, per app and in total (the paper's headline).
+    for r in rows.iter().filter(|r| r.config == "annotation") {
+        assert_eq!(r.par_loss, 0, "{}: annotation lost loops: {r:?}", r.app);
+    }
+    assert_eq!(annot.par_loss, 0);
+
+    // Conventional loses far more than it gains (paper: 90 lost vs 12 gained).
+    assert!(conv.par_loss >= 40, "conv losses too small: {conv:?}");
+    assert!(conv.par_loss > 5 * conv.par_extra, "{conv:?}");
+
+    // Annotation gains several times the conventional gains (paper: 37 vs 12).
+    assert!(annot.par_extra >= 3 * conv.par_extra, "annot {annot:?} conv {conv:?}");
+    assert!(annot.par_extra >= 15, "{annot:?}");
+
+    // Net loop counts order: annotation > no-inline > conventional.
+    assert!(annot.par_loops > base.par_loops);
+    assert!(base.par_loops > conv.par_loops);
+
+    // Code size: conventional grows (paper ≈ +10%), annotation barely.
+    assert!(conv.loc > base.loc, "conv {} vs base {}", conv.loc, base.loc);
+    let conv_growth = (conv.loc as f64 - base.loc as f64) / base.loc as f64;
+    assert!(conv_growth > 0.03 && conv_growth < 0.35, "conv growth {conv_growth}");
+    let annot_growth = (annot.loc as f64 - base.loc as f64) / base.loc as f64;
+    assert!(annot_growth < 0.12, "annot growth {annot_growth}");
+}
+
+#[test]
+fn a_majority_of_benchmarks_improve_with_annotations() {
+    // Paper: "inlining is able to improve the effectiveness of automatic
+    // parallelization for 6 out of the 12 PERFECT benchmarks".
+    let rows = all_rows();
+    let improved = rows
+        .iter()
+        .filter(|r| r.config == "annotation" && r.par_extra > 0)
+        .count();
+    assert!(improved >= 6, "only {improved} of 12 improved");
+    // And at least one benchmark shows no improvement (TRACK).
+    let unimproved = rows
+        .iter()
+        .filter(|r| r.config == "annotation" && r.par_extra == 0)
+        .count();
+    assert!(unimproved >= 1);
+}
+
+#[test]
+fn conventional_covers_a_subset_of_annotation_gains() {
+    // Paper: "conventional inlining enabled Polaris to parallelize only a
+    // small subset (12 out of 37) of the extra parallel loops identified by
+    // annotation-based inlining."
+    for app in perfect::all() {
+        let p = app.program();
+        let reg = app.registry();
+        let none = ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::None));
+        let conv =
+            ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Conventional));
+        let annot =
+            ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Annotation));
+        let conv_extra = ipp_core::extra_loops(&none, &conv);
+        let annot_extra = ipp_core::extra_loops(&none, &annot);
+        for id in &conv_extra {
+            assert!(
+                annot_extra.contains(id),
+                "{}: conventional gained {id} but annotation did not",
+                app.name
+            );
+        }
+    }
+}
