@@ -71,7 +71,10 @@ impl Affine {
 
     /// A pure constant.
     pub fn constant(c: i64) -> Affine {
-        Affine { konst: c, ..Default::default() }
+        Affine {
+            konst: c,
+            ..Default::default()
+        }
     }
 
     /// A single index variable.
@@ -280,7 +283,10 @@ mod tests {
     fn linear_combination() {
         // 2*I + 3*J - 5
         let e = E::sub(
-            E::add(E::mul(E::int(2), E::var("I")), E::mul(E::int(3), E::var("J"))),
+            E::add(
+                E::mul(E::int(2), E::var("I")),
+                E::mul(E::int(3), E::var("J")),
+            ),
             E::int(5),
         );
         let a = extract(&e, &cls(&["I", "J"], &[])).unwrap();
@@ -301,8 +307,16 @@ mod tests {
 
     #[test]
     fn different_symbol_bases_do_not_cancel() {
-        let a = extract(&E::add(E::idx("IX", vec![E::int(7)]), E::var("I")), &cls(&["I"], &[])).unwrap();
-        let b = extract(&E::add(E::idx("IX", vec![E::int(8)]), E::var("I")), &cls(&["I"], &[])).unwrap();
+        let a = extract(
+            &E::add(E::idx("IX", vec![E::int(7)]), E::var("I")),
+            &cls(&["I"], &[]),
+        )
+        .unwrap();
+        let b = extract(
+            &E::add(E::idx("IX", vec![E::int(8)]), E::var("I")),
+            &cls(&["I"], &[]),
+        )
+        .unwrap();
         assert!(!a.same_syms(&b));
         let d = a.sub(&b);
         assert!(!d.is_const());

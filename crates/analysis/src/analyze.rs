@@ -98,10 +98,10 @@ impl<'a> UnitCtx<'a> {
     /// escape the *loop* (they may be read later in the unit), but for
     /// last-value purposes we only distinguish storage that must survive.
     fn escapes(&self, name: &str) -> bool {
-        match self.table.get(name).map(|s| &s.storage) {
-            Some(Storage::Common(_)) | Some(Storage::Formal(_)) => true,
-            _ => false,
-        }
+        matches!(
+            self.table.get(name).map(|s| &s.storage),
+            Some(Storage::Common(_)) | Some(Storage::Formal(_))
+        )
     }
 }
 
@@ -220,7 +220,10 @@ pub fn analyze_loop(d: &DoLoop, ctx: &UnitCtx<'_>) -> LoopAnalysis {
             }
         }
         if let Some(distance) = worst {
-            blockers.push(Blocker::ArrayDep { array: array.clone(), distance });
+            blockers.push(Blocker::ArrayDep {
+                array: array.clone(),
+                distance,
+            });
         }
     }
 
@@ -376,7 +379,10 @@ mod tests {
 ",
         );
         assert!(!a.parallelizable);
-        assert!(a.blockers.iter().any(|b| matches!(b, Blocker::ArrayDep { array, .. } if array == "T")));
+        assert!(a
+            .blockers
+            .iter()
+            .any(|b| matches!(b, Blocker::ArrayDep { array, .. } if array == "T")));
     }
 
     #[test]

@@ -98,9 +98,8 @@ impl CallGraph {
             mark: &mut BTreeMap<&'a str, u8>,
             order: &mut Vec<Ident>,
         ) {
-            match mark.get(n) {
-                Some(_) => return,
-                None => {}
+            if mark.get(n).is_some() {
+                return;
             }
             mark.insert(n, 1);
             for c in g.callees(n) {

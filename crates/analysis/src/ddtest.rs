@@ -68,9 +68,15 @@ impl DepCtx {
             idx.push(il.var.clone());
         }
         if primed {
-            idx = idx.into_iter().map(|v| format!("{v}{}", Self::PRIME)).collect();
+            idx = idx
+                .into_iter()
+                .map(|v| format!("{v}{}", Self::PRIME))
+                .collect();
         }
-        SimpleClass { index_vars: idx, variant: self.variant.clone() }
+        SimpleClass {
+            index_vars: idx,
+            variant: self.variant.clone(),
+        }
     }
 
     /// Extract the affine form of the second instance: every index variable
@@ -129,10 +135,10 @@ pub fn test_pair(a: &ArrayAccess, b: &ArrayAccess, ctx: &DepCtx) -> DepResult {
 }
 
 fn combine(verdicts: &[DimVerdict]) -> DepResult {
-    if verdicts.iter().any(|v| *v == DimVerdict::Independent) {
+    if verdicts.contains(&DimVerdict::Independent) {
         return DepResult::Independent;
     }
-    if verdicts.iter().any(|v| *v == DimVerdict::EqualOnly) {
+    if verdicts.contains(&DimVerdict::EqualOnly) {
         return DepResult::LoopIndependent;
     }
     // All dimensions are Distance/NoInfo. A single consistent nonzero
@@ -170,7 +176,13 @@ fn dim_verdict(sa: &Sub, sb: &Sub, a: &ArrayAccess, b: &ArrayAccess, ctx: &DepCt
 }
 
 /// Test one point-subscript dimension.
-fn point_verdict(ea: &Expr, eb: &Expr, a: &ArrayAccess, b: &ArrayAccess, ctx: &DepCtx) -> DimVerdict {
+fn point_verdict(
+    ea: &Expr,
+    eb: &Expr,
+    a: &ArrayAccess,
+    b: &ArrayAccess,
+    ctx: &DepCtx,
+) -> DimVerdict {
     // unique-operator dimensions: injective in their arguments.
     if let (Expr::Unique(ida, args_a), Expr::Unique(idb, args_b)) = (ea, eb) {
         if ida == idb && args_a.len() == args_b.len() {
@@ -200,7 +212,11 @@ fn point_verdict(ea: &Expr, eb: &Expr, a: &ArrayAccess, b: &ArrayAccess, ctx: &D
     // nothing about which iterations collide, so it is NoInfo, not
     // EqualOnly (EqualOnly is reserved for verdicts that force i == i').
     if vars.is_empty() {
-        return if diff.konst != 0 { DimVerdict::Independent } else { DimVerdict::NoInfo };
+        return if diff.konst != 0 {
+            DimVerdict::Independent
+        } else {
+            DimVerdict::NoInfo
+        };
     }
 
     // GCD test.
@@ -227,7 +243,11 @@ fn point_verdict(ea: &Expr, eb: &Expr, a: &ArrayAccess, b: &ArrayAccess, ctx: &D
                     return DimVerdict::Independent;
                 }
             }
-            return if d == 0 { DimVerdict::EqualOnly } else { DimVerdict::Distance(d) };
+            return if d == 0 {
+                DimVerdict::EqualOnly
+            } else {
+                DimVerdict::Distance(d)
+            };
         }
     }
 
@@ -374,11 +394,22 @@ mod tests {
     use fir::ast::Expr as E;
 
     fn acc(array: &str, subs: Vec<Sub>, is_write: bool) -> ArrayAccess {
-        ArrayAccess { array: array.into(), subs, is_write, pos: 0, guard_depth: 0, inners: vec![] }
+        ArrayAccess {
+            array: array.into(),
+            subs,
+            is_write,
+            pos: 0,
+            guard_depth: 0,
+            inners: vec![],
+        }
     }
 
     fn ctx(carried: &str, bounds: Option<(i64, i64)>) -> DepCtx {
-        DepCtx { carried: carried.into(), carried_bounds: bounds, variant: vec![] }
+        DepCtx {
+            carried: carried.into(),
+            carried_bounds: bounds,
+            variant: vec![],
+        }
     }
 
     #[test]
@@ -386,7 +417,10 @@ mod tests {
         // A(I) write vs A(I) read: distance 0 ⇒ parallelizable.
         let w = acc("A", vec![Sub::At(E::var("I"))], true);
         let r = acc("A", vec![Sub::At(E::var("I"))], false);
-        assert_eq!(test_pair(&w, &r, &ctx("I", Some((1, 100)))), DepResult::LoopIndependent);
+        assert_eq!(
+            test_pair(&w, &r, &ctx("I", Some((1, 100)))),
+            DepResult::LoopIndependent
+        );
     }
 
     #[test]
@@ -395,7 +429,10 @@ mod tests {
         // carried with distance +1.
         let w = acc("A", vec![Sub::At(E::var("I"))], true);
         let r = acc("A", vec![Sub::At(E::sub(E::var("I"), E::int(1)))], false);
-        assert_eq!(test_pair(&w, &r, &ctx("I", Some((1, 100)))), DepResult::Carried(Some(1)));
+        assert_eq!(
+            test_pair(&w, &r, &ctx("I", Some((1, 100)))),
+            DepResult::Carried(Some(1))
+        );
     }
 
     #[test]
@@ -403,7 +440,10 @@ mod tests {
         // A(I) vs A(I+200) in a loop of 100 iterations.
         let w = acc("A", vec![Sub::At(E::var("I"))], true);
         let r = acc("A", vec![Sub::At(E::add(E::var("I"), E::int(200)))], false);
-        assert_eq!(test_pair(&w, &r, &ctx("I", Some((1, 100)))), DepResult::Independent);
+        assert_eq!(
+            test_pair(&w, &r, &ctx("I", Some((1, 100)))),
+            DepResult::Independent
+        );
     }
 
     #[test]
@@ -415,7 +455,10 @@ mod tests {
             vec![Sub::At(E::add(E::mul(E::int(2), E::var("I")), E::int(1)))],
             false,
         );
-        assert_eq!(test_pair(&w, &r, &ctx("I", Some((1, 100)))), DepResult::Independent);
+        assert_eq!(
+            test_pair(&w, &r, &ctx("I", Some((1, 100)))),
+            DepResult::Independent
+        );
     }
 
     #[test]
@@ -445,16 +488,30 @@ mod tests {
         let e = E::add(E::var("NBASE"), E::var("I"));
         let w = acc("T", vec![Sub::At(e.clone())], true);
         let r = acc("T", vec![Sub::At(e)], false);
-        assert_eq!(test_pair(&w, &r, &ctx("I", Some((1, 50)))), DepResult::LoopIndependent);
+        assert_eq!(
+            test_pair(&w, &r, &ctx("I", Some((1, 50)))),
+            DepResult::LoopIndependent
+        );
     }
 
     #[test]
     fn subscripted_subscripts_are_conservative() {
         // Paper §II-A1: T(IX(7)+I) vs T(IX(8)+I) — symbols differ, assume
         // dependence.
-        let w1 = acc("T", vec![Sub::At(E::add(E::idx("IX", vec![E::int(7)]), E::var("I")))], true);
-        let w2 = acc("T", vec![Sub::At(E::add(E::idx("IX", vec![E::int(8)]), E::var("I")))], true);
-        assert_eq!(test_pair(&w1, &w2, &ctx("I", Some((1, 100)))), DepResult::Carried(None));
+        let w1 = acc(
+            "T",
+            vec![Sub::At(E::add(E::idx("IX", vec![E::int(7)]), E::var("I")))],
+            true,
+        );
+        let w2 = acc(
+            "T",
+            vec![Sub::At(E::add(E::idx("IX", vec![E::int(8)]), E::var("I")))],
+            true,
+        );
+        assert_eq!(
+            test_pair(&w1, &w2, &ctx("I", Some((1, 100)))),
+            DepResult::Carried(None)
+        );
     }
 
     #[test]
@@ -463,7 +520,11 @@ mod tests {
         let a = acc("PP", vec![Sub::At(E::var("I"))], true);
         let b = acc(
             "PP",
-            vec![Sub::At(E::var("I")), Sub::At(E::var("J")), Sub::At(E::var("K"))],
+            vec![
+                Sub::At(E::var("I")),
+                Sub::At(E::var("J")),
+                Sub::At(E::var("K")),
+            ],
             false,
         );
         assert_eq!(test_pair(&a, &b, &ctx("I", None)), DepResult::Carried(None));
@@ -473,11 +534,24 @@ mod tests {
     fn second_dim_disambiguates_columns() {
         // FE(J, ID) with ID affine in the carried var K: strong SIV on dim 2.
         let w = acc("FE", vec![Sub::At(E::var("J")), Sub::At(E::var("K"))], true);
-        let r = acc("FE", vec![Sub::At(E::var("J")), Sub::At(E::add(E::var("K"), E::int(3)))], false);
+        let r = acc(
+            "FE",
+            vec![
+                Sub::At(E::var("J")),
+                Sub::At(E::add(E::var("K"), E::int(3))),
+            ],
+            false,
+        );
         // Distance 3 within a 10-iteration loop: carried.
-        assert_eq!(test_pair(&w, &r, &ctx("K", Some((1, 10)))), DepResult::Carried(Some(-3)));
+        assert_eq!(
+            test_pair(&w, &r, &ctx("K", Some((1, 10)))),
+            DepResult::Carried(Some(-3))
+        );
         // But with only 2 iterations the distance is out of range.
-        assert_eq!(test_pair(&w, &r, &ctx("K", Some((1, 2)))), DepResult::Independent);
+        assert_eq!(
+            test_pair(&w, &r, &ctx("K", Some((1, 2)))),
+            DepResult::Independent
+        );
     }
 
     #[test]
@@ -487,7 +561,10 @@ mod tests {
         let sa = Sub::At(E::Unique(1, vec![E::add(E::var("NB"), E::var("I"))]));
         let w1 = acc("RHSB", vec![sa.clone()], true);
         let w2 = acc("RHSB", vec![sa], true);
-        assert_eq!(test_pair(&w1, &w2, &ctx("I", Some((1, 100)))), DepResult::LoopIndependent);
+        assert_eq!(
+            test_pair(&w1, &w2, &ctx("I", Some((1, 100)))),
+            DepResult::LoopIndependent
+        );
     }
 
     #[test]
@@ -495,26 +572,38 @@ mod tests {
         let sa = Sub::At(E::Unique(1, vec![E::var("N")]));
         let w1 = acc("R", vec![sa.clone()], true);
         let w2 = acc("R", vec![sa], true);
-        assert_eq!(test_pair(&w1, &w2, &ctx("I", Some((1, 100)))), DepResult::Carried(None));
+        assert_eq!(
+            test_pair(&w1, &w2, &ctx("I", Some((1, 100)))),
+            DepResult::Carried(None)
+        );
     }
 
     #[test]
     fn different_unique_ids_are_conservative() {
         let w1 = acc("R", vec![Sub::At(E::Unique(1, vec![E::var("I")]))], true);
         let w2 = acc("R", vec![Sub::At(E::Unique(2, vec![E::var("I")]))], true);
-        assert_eq!(test_pair(&w1, &w2, &ctx("I", Some((1, 100)))), DepResult::Carried(None));
+        assert_eq!(
+            test_pair(&w1, &w2, &ctx("I", Some((1, 100)))),
+            DepResult::Carried(None)
+        );
     }
 
     #[test]
     fn range_dimensions_disjoint_constants() {
         let a = acc(
             "X",
-            vec![Sub::Range { lo: Some(E::int(1)), hi: Some(E::int(5)) }],
+            vec![Sub::Range {
+                lo: Some(E::int(1)),
+                hi: Some(E::int(5)),
+            }],
             true,
         );
         let b = acc(
             "X",
-            vec![Sub::Range { lo: Some(E::int(6)), hi: Some(E::int(10)) }],
+            vec![Sub::Range {
+                lo: Some(E::int(6)),
+                hi: Some(E::int(10)),
+            }],
             false,
         );
         assert_eq!(test_pair(&a, &b, &ctx("I", None)), DepResult::Independent);
@@ -526,7 +615,10 @@ mod tests {
         // equality of the carried iteration.
         let w = acc("FE", vec![Sub::Full, Sub::At(E::var("K"))], true);
         let r = acc("FE", vec![Sub::Full, Sub::At(E::var("K"))], false);
-        assert_eq!(test_pair(&w, &r, &ctx("K", Some((1, 8)))), DepResult::LoopIndependent);
+        assert_eq!(
+            test_pair(&w, &r, &ctx("K", Some((1, 8)))),
+            DepResult::LoopIndependent
+        );
     }
 
     #[test]
@@ -543,7 +635,10 @@ mod tests {
         let mut r = acc("A", vec![Sub::At(E::var("J")), Sub::At(E::var("I"))], false);
         w.inners = vec![inner.clone()];
         r.inners = vec![inner];
-        assert_eq!(test_pair(&w, &r, &ctx("I", Some((1, 100)))), DepResult::LoopIndependent);
+        assert_eq!(
+            test_pair(&w, &r, &ctx("I", Some((1, 100)))),
+            DepResult::LoopIndependent
+        );
     }
 
     #[test]
@@ -560,7 +655,10 @@ mod tests {
         let mut r = acc("A", vec![Sub::At(E::add(E::var("J"), E::int(10)))], false);
         w.inners = vec![inner.clone()];
         r.inners = vec![inner];
-        assert_eq!(test_pair(&w, &r, &ctx("I", Some((1, 100)))), DepResult::Independent);
+        assert_eq!(
+            test_pair(&w, &r, &ctx("I", Some((1, 100)))),
+            DepResult::Independent
+        );
     }
 
     #[test]
@@ -611,22 +709,46 @@ mod direction_tests {
     #[test]
     fn linearized_slices_with_big_stride_are_loop_independent() {
         // A(I + (J-1)*64) with I in 1..64: columns disjoint across J.
-        let inner = InnerLoop { var: "I".into(), lo: E::int(1), hi: E::int(64), step: None };
-        let sub = E::add(E::var("I"), E::mul(E::sub(E::var("J"), E::int(1)), E::int(64)));
+        let inner = InnerLoop {
+            var: "I".into(),
+            lo: E::int(1),
+            hi: E::int(64),
+            step: None,
+        };
+        let sub = E::add(
+            E::var("I"),
+            E::mul(E::sub(E::var("J"), E::int(1)), E::int(64)),
+        );
         let w = acc_inner("A", sub.clone(), true, &inner);
         let r = acc_inner("A", sub, false, &inner);
-        let ctx = DepCtx { carried: "J".into(), carried_bounds: Some((1, 32)), variant: vec![] };
+        let ctx = DepCtx {
+            carried: "J".into(),
+            carried_bounds: Some((1, 32)),
+            variant: vec![],
+        };
         assert_eq!(test_pair(&w, &r, &ctx), DepResult::LoopIndependent);
     }
 
     #[test]
     fn linearized_slices_with_small_stride_conflict() {
         // Stride 8 < inner extent 64: rows overlap across J.
-        let inner = InnerLoop { var: "I".into(), lo: E::int(1), hi: E::int(64), step: None };
-        let sub = E::add(E::var("I"), E::mul(E::sub(E::var("J"), E::int(1)), E::int(8)));
+        let inner = InnerLoop {
+            var: "I".into(),
+            lo: E::int(1),
+            hi: E::int(64),
+            step: None,
+        };
+        let sub = E::add(
+            E::var("I"),
+            E::mul(E::sub(E::var("J"), E::int(1)), E::int(8)),
+        );
         let w = acc_inner("A", sub.clone(), true, &inner);
         let r = acc_inner("A", sub, false, &inner);
-        let ctx = DepCtx { carried: "J".into(), carried_bounds: Some((1, 32)), variant: vec![] };
+        let ctx = DepCtx {
+            carried: "J".into(),
+            carried_bounds: Some((1, 32)),
+            variant: vec![],
+        };
         assert_eq!(test_pair(&w, &r, &ctx), DepResult::Carried(None));
     }
 
@@ -634,11 +756,20 @@ mod direction_tests {
     fn unknown_carried_range_still_proves_directions() {
         // Even with unknown carried bounds, |stride| ≥ inner extent proves
         // the < and > directions infeasible.
-        let inner = InnerLoop { var: "I".into(), lo: E::int(1), hi: E::int(16), step: None };
+        let inner = InnerLoop {
+            var: "I".into(),
+            lo: E::int(1),
+            hi: E::int(16),
+            step: None,
+        };
         let sub = E::add(E::var("I"), E::mul(E::var("J"), E::int(16)));
         let w = acc_inner("A", sub.clone(), true, &inner);
         let r = acc_inner("A", sub, false, &inner);
-        let ctx = DepCtx { carried: "J".into(), carried_bounds: None, variant: vec![] };
+        let ctx = DepCtx {
+            carried: "J".into(),
+            carried_bounds: None,
+            variant: vec![],
+        };
         assert_eq!(test_pair(&w, &r, &ctx), DepResult::LoopIndependent);
     }
 }

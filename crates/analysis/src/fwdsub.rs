@@ -34,14 +34,14 @@ fn assigned_names(block: &Block, out: &mut Vec<Ident>) {
     for s in block {
         match &s.kind {
             StmtKind::Assign { lhs, .. } => match lhs {
-                Expr::Var(n) | Expr::Index(n, _) | Expr::Section(n, _) => {
-                    if !out.contains(n) {
-                        out.push(n.clone());
-                    }
+                Expr::Var(n) | Expr::Index(n, _) | Expr::Section(n, _) if !out.contains(n) => {
+                    out.push(n.clone());
                 }
                 _ => {}
             },
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 assigned_names(then_blk, out);
                 assigned_names(else_blk, out);
             }
@@ -111,16 +111,18 @@ fn walk(block: &mut Block, env: &mut Env, is_array: &dyn Fn(&str) -> bool) {
                     _ => {}
                 }
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 subst(cond, env);
                 let mut env_then = env.clone();
                 let mut env_else = env.clone();
                 walk(then_blk, &mut env_then, is_array);
                 walk(else_blk, &mut env_else, is_array);
                 // Keep only entries identical on both paths.
-                env.retain(|k, v| {
-                    env_then.get(k) == Some(v) && env_else.get(k) == Some(v)
-                });
+                env.retain(|k, v| env_then.get(k) == Some(v) && env_else.get(k) == Some(v));
             }
             StmtKind::Do(d) => {
                 subst(&mut d.lo, env);

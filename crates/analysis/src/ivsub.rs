@@ -77,7 +77,9 @@ fn rewrite_stmt_uses(s: &mut Stmt, name: &str, offset: &Expr) {
     stmt_exprs_mut(s, &mut |e| replace_uses(e, name, offset));
     // Descend into nested bodies with the same offset.
     match &mut s.kind {
-        StmtKind::If { then_blk, else_blk, .. } => {
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => {
             for t in then_blk.iter_mut().chain(else_blk.iter_mut()) {
                 rewrite_stmt_uses(t, name, offset);
             }
@@ -144,7 +146,9 @@ fn subst_inner(d: &mut DoLoop, name: &str, incr: i64) -> bool {
 
     // Validate the inner loop shape.
     let (inner_var, inner_lo, trip) = {
-        let StmtKind::Do(inner) = &d.body[bi].kind else { unreachable!() };
+        let StmtKind::Do(inner) = &d.body[bi].kind else {
+            unreachable!()
+        };
         if !matches!(inner.step_expr(), Expr::Int(1)) {
             return false;
         }
@@ -161,10 +165,7 @@ fn subst_inner(d: &mut DoLoop, name: &str, incr: i64) -> bool {
     let per_outer = outer_base(d, incr * trip); // (i - lo) * T * c
     let inner_prog = {
         // (j - lo_j) * c
-        let mut e = Expr::mul(
-            Expr::sub(Expr::var(inner_var), inner_lo),
-            Expr::int(incr),
-        );
+        let mut e = Expr::mul(Expr::sub(Expr::var(inner_var), inner_lo), Expr::int(incr));
         fold_expr(&mut e);
         e
     };
@@ -181,7 +182,9 @@ fn subst_inner(d: &mut DoLoop, name: &str, incr: i64) -> bool {
         } else if i > bi {
             rewrite_stmt_uses(s, name, &after_inner_loop);
         } else {
-            let StmtKind::Do(inner) = &mut s.kind else { unreachable!() };
+            let StmtKind::Do(inner) = &mut s.kind else {
+                unreachable!()
+            };
             for (j, t) in inner.body.iter_mut().enumerate() {
                 if j < k {
                     rewrite_stmt_uses(t, name, &before_in_inner);
@@ -245,7 +248,10 @@ mod tests {
 ",
             &["Y"],
         );
-        assert!(out.contains("Y(K + (J - 1))") || out.contains("Y(K + (J - 1)*1)"), "{out}");
+        assert!(
+            out.contains("Y(K + (J - 1))") || out.contains("Y(K + (J - 1)*1)"),
+            "{out}"
+        );
     }
 
     #[test]

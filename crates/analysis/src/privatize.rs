@@ -68,7 +68,10 @@ pub fn regions_of(acc: &ArrayAccess) -> Vec<DimRegion> {
         .iter()
         .map(|s| match s {
             Sub::Full => DimRegion::Whole,
-            Sub::Range { lo: Some(l), hi: Some(h) } => DimRegion::Range(l.clone(), h.clone()),
+            Sub::Range {
+                lo: Some(l),
+                hi: Some(h),
+            } => DimRegion::Range(l.clone(), h.clone()),
             Sub::Range { .. } => DimRegion::Whole,
             Sub::At(e) => {
                 // Subscript equal to an enclosing inner-loop variable sweeps
@@ -121,7 +124,12 @@ pub struct PrivArray {
 /// temporary — privatizing it would discard all but the last iteration's
 /// slice. Such arrays are left to the dependence tests, which prove the
 /// slices disjoint instead.
-pub fn try_privatize(array: &str, refs: &BodyRefs, escapes: bool, carried: &str) -> Option<PrivArray> {
+pub fn try_privatize(
+    array: &str,
+    refs: &BodyRefs,
+    escapes: bool,
+    carried: &str,
+) -> Option<PrivArray> {
     let accs = refs.accesses_of(array);
     let has_write = accs.iter().any(|a| a.is_write);
     let has_read = accs.iter().any(|a| !a.is_write);
@@ -159,7 +167,10 @@ pub fn try_privatize(array: &str, refs: &BodyRefs, escapes: bool, carried: &str)
                 .any(|w| {
                     let w_regions = regions_of(w);
                     w_regions.len() == r_regions.len()
-                        && w_regions.iter().zip(&r_regions).all(|(wr, rr)| wr.covers(rr))
+                        && w_regions
+                            .iter()
+                            .zip(&r_regions)
+                            .all(|(wr, rr)| wr.covers(rr))
                 });
             if !covered {
                 return None;
@@ -167,7 +178,10 @@ pub fn try_privatize(array: &str, refs: &BodyRefs, escapes: bool, carried: &str)
         }
     }
 
-    Some(PrivArray { name: array.to_string(), needs_copy_out: escapes })
+    Some(PrivArray {
+        name: array.to_string(),
+        needs_copy_out: escapes,
+    })
 }
 
 #[cfg(test)]

@@ -23,7 +23,12 @@ pub struct InnerLoop {
 impl InnerLoop {
     /// Build from a `DoLoop`.
     pub fn of(d: &DoLoop) -> InnerLoop {
-        InnerLoop { var: d.var.clone(), lo: d.lo.clone(), hi: d.hi.clone(), step: d.step.clone() }
+        InnerLoop {
+            var: d.var.clone(),
+            lo: d.lo.clone(),
+            hi: d.hi.clone(),
+            step: d.step.clone(),
+        }
     }
 }
 
@@ -101,7 +106,13 @@ impl BodyRefs {
     /// whether a bare `Var` or an `Index` base names an array (from the
     /// symbol table; unknown names default to scalar).
     pub fn collect(loop_: &DoLoop, is_array: &dyn Fn(&str) -> bool) -> BodyRefs {
-        let mut c = Collector { out: BodyRefs::default(), pos: 0, guards: 0, inners: Vec::new(), is_array };
+        let mut c = Collector {
+            out: BodyRefs::default(),
+            pos: 0,
+            guards: 0,
+            inners: Vec::new(),
+            is_array,
+        };
         c.block(&loop_.body);
         c.out
     }
@@ -158,7 +169,11 @@ impl<'a> Collector<'a> {
                         for sub in subs {
                             self.expr_read(sub);
                         }
-                        self.push_array(name, subs.iter().map(|e| Sub::At(e.clone())).collect(), true);
+                        self.push_array(
+                            name,
+                            subs.iter().map(|e| Sub::At(e.clone())).collect(),
+                            true,
+                        );
                     }
                     Expr::Section(name, ranges) => {
                         self.section_reads(ranges);
@@ -178,7 +193,11 @@ impl<'a> Collector<'a> {
                 self.expr_read(rhs);
                 self.pos += 1;
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 self.expr_read(cond);
                 self.pos += 1;
                 self.guards += 1;
@@ -305,9 +324,10 @@ fn sec_to_sub(r: &SecRange) -> Sub {
     match r {
         SecRange::Full => Sub::Full,
         SecRange::At(e) => Sub::At(e.clone()),
-        SecRange::Range { lo, hi, .. } => {
-            Sub::Range { lo: lo.as_deref().cloned(), hi: hi.as_deref().cloned() }
-        }
+        SecRange::Range { lo, hi, .. } => Sub::Range {
+            lo: lo.as_deref().cloned(),
+            hi: hi.as_deref().cloned(),
+        },
     }
 }
 
@@ -452,8 +472,16 @@ mod tests {
         let a = r.arrays.iter().find(|x| x.array == "A").unwrap();
         let b = r.arrays.iter().find(|x| x.array == "B").unwrap();
         assert!(a.pos < b.pos);
-        let sw = r.scalars.iter().find(|s| s.name == "S" && s.is_write).unwrap();
-        let sr = r.scalars.iter().find(|s| s.name == "S" && !s.is_write).unwrap();
+        let sw = r
+            .scalars
+            .iter()
+            .find(|s| s.name == "S" && s.is_write)
+            .unwrap();
+        let sr = r
+            .scalars
+            .iter()
+            .find(|s| s.name == "S" && !s.is_write)
+            .unwrap();
         assert!(sw.pos < sr.pos);
     }
 }

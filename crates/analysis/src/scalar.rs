@@ -58,7 +58,8 @@ impl ScalarInfo {
     pub fn privates(&self) -> Vec<Ident> {
         self.classes
             .iter()
-            .filter_map(|(n, c)| (*c == ScalarClass::Private).then(|| n.clone()))
+            .filter(|&(_n, c)| *c == ScalarClass::Private)
+            .map(|(n, _c)| n.clone())
             .collect()
     }
 
@@ -66,7 +67,8 @@ impl ScalarInfo {
     pub fn carried(&self) -> Vec<Ident> {
         self.classes
             .iter()
-            .filter_map(|(n, c)| (*c == ScalarClass::LoopCarried).then(|| n.clone()))
+            .filter(|&(_n, c)| *c == ScalarClass::LoopCarried)
+            .map(|(n, _c)| n.clone())
             .collect()
     }
 
@@ -74,7 +76,8 @@ impl ScalarInfo {
     pub fn inductions(&self) -> Vec<Ident> {
         self.classes
             .iter()
-            .filter_map(|(n, c)| matches!(c, ScalarClass::Induction { .. }).then(|| n.clone()))
+            .filter(|&(_n, c)| matches!(c, ScalarClass::Induction { .. }))
+            .map(|(n, _c)| n.clone())
             .collect()
     }
 }
@@ -209,7 +212,11 @@ impl<'a> State<'a> {
                 }
                 self.reads(rhs);
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 self.reads(cond);
                 self.guard += 1;
                 let before = self.dominated.clone();
@@ -255,7 +262,11 @@ impl<'a> State<'a> {
     fn self_update(&self, name: &str, rhs: &Expr) -> Option<SelfUpdate> {
         let mk = |op: RedOp, operand: &Expr| SelfUpdate {
             op,
-            const_incr: if op == RedOp::Add { operand.as_int_const() } else { None },
+            const_incr: if op == RedOp::Add {
+                operand.as_int_const()
+            } else {
+                None
+            },
             in_inner: self.inner > 0,
             guarded: self.guard > 0,
         };
@@ -421,7 +432,13 @@ mod tests {
 ",
             &["X2", "FX"],
         );
-        assert_eq!(info.classes["K"], ScalarClass::Induction { incr: 1, in_inner: false });
+        assert_eq!(
+            info.classes["K"],
+            ScalarClass::Induction {
+                incr: 1,
+                in_inner: false
+            }
+        );
     }
 
     #[test]
@@ -438,7 +455,13 @@ mod tests {
 ",
             &["X2", "FX"],
         );
-        assert_eq!(info.classes["K"], ScalarClass::Induction { incr: 1, in_inner: true });
+        assert_eq!(
+            info.classes["K"],
+            ScalarClass::Induction {
+                incr: 1,
+                in_inner: true
+            }
+        );
     }
 
     #[test]

@@ -3,13 +3,16 @@
 //! `WTDET`; BDNA's `TWORK`) cannot be parallelized at all — the paper's
 //! design choice is what makes the FSMP-class gains possible.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
 use fpar::ParOptions;
 use ipp_core::{compile, InlineMode, PipelineOptions};
 
 fn options(peel: bool) -> PipelineOptions {
     let mut o = PipelineOptions::for_mode(InlineMode::Annotation);
-    o.par = ParOptions { enable_peel: peel, ..ParOptions::default() };
+    o.par = ParOptions {
+        enable_peel: peel,
+        ..ParOptions::default()
+    };
     o
 }
 
@@ -20,8 +23,12 @@ fn report_once() {
         let app = perfect::by_name(name).unwrap();
         let program = app.program();
         let registry = app.registry();
-        let on = compile(&program, &registry, &options(true)).parallel_loops().len();
-        let off = compile(&program, &registry, &options(false)).parallel_loops().len();
+        let on = compile(&program, &registry, &options(true))
+            .parallel_loops()
+            .len();
+        let off = compile(&program, &registry, &options(false))
+            .parallel_loops()
+            .len();
         println!("{name:<10} {on:>12} {off:>12}");
     }
     println!();
@@ -42,5 +49,7 @@ fn bench_peel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_peel);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_peel(&mut c);
+}

@@ -4,7 +4,7 @@
 //! reordered, commutative operands swapped — which exercises the
 //! backtracking paths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
 use finline::annot::AnnotRegistry;
 use finline::{annot_inline, reverse};
 use fir::ast::{BinOp, Expr, Program, StmtKind};
@@ -36,7 +36,10 @@ fn tagged_program(perturb: bool) -> (Program, AnnotRegistry) {
             if let StmtKind::Tagged { body, .. } = &mut s.kind {
                 body.reverse();
                 for t in body.iter_mut() {
-                    if let StmtKind::Assign { rhs: Expr::Bin(BinOp::Add, l, r), .. } = &mut t.kind
+                    if let StmtKind::Assign {
+                        rhs: Expr::Bin(BinOp::Add, l, r),
+                        ..
+                    } = &mut t.kind
                     {
                         std::mem::swap(l, r);
                     }
@@ -56,7 +59,10 @@ fn report_once() {
             rep.restored.len(),
             rep.failed.len()
         );
-        assert!(rep.failed.is_empty(), "matcher must tolerate the perturbation");
+        assert!(
+            rep.failed.is_empty(),
+            "matcher must tolerate the perturbation"
+        );
     }
     println!();
 }
@@ -81,5 +87,7 @@ fn bench_reverse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reverse);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_reverse(&mut c);
+}

@@ -8,17 +8,23 @@
 //! unbounded budget cannot rescue the losses because the pathologies are
 //! shape problems, not size problems.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
 use finline::Heuristics;
 use ipp_core::{compile, InlineMode, PipelineOptions};
 
 fn heuristics_with(max_stmts: usize) -> Heuristics {
-    Heuristics { max_stmts, ..Heuristics::polaris() }
+    Heuristics {
+        max_stmts,
+        ..Heuristics::polaris()
+    }
 }
 
 fn report_once() {
     println!("\nABLATION — conventional inlining statement budget (BDNA + MDG + QCD)");
-    println!("{:>10} {:>10} {:>9} {:>10}", "budget", "par-loops", "par-loss", "par-extra");
+    println!(
+        "{:>10} {:>10} {:>9} {:>10}",
+        "budget", "par-loops", "par-loss", "par-extra"
+    );
     for budget in [0usize, 5, 50, 150, 100_000] {
         let mut loops = 0;
         let mut loss = 0;
@@ -27,7 +33,11 @@ fn report_once() {
             let app = perfect::by_name(name).unwrap();
             let program = app.program();
             let registry = app.registry();
-            let none = compile(&program, &registry, &PipelineOptions::for_mode(InlineMode::None));
+            let none = compile(
+                &program,
+                &registry,
+                &PipelineOptions::for_mode(InlineMode::None),
+            );
             let mut opts = PipelineOptions::for_mode(InlineMode::Conventional);
             opts.heuristics = heuristics_with(budget);
             let conv = compile(&program, &registry, &opts);
@@ -50,14 +60,20 @@ fn bench_thresholds(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/threshold");
     group.sample_size(10);
     for budget in [0usize, 150, 100_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
-            let mut opts = PipelineOptions::for_mode(InlineMode::Conventional);
-            opts.heuristics = heuristics_with(budget);
-            b.iter(|| std::hint::black_box(compile(&program, &registry, &opts).loc))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |b, &budget| {
+                let mut opts = PipelineOptions::for_mode(InlineMode::Conventional);
+                opts.heuristics = heuristics_with(budget);
+                b.iter(|| std::hint::black_box(compile(&program, &registry, &opts).loc))
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_thresholds);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_thresholds(&mut c);
+}

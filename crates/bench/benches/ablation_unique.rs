@@ -3,7 +3,7 @@
 //! one makes the scatter loops sequential — quantifying how much of the
 //! annotation gains come specifically from injectivity.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
 use finline::annot::AnnotRegistry;
 use ipp_core::{compile, InlineMode, PipelineOptions};
 
@@ -42,7 +42,9 @@ fn gains(annot: &str) -> usize {
     let reg = AnnotRegistry::parse(annot).unwrap();
     let none = compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::None));
     let ann = compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Annotation));
-    ann.parallel_loops().difference(&none.parallel_loops()).count()
+    ann.parallel_loops()
+        .difference(&none.parallel_loops())
+        .count()
 }
 
 fn report_once() {
@@ -70,5 +72,7 @@ fn bench_unique(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_unique);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_unique(&mut c);
+}

@@ -2,7 +2,7 @@
 //! the subscript-wise dependence tests (including the `unique` and
 //! symbolic-term paths), and whole-loop analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
 use fdep::affine::{extract, SimpleClass};
 use fdep::analyze::{analyze_loop, UnitCtx};
 use fdep::ddtest::{test_pair, DepCtx};
@@ -40,7 +40,11 @@ fn bench_ddtest(c: &mut Criterion) {
         guard_depth: 0,
         inners: vec![],
     };
-    let ctx = DepCtx { carried: "I".into(), carried_bounds: Some((1, 1000)), variant: vec![] };
+    let ctx = DepCtx {
+        carried: "I".into(),
+        carried_bounds: Some((1, 1000)),
+        variant: vec![],
+    };
 
     let siv_w = mk(Expr::var("I"), true);
     let siv_r = mk(Expr::sub(Expr::var("I"), Expr::int(1)), false);
@@ -48,13 +52,22 @@ fn bench_ddtest(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(test_pair(&siv_w, &siv_r, &ctx)))
     });
 
-    let sym_a = mk(Expr::add(Expr::idx("IX", vec![Expr::int(7)]), Expr::var("I")), true);
-    let sym_b = mk(Expr::add(Expr::idx("IX", vec![Expr::int(8)]), Expr::var("I")), true);
+    let sym_a = mk(
+        Expr::add(Expr::idx("IX", vec![Expr::int(7)]), Expr::var("I")),
+        true,
+    );
+    let sym_b = mk(
+        Expr::add(Expr::idx("IX", vec![Expr::int(8)]), Expr::var("I")),
+        true,
+    );
     c.bench_function("micro/ddtest_symbolic", |b| {
         b.iter(|| std::hint::black_box(test_pair(&sym_a, &sym_b, &ctx)))
     });
 
-    let u = mk(Expr::Unique(1, vec![Expr::add(Expr::var("NB"), Expr::var("I"))]), true);
+    let u = mk(
+        Expr::Unique(1, vec![Expr::add(Expr::var("NB"), Expr::var("I"))]),
+        true,
+    );
     c.bench_function("micro/ddtest_unique", |b| {
         b.iter(|| std::hint::black_box(test_pair(&u, &u, &ctx)))
     });
@@ -90,5 +103,9 @@ fn bench_analyze_loop(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_affine, bench_ddtest, bench_analyze_loop);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_affine(&mut c);
+    bench_ddtest(&mut c);
+    bench_analyze_loop(&mut c);
+}

@@ -1,0 +1,107 @@
+//! Suite-evaluation scaling: the legacy serial path (three-run `verify`
+//! plus a separate cost-model run per configuration — 12 interpreter runs
+//! per application) versus the concurrent cached driver (baseline memo +
+//! verify dedup — at most 7 runs per application) at several worker
+//! counts. Run with `cargo bench --bench driver_scaling`.
+//!
+//! Emits `crates/bench/artifacts/driver_scaling.json` with the measured
+//! wall-clocks, the driver's interpreter-run accounting, and the headline
+//! speedup of the 4-worker driver over the legacy path.
+
+use bench::harness::{fmt_dur, median_of};
+use bench::machines;
+use ipp_core::driver::DriverOptions;
+use perfect::{driver_options, evaluate_suite_serial, evaluate_suite_with_metrics};
+use std::time::Duration;
+
+const SAMPLES: usize = 3;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct DriverSample {
+    workers: usize,
+    median: Duration,
+    interp_runs: u64,
+    memo_hits: u64,
+    cache_hits: u64,
+}
+
+fn main() {
+    let ms = machines();
+
+    println!("group: driver_scaling");
+    let legacy = median_of(SAMPLES, || evaluate_suite_serial(&ms));
+    println!(
+        "bench: {:<44} median {:>12}",
+        "driver_scaling/legacy-serial",
+        fmt_dur(legacy)
+    );
+
+    let mut samples = Vec::new();
+    for workers in WORKER_COUNTS {
+        let opts = DriverOptions {
+            workers,
+            ..driver_options(&ms)
+        };
+        let mut last_metrics = None;
+        let median = median_of(SAMPLES, || {
+            let (evals, metrics) = evaluate_suite_with_metrics(&ms, &opts);
+            last_metrics = Some(metrics);
+            evals
+        });
+        let m = last_metrics.expect("at least one sample ran");
+        println!(
+            "bench: {:<44} median {:>12}   (interp-runs {}, memo-hits {}, cache-hits {})",
+            format!("driver_scaling/driver-w{workers}"),
+            fmt_dur(median),
+            m.interp_runs,
+            m.baseline_memo_hits,
+            m.verify_cache_hits
+        );
+        samples.push(DriverSample {
+            workers,
+            median,
+            interp_runs: m.interp_runs,
+            memo_hits: m.baseline_memo_hits,
+            cache_hits: m.verify_cache_hits,
+        });
+    }
+
+    let at4 = samples
+        .iter()
+        .find(|s| s.workers == 4)
+        .expect("4-worker sample present");
+    let speedup = legacy.as_secs_f64() / at4.median.as_secs_f64();
+    println!("\ndriver_scaling: 4-worker driver vs legacy serial = {speedup:.2}x");
+
+    let driver_json: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"workers\":{},\"median_ns\":{},\"interp_runs\":{},\"baseline_memo_hits\":{},\"verify_cache_hits\":{}}}",
+                s.workers,
+                s.median.as_nanos(),
+                s.interp_runs,
+                s.memo_hits,
+                s.cache_hits
+            )
+        })
+        .collect();
+    // 12 apps x (3-run verify x 3 modes + 3 cost-model runs) on the
+    // legacy path; the host CPU count contextualizes the worker curve
+    // (on a single-CPU host the gain is all caching, not fan-out).
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\"bench\":\"driver_scaling\",\"samples_per_point\":{},\"host_cpus\":{},\"legacy_interp_runs\":144,\"legacy_serial_median_ns\":{},\"driver\":[{}],\"speedup_w4_vs_legacy\":{:.4}}}\n",
+        SAMPLES,
+        host_cpus,
+        legacy.as_nanos(),
+        driver_json.join(","),
+        speedup
+    );
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("artifacts");
+    std::fs::create_dir_all(&dir).expect("create artifacts dir");
+    let path = dir.join("driver_scaling.json");
+    std::fs::write(&path, &json).expect("write driver_scaling.json");
+    println!("artifact: {}", path.display());
+}

@@ -1,9 +1,9 @@
-//! Criterion bench for the Figure 20 measurement harness: interpreter run
-//! + machine-model simulation + empirical tuning per configuration. Run
+//! Criterion bench for the Figure 20 measurement harness: interpreter run,
+//! machine-model simulation, and empirical tuning per configuration. Run
 //! with `cargo bench --bench fig20`; the figure's data itself comes from
 //! `cargo run -p bench --bin gen_fig20`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
 use fruntime::{run, simulate, tune, ExecOptions, Machine};
 use ipp_core::{compile, InlineMode, PipelineOptions};
 
@@ -14,16 +14,24 @@ fn bench_measurement(c: &mut Criterion) {
         let app = perfect::by_name(name).unwrap();
         let program = app.program();
         let registry = app.registry();
-        let r = compile(&program, &registry, &PipelineOptions::for_mode(InlineMode::Annotation));
-        group.bench_with_input(BenchmarkId::new("run+simulate", name), &r.program, |b, p| {
-            b.iter(|| {
-                let seq = run(p, &ExecOptions::default()).unwrap();
-                let m = Machine::intel8();
-                let disabled = tune(&seq.par_events, &m);
-                let sim = simulate(seq.total_ops, &seq.par_events, &m, &disabled);
-                std::hint::black_box(sim.speedup())
-            })
-        });
+        let r = compile(
+            &program,
+            &registry,
+            &PipelineOptions::for_mode(InlineMode::Annotation),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("run+simulate", name),
+            &r.program,
+            |b, p| {
+                b.iter(|| {
+                    let seq = run(p, &ExecOptions::default()).unwrap();
+                    let m = Machine::intel8();
+                    let disabled = tune(&seq.par_events, &m);
+                    let sim = simulate(seq.total_ops, &seq.par_events, &m, &disabled);
+                    std::hint::black_box(sim.speedup())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -33,13 +41,24 @@ fn bench_threaded_execution(c: &mut Criterion) {
     let app = perfect::by_name("TRFD").unwrap();
     let program = app.program();
     let registry = app.registry();
-    let r = compile(&program, &registry, &PipelineOptions::for_mode(InlineMode::Annotation));
+    let r = compile(
+        &program,
+        &registry,
+        &PipelineOptions::for_mode(InlineMode::Annotation),
+    );
     let mut group = c.benchmark_group("fig20/threads");
     group.sample_size(10);
     for threads in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             b.iter(|| {
-                let out = run(&r.program, &ExecOptions { threads: t, ..Default::default() }).unwrap();
+                let out = run(
+                    &r.program,
+                    &ExecOptions {
+                        threads: t,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
                 std::hint::black_box(out.total_ops)
             })
         });
@@ -47,5 +66,8 @@ fn bench_threaded_execution(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_measurement, bench_threaded_execution);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_measurement(&mut c);
+    bench_threaded_execution(&mut c);
+}

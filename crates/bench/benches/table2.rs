@@ -3,7 +3,7 @@
 //! the suite. Run with `cargo bench --bench table2`; the one-shot Table II
 //! data itself comes from `cargo run -p bench --bin gen_table2`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
 use ipp_core::{compile, InlineMode, PipelineOptions};
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -14,16 +14,12 @@ fn bench_pipeline(c: &mut Criterion) {
         let program = app.program();
         let registry = app.registry();
         for mode in InlineMode::all() {
-            group.bench_with_input(
-                BenchmarkId::new(name, mode.label()),
-                &mode,
-                |b, &mode| {
-                    b.iter(|| {
-                        let r = compile(&program, &registry, &PipelineOptions::for_mode(mode));
-                        std::hint::black_box(r.parallel_loops().len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, mode.label()), &mode, |b, &mode| {
+                b.iter(|| {
+                    let r = compile(&program, &registry, &PipelineOptions::for_mode(mode));
+                    std::hint::black_box(r.parallel_loops().len())
+                })
+            });
         }
     }
     group.finish();
@@ -34,13 +30,28 @@ fn bench_loop_accounting(c: &mut Criterion) {
     let app = perfect::by_name("MDG").unwrap();
     let program = app.program();
     let registry = app.registry();
-    let none = compile(&program, &registry, &PipelineOptions::for_mode(InlineMode::None));
-    let conv = compile(&program, &registry, &PipelineOptions::for_mode(InlineMode::Conventional));
-    let annot = compile(&program, &registry, &PipelineOptions::for_mode(InlineMode::Annotation));
+    let none = compile(
+        &program,
+        &registry,
+        &PipelineOptions::for_mode(InlineMode::None),
+    );
+    let conv = compile(
+        &program,
+        &registry,
+        &PipelineOptions::for_mode(InlineMode::Conventional),
+    );
+    let annot = compile(
+        &program,
+        &registry,
+        &PipelineOptions::for_mode(InlineMode::Annotation),
+    );
     c.bench_function("table2/rows", |b| {
         b.iter(|| std::hint::black_box(ipp_core::table2_rows("MDG", &none, &conv, &annot)))
     });
 }
 
-criterion_group!(benches, bench_pipeline, bench_loop_accounting);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_pipeline(&mut c);
+    bench_loop_accounting(&mut c);
+}

@@ -8,17 +8,23 @@
 //!   configuration × machine, after §IV-B empirical tuning).
 //! * `gen_all` — both, plus the verification summary.
 //!
-//! Criterion benches (`cargo bench`):
+//! Benches (`cargo bench`, on the local [`harness`] shim — the build
+//! container has no crates.io access, so criterion is replaced by a
+//! API-compatible wall-clock harness):
 //! * `table2` / `fig20` — wall-clock of the pipeline per configuration and
 //!   of the measurement harness.
+//! * `driver_scaling` — legacy serial evaluation vs the concurrent cached
+//!   driver at several worker counts; emits a JSON artifact.
 //! * `ablation_threshold` — the ≤150-statement inlining budget swept.
 //! * `ablation_peel` — last-iteration peeling on/off (legality accounting).
 //! * `ablation_reverse` — reverse-inlining pattern matcher tolerance cost.
 //! * `analysis_micro` — dependence-test microbenchmarks.
 
+pub mod harness;
+
 use fruntime::Machine;
-use ipp_core::{render_fig20, render_table2, totals_for, Fig20Point, Table2Row};
-use perfect::{evaluate_suite, AppEvaluation};
+use ipp_core::{render_fig20, render_table2, totals_for, Fig20Point, SuiteMetrics, Table2Row};
+use perfect::{driver_options, evaluate_suite, evaluate_suite_with_metrics, AppEvaluation};
 
 /// The two machines of the paper's evaluation.
 pub fn machines() -> Vec<Machine> {
@@ -28,6 +34,28 @@ pub fn machines() -> Vec<Machine> {
 /// Evaluate the full suite on both machines.
 pub fn full_evaluation() -> Vec<AppEvaluation> {
     evaluate_suite(&machines())
+}
+
+/// Evaluate the full suite and keep the driver's observability report.
+pub fn full_evaluation_with_metrics() -> (Vec<AppEvaluation>, SuiteMetrics) {
+    let ms = machines();
+    evaluate_suite_with_metrics(&ms, &driver_options(&ms))
+}
+
+/// Render the driver's observability report: per-phase wall-clock and the
+/// interpreter-run accounting behind the baseline memo / verify cache.
+pub fn metrics_report(m: &SuiteMetrics) -> String {
+    let mut out = String::from("DRIVER METRICS — phase timings and interpreter-run accounting\n\n");
+    out.push_str(&m.render_phases());
+    out.push_str(&format!(
+        "\nworkers={} wall={:.3} ms interp-runs={} baseline-memo-hits={} verify-cache-hits={}\n",
+        m.workers,
+        m.wall_nanos as f64 / 1e6,
+        m.interp_runs,
+        m.baseline_memo_hits,
+        m.verify_cache_hits
+    ));
+    out
 }
 
 /// Flatten Table II rows from an evaluation.
@@ -43,7 +71,8 @@ pub fn all_points(evals: &[AppEvaluation]) -> Vec<Fig20Point> {
 /// Render the complete Table II report, including the §IV-A totals.
 pub fn table2_report(evals: &[AppEvaluation]) -> String {
     let rows = all_rows(evals);
-    let mut out = String::from("TABLE II — automatically parallelized loops per inlining configuration\n\n");
+    let mut out =
+        String::from("TABLE II — automatically parallelized loops per inlining configuration\n\n");
     out.push_str(&render_table2(&rows));
     out.push('\n');
     for config in ["no-inline", "conventional", "annotation"] {
@@ -70,7 +99,8 @@ pub fn fig20_report(evals: &[AppEvaluation]) -> String {
 
 /// Verification summary (the paper's runtime-tester methodology).
 pub fn verify_report(evals: &[AppEvaluation]) -> String {
-    let mut out = String::from("RUNTIME TESTERS — original ≡ optimized ≡ threaded, per configuration\n\n");
+    let mut out =
+        String::from("RUNTIME TESTERS — original ≡ optimized ≡ threaded, per configuration\n\n");
     for e in evals {
         for (mode, v) in &e.verify {
             out.push_str(&format!(
@@ -88,7 +118,8 @@ pub fn verify_report(evals: &[AppEvaluation]) -> String {
 
 /// Table I — the application descriptions.
 pub fn table1_report() -> String {
-    let mut out = String::from("TABLE I — summary of the PERFECT benchmarks (synthetic stand-ins)\n\n");
+    let mut out =
+        String::from("TABLE I — summary of the PERFECT benchmarks (synthetic stand-ins)\n\n");
     for a in perfect::all() {
         out.push_str(&format!("{:<8} {}\n", a.name, a.description));
     }

@@ -12,7 +12,12 @@
 //!   code size) and Figure 20 speedup points, with the paper's accounting
 //!   rules;
 //! * [`verify`] — the runtime testers: original ≡ optimized, sequential ≡
-//!   threaded, and no cross-iteration races.
+//!   threaded, and no cross-iteration races;
+//! * [`driver`] — the concurrent, cached evaluation driver: a worker pool
+//!   over the application × configuration matrix, a per-app baseline-run
+//!   memo (9 → 7 verification runs per app), a verify-dedup cache, and
+//!   per-phase observability ([`phase`]) rolled into a
+//!   [`phase::SuiteMetrics`] JSON report.
 //!
 //! ## Quick example
 //!
@@ -35,13 +40,19 @@
 //! assert!(result.source.contains("!$OMP PARALLEL DO"));
 //! ```
 
+pub mod driver;
+pub mod phase;
 pub mod pipeline;
 pub mod report;
 pub mod verify;
 
-pub use pipeline::{compile, InlineMode, PipelineOptions, PipelineResult};
+pub use driver::{run_app, run_suite, AppReport, DriverOptions, SuiteJob, SuiteOutcome};
+pub use phase::{blocker_counts, CellMetrics, Phase, PhaseTimings, SuiteMetrics};
+pub use pipeline::{compile, compile_timed, InlineMode, PipelineOptions, PipelineResult};
 pub use report::{
     extra_loops, lost_loops, render_fig20, render_table2, table2_rows, totals_for, Fig20Point,
     Table2Row, Table2Totals,
 };
-pub use verify::{verify, VerifyResult};
+pub use verify::{
+    baseline_run, verify, verify_with_baseline, verify_with_baseline_using, VerifyResult,
+};

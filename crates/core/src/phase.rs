@@ -1,0 +1,311 @@
+//! Phase-attributed observability for the evaluation driver.
+//!
+//! Every pipeline stage ([`Phase`]) is timed per (application ×
+//! configuration) cell; the driver aggregates cell timings, per-loop
+//! blocker counts, and cache statistics into a [`SuiteMetrics`] report
+//! that serializes to JSON (hand-rolled — the build container has no
+//! crates.io access, so serde is not available).
+
+use crate::pipeline::PipelineResult;
+use fdep::analyze::Blocker;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// One stage of the evaluation pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// DO-loop normalization before inlining.
+    Normalize,
+    /// Conventional or annotation-based inlining.
+    Inline,
+    /// Dependence analysis + directive insertion.
+    Parallelize,
+    /// Tagged regions restored to original calls.
+    ReverseInline,
+    /// Source emission + LoC accounting.
+    Print,
+    /// The runtime testers (all interpreter runs).
+    Verify,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Normalize,
+        Phase::Inline,
+        Phase::Parallelize,
+        Phase::ReverseInline,
+        Phase::Print,
+        Phase::Verify,
+    ];
+
+    /// Stable lowercase label (JSON key).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Normalize => "normalize",
+            Phase::Inline => "inline",
+            Phase::Parallelize => "parallelize",
+            Phase::ReverseInline => "reverse-inline",
+            Phase::Print => "print",
+            Phase::Verify => "verify",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Normalize => 0,
+            Phase::Inline => 1,
+            Phase::Parallelize => 2,
+            Phase::ReverseInline => 3,
+            Phase::Print => 4,
+            Phase::Verify => 5,
+        }
+    }
+}
+
+/// Wall-clock per pipeline phase (nanoseconds) plus invocation counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    nanos: [u64; 6],
+    counts: [u64; 6],
+}
+
+impl PhaseTimings {
+    /// Record one timed execution of `phase`.
+    pub fn record(&mut self, phase: Phase, elapsed: Duration) {
+        let i = phase.index();
+        self.nanos[i] += elapsed.as_nanos() as u64;
+        self.counts[i] += 1;
+    }
+
+    /// Time `f` and attribute the elapsed wall-clock to `phase`.
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let t = std::time::Instant::now();
+        let out = f();
+        self.record(phase, t.elapsed());
+        out
+    }
+
+    /// Total nanoseconds attributed to `phase`.
+    pub fn nanos_of(&self, phase: Phase) -> u64 {
+        self.nanos[phase.index()]
+    }
+
+    /// Invocations recorded for `phase`.
+    pub fn count_of(&self, phase: Phase) -> u64 {
+        self.counts[phase.index()]
+    }
+
+    /// Fold another timing set into this one.
+    pub fn merge(&mut self, other: &PhaseTimings) {
+        for i in 0..6 {
+            self.nanos[i] += other.nanos[i];
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Total attributed time across all phases.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.iter().sum())
+    }
+
+    fn to_json(&self) -> String {
+        let fields: Vec<String> = Phase::ALL
+            .iter()
+            .map(|p| {
+                format!(
+                    "{}:{{\"ns\":{},\"calls\":{}}}",
+                    quote(p.label()),
+                    self.nanos_of(*p),
+                    self.count_of(*p)
+                )
+            })
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+/// Count a pipeline result's per-loop blockers by kind (stable keys).
+pub fn blocker_counts(r: &PipelineResult) -> BTreeMap<&'static str, usize> {
+    let mut out = BTreeMap::new();
+    for d in &r.par_report.decisions {
+        for b in &d.blockers {
+            let key = match b {
+                Blocker::Io => "io",
+                Blocker::Stop => "stop",
+                Blocker::Return => "return",
+                Blocker::Call(_) => "call",
+                Blocker::CarriedScalar(_) => "carried-scalar",
+                Blocker::ArrayDep { .. } => "array-dep",
+            };
+            *out.entry(key).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Metrics for one (application × configuration) cell.
+#[derive(Debug, Clone)]
+pub struct CellMetrics {
+    /// Application name.
+    pub app: String,
+    /// Configuration label (`no-inline` / `conventional` / `annotation`).
+    pub config: String,
+    /// Per-phase wall-clock for this cell.
+    pub phases: PhaseTimings,
+    /// Blocker kind → occurrence count across the cell's loops.
+    pub blockers: BTreeMap<&'static str, usize>,
+    /// Loop decisions inspected.
+    pub loops_total: usize,
+    /// Distinct original loops judged parallel.
+    pub loops_parallel: usize,
+    /// Interpreter runs this cell paid for (0 when fully cache-served).
+    pub interp_runs: u64,
+    /// True when the verification result came from the dedup cache.
+    pub verify_cached: bool,
+}
+
+impl CellMetrics {
+    fn to_json(&self) -> String {
+        let blockers: Vec<String> = self
+            .blockers
+            .iter()
+            .map(|(k, v)| format!("{}:{}", quote(k), v))
+            .collect();
+        format!(
+            "{{\"app\":{},\"config\":{},\"phases\":{},\"blockers\":{{{}}},\"loops_total\":{},\"loops_parallel\":{},\"interp_runs\":{},\"verify_cached\":{}}}",
+            quote(&self.app),
+            quote(&self.config),
+            self.phases.to_json(),
+            blockers.join(","),
+            self.loops_total,
+            self.loops_parallel,
+            self.interp_runs,
+            self.verify_cached
+        )
+    }
+}
+
+/// Whole-suite metrics: what the driver measured while evaluating.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteMetrics {
+    /// Worker threads the driver ran with.
+    pub workers: usize,
+    /// End-to-end suite wall-clock, nanoseconds.
+    pub wall_nanos: u64,
+    /// Total interpreter executions across all cells.
+    pub interp_runs: u64,
+    /// Baseline runs served from the per-app memo instead of re-running.
+    pub baseline_memo_hits: u64,
+    /// Verifications served from the emitted-source dedup cache.
+    pub verify_cache_hits: u64,
+    /// Aggregate per-phase wall-clock across every cell.
+    pub phases: PhaseTimings,
+    /// One entry per (application × configuration) cell, suite order.
+    pub cells: Vec<CellMetrics>,
+}
+
+impl SuiteMetrics {
+    /// Serialize the full report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self.cells.iter().map(|c| c.to_json()).collect();
+        format!(
+            "{{\"workers\":{},\"wall_ns\":{},\"interp_runs\":{},\"baseline_memo_hits\":{},\"verify_cache_hits\":{},\"phases\":{},\"cells\":[{}]}}",
+            self.workers,
+            self.wall_nanos,
+            self.interp_runs,
+            self.baseline_memo_hits,
+            self.verify_cache_hits,
+            self.phases.to_json(),
+            cells.join(",")
+        )
+    }
+
+    /// Aligned-text rendering of the per-phase totals.
+    pub fn render_phases(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<16} {:>12} {:>8}\n", "phase", "wall", "calls"));
+        for p in Phase::ALL {
+            out.push_str(&format!(
+                "{:<16} {:>9.3} ms {:>8}\n",
+                p.label(),
+                self.phases.nanos_of(p) as f64 / 1e6,
+                self.phases.count_of(p)
+            ));
+        }
+        out
+    }
+}
+
+/// Minimal JSON string quoting (control chars, quotes, backslashes).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_record_and_merge() {
+        let mut a = PhaseTimings::default();
+        a.record(Phase::Inline, Duration::from_nanos(100));
+        a.record(Phase::Inline, Duration::from_nanos(50));
+        a.record(Phase::Verify, Duration::from_nanos(10));
+        assert_eq!(a.nanos_of(Phase::Inline), 150);
+        assert_eq!(a.count_of(Phase::Inline), 2);
+        let mut b = PhaseTimings::default();
+        b.record(Phase::Verify, Duration::from_nanos(5));
+        b.merge(&a);
+        assert_eq!(b.nanos_of(Phase::Verify), 15);
+        assert_eq!(b.total(), Duration::from_nanos(165));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut m = SuiteMetrics {
+            workers: 4,
+            wall_nanos: 123,
+            ..Default::default()
+        };
+        m.phases.record(Phase::Print, Duration::from_nanos(7));
+        m.cells.push(CellMetrics {
+            app: "ADM".into(),
+            config: "no-inline".into(),
+            phases: PhaseTimings::default(),
+            blockers: [("call", 3usize)].into_iter().collect(),
+            loops_total: 10,
+            loops_parallel: 4,
+            interp_runs: 3,
+            verify_cached: false,
+        });
+        let j = m.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"workers\":4"));
+        assert!(j.contains("\"app\":\"ADM\""));
+        assert!(j.contains("\"call\":3"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        let open = j.matches('{').count();
+        let close = j.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

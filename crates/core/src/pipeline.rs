@@ -54,7 +54,11 @@ impl InlineMode {
 
     /// All three configurations, in the paper's column order.
     pub fn all() -> [InlineMode; 3] {
-        [InlineMode::None, InlineMode::Conventional, InlineMode::Annotation]
+        [
+            InlineMode::None,
+            InlineMode::Conventional,
+            InlineMode::Annotation,
+        ]
     }
 }
 
@@ -72,7 +76,11 @@ pub struct PipelineOptions {
 impl PipelineOptions {
     /// Defaults for a given mode.
     pub fn for_mode(mode: InlineMode) -> PipelineOptions {
-        PipelineOptions { mode, heuristics: Heuristics::polaris(), par: ParOptions::default() }
+        PipelineOptions {
+            mode,
+            heuristics: Heuristics::polaris(),
+            par: ParOptions::default(),
+        }
     }
 }
 
@@ -125,12 +133,33 @@ pub fn compile(
     annotations: &AnnotRegistry,
     opts: &PipelineOptions,
 ) -> PipelineResult {
+    compile_timed(
+        input,
+        annotations,
+        opts,
+        &mut crate::phase::PhaseTimings::default(),
+    )
+}
+
+/// [`compile`], with each stage's wall-clock attributed to its
+/// [`Phase`](crate::phase::Phase) in `timings` (the driver's
+/// observability layer). `compile` itself is this with a discarded
+/// recorder — the instrumentation is a few `Instant::now` calls per
+/// compile, far below measurement noise.
+pub fn compile_timed(
+    input: &Program,
+    annotations: &AnnotRegistry,
+    opts: &PipelineOptions,
+    timings: &mut crate::phase::PhaseTimings,
+) -> PipelineResult {
+    use crate::phase::Phase;
+
     let mut p = input.clone();
-    normalize_program(&mut p);
+    timings.time(Phase::Normalize, || normalize_program(&mut p));
 
     let mut conv_report = None;
     let mut annot_report = None;
-    match opts.mode {
+    timings.time(Phase::Inline, || match opts.mode {
         InlineMode::None => {}
         InlineMode::Conventional => {
             conv_report = Some(conventional::inline_program(&mut p, &opts.heuristics));
@@ -138,18 +167,29 @@ pub fn compile(
         InlineMode::Annotation => {
             annot_report = Some(annot_inline::apply(&mut p, annotations));
         }
-    }
+    });
 
-    let par_report = parallelize(&mut p, &opts.par);
+    let par_report = timings.time(Phase::Parallelize, || parallelize(&mut p, &opts.par));
 
-    let reverse_report = match opts.mode {
+    let reverse_report = timings.time(Phase::ReverseInline, || match opts.mode {
         InlineMode::Annotation => Some(reverse::apply(&mut p, annotations)),
         _ => None,
-    };
+    });
 
-    let source = fir::print_program(&p);
-    let loc = fir::count_loc(&source);
-    PipelineResult { program: p, par_report, conv_report, annot_report, reverse_report, source, loc }
+    let (source, loc) = timings.time(Phase::Print, || {
+        let source = fir::print_program(&p);
+        let loc = fir::count_loc(&source);
+        (source, loc)
+    });
+    PipelineResult {
+        program: p,
+        par_report,
+        conv_report,
+        annot_report,
+        reverse_report,
+        source,
+        loc,
+    }
 }
 
 #[cfg(test)]
@@ -305,7 +345,10 @@ subroutine FSMP(ID, IDE) {
         let r = compile_mode(FSMP_PROGRAM, "", InlineMode::Conventional);
         let conv = r.conv_report.as_ref().unwrap();
         // FSMP makes further calls — excluded (paper §II-B1).
-        assert!(conv.inlined.iter().all(|(_, callee)| callee != "FSMP"), "{conv:?}");
+        assert!(
+            conv.inlined.iter().all(|(_, callee)| callee != "FSMP"),
+            "{conv:?}"
+        );
         let ids = r.parallel_loops();
         assert!(!ids.contains(&LoopId::new("MAIN", 2)), "{ids:?}");
     }
@@ -332,6 +375,9 @@ subroutine FSMP(ID, IDE) {
         let ids = r.parallel_loops();
         assert!(!ids.contains(&LoopId::new("MAIN", 2)));
         let blockers = r.blockers_of(&LoopId::new("MAIN", 2));
-        assert!(blockers.iter().any(|b| matches!(b, Blocker::Call(_))), "{blockers:?}");
+        assert!(
+            blockers.iter().any(|b| matches!(b, Blocker::Call(_))),
+            "{blockers:?}"
+        );
     }
 }

@@ -10,11 +10,10 @@
 
 use crate::pipeline::{InlineMode, PipelineResult};
 use fir::ast::LoopId;
-use serde::Serialize;
 use std::collections::BTreeSet;
 
 /// One Table II row group.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2Row {
     /// Application name.
     pub app: String,
@@ -59,16 +58,22 @@ pub fn table2_rows(
 
 /// Loops lost (parallel under no-inlining, not under the configuration).
 pub fn lost_loops(none: &PipelineResult, cfg: &PipelineResult) -> BTreeSet<LoopId> {
-    none.parallel_loops().difference(&cfg.parallel_loops()).cloned().collect()
+    none.parallel_loops()
+        .difference(&cfg.parallel_loops())
+        .cloned()
+        .collect()
 }
 
 /// Loops gained (parallel under the configuration, not under no-inlining).
 pub fn extra_loops(none: &PipelineResult, cfg: &PipelineResult) -> BTreeSet<LoopId> {
-    cfg.parallel_loops().difference(&none.parallel_loops()).cloned().collect()
+    cfg.parallel_loops()
+        .difference(&none.parallel_loops())
+        .cloned()
+        .collect()
 }
 
 /// One bar of Figure 20.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig20Point {
     /// Application name.
     pub app: String,
@@ -93,7 +98,11 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
     out.push('\n');
     let mut last_app = String::new();
     for r in rows {
-        let app = if r.app == last_app { String::new() } else { r.app.clone() };
+        let app = if r.app == last_app {
+            String::new()
+        } else {
+            r.app.clone()
+        };
         last_app = r.app.clone();
         out.push_str(&format!(
             "{:<10} {:<14} {:>10} {:>9} {:>10} {:>8}\n",
@@ -123,7 +132,7 @@ pub fn render_fig20(points: &[Fig20Point]) -> String {
 
 /// Column totals of Table II per configuration (the paper quotes totals:
 /// annotation +37 extra / 0 loss; conventional +12 extra / 90 loss).
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Table2Totals {
     /// Total parallelized loops.
     pub par_loops: usize,
@@ -171,13 +180,15 @@ mod tests {
 
     fn three() -> (PipelineResult, PipelineResult, PipelineResult) {
         let p = parse(SRC).unwrap();
-        let reg = AnnotRegistry::parse(
-            "subroutine OPQ(K) { dimension R[200]; R[K] = K; }",
-        )
-        .unwrap();
+        let reg =
+            AnnotRegistry::parse("subroutine OPQ(K) { dimension R[200]; R[K] = K; }").unwrap();
         (
             compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::None)),
-            compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Conventional)),
+            compile(
+                &p,
+                &reg,
+                &PipelineOptions::for_mode(InlineMode::Conventional),
+            ),
             compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Annotation)),
         )
     }
@@ -192,7 +203,11 @@ mod tests {
         assert_eq!(base.par_extra, 0);
         for r in &rows {
             // loops = base - loss + extra must hold by construction.
-            assert_eq!(r.par_loops, base.par_loops - r.par_loss + r.par_extra, "{r:?}");
+            assert_eq!(
+                r.par_loops,
+                base.par_loops - r.par_loss + r.par_extra,
+                "{r:?}"
+            );
         }
     }
 
@@ -200,7 +215,10 @@ mod tests {
     fn annotation_gains_the_call_loop() {
         let (none, _conv, annot) = three();
         let extra = extra_loops(&none, &annot);
-        assert!(extra.contains(&fir::ast::LoopId::new("MAIN", 2)), "{extra:?}");
+        assert!(
+            extra.contains(&fir::ast::LoopId::new("MAIN", 2)),
+            "{extra:?}"
+        );
     }
 
     #[test]
@@ -233,7 +251,7 @@ mod tests {
         let mut rows = table2_rows("A", &none, &conv, &annot);
         rows.extend(table2_rows("B", &none, &conv, &annot));
         let t = totals_for(&rows, "annotation");
-        let single = totals_for(&rows[..3].to_vec(), "annotation");
+        let single = totals_for(&rows[..3], "annotation");
         assert_eq!(t.par_loops, 2 * single.par_loops);
     }
 }

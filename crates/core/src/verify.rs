@@ -41,12 +41,50 @@ impl VerifyResult {
     }
 }
 
-/// Verify `optimized` against `original`, running the threaded executor
-/// with `threads` workers.
-pub fn verify(original: &Program, optimized: &Program, threads: usize) -> Result<VerifyResult, RtError> {
-    let base = run(original, &ExecOptions::default())?;
-    let seq = run(optimized, &ExecOptions { check_races: true, ..Default::default() })?;
-    let par = run(optimized, &ExecOptions { threads, ..Default::default() })?;
+/// Run the *original* program once — the baseline every optimized
+/// configuration is compared against. The original is mode-independent,
+/// so the driver memoizes this per application and shares it across the
+/// three inlining configurations ([`verify_with_baseline`]).
+pub fn baseline_run(original: &Program) -> Result<fruntime::RunResult, RtError> {
+    run(original, &ExecOptions::default())
+}
+
+/// Verify `optimized` against an already-computed baseline run of the
+/// original program. Two interpreter runs: the optimized program
+/// sequentially with race checking, then threaded.
+pub fn verify_with_baseline(
+    base: &fruntime::RunResult,
+    optimized: &Program,
+    threads: usize,
+) -> Result<VerifyResult, RtError> {
+    verify_with_baseline_using(
+        base,
+        optimized,
+        &ExecOptions {
+            threads,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`verify_with_baseline`] with explicit executor options for the
+/// threaded run. The legacy evaluation path passes
+/// `spawn_threads: Some(true)` to reproduce the seed executor's
+/// always-spawn behavior; the gates and the result are identical
+/// either way.
+pub fn verify_with_baseline_using(
+    base: &fruntime::RunResult,
+    optimized: &Program,
+    par_opts: &ExecOptions,
+) -> Result<VerifyResult, RtError> {
+    let seq = run(
+        optimized,
+        &ExecOptions {
+            check_races: true,
+            ..Default::default()
+        },
+    )?;
+    let par = run(optimized, par_opts)?;
 
     Ok(VerifyResult {
         matches_original: base.same_observable(&seq, 1e-12),
@@ -55,6 +93,18 @@ pub fn verify(original: &Program, optimized: &Program, threads: usize) -> Result
         total_ops: seq.total_ops,
         par_events: seq.par_events,
     })
+}
+
+/// Verify `optimized` against `original`, running the threaded executor
+/// with `threads` workers (three interpreter runs; see
+/// [`verify_with_baseline`] for the baseline-sharing variant).
+pub fn verify(
+    original: &Program,
+    optimized: &Program,
+    threads: usize,
+) -> Result<VerifyResult, RtError> {
+    let base = baseline_run(original)?;
+    verify_with_baseline(&base, optimized, threads)
 }
 
 #[cfg(test)]

@@ -75,18 +75,27 @@ pub enum BinOp {
 impl BinOp {
     /// True for `+ - * / **`.
     pub fn is_arith(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow
+        )
     }
 
     /// True for the six comparison operators.
     pub fn is_rel(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// True for commutative operators (used by the tolerant pattern matcher,
     /// which accepts operand reordering — paper §III-C3).
     pub fn is_commutative(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Mul | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or
+        )
     }
 }
 
@@ -163,7 +172,11 @@ pub enum SecRange {
     /// A single index expression.
     At(Expr),
     /// `lo:hi[:step]`; missing bounds mean the declared bound.
-    Range { lo: Option<Box<Expr>>, hi: Option<Box<Expr>>, step: Option<Box<Expr>> },
+    Range {
+        lo: Option<Box<Expr>>,
+        hi: Option<Box<Expr>>,
+        step: Option<Box<Expr>>,
+    },
 }
 
 /// Expressions.
@@ -225,16 +238,19 @@ impl Expr {
     }
 
     /// `l + r`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(l: Expr, r: Expr) -> Expr {
         Expr::bin(BinOp::Add, l, r)
     }
 
     /// `l - r`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(l: Expr, r: Expr) -> Expr {
         Expr::bin(BinOp::Sub, l, r)
     }
 
     /// `l * r`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(l: Expr, r: Expr) -> Expr {
         Expr::bin(BinOp::Mul, l, r)
     }
@@ -263,11 +279,9 @@ impl Expr {
     /// an array base).
     pub fn mentions(&self, name: &str) -> bool {
         let mut found = false;
-        self.walk(&mut |e| {
-            match e {
-                Expr::Var(n) | Expr::Index(n, _) | Expr::Section(n, _) if n == name => found = true,
-                _ => {}
-            }
+        self.walk(&mut |e| match e {
+            Expr::Var(n) | Expr::Index(n, _) | Expr::Section(n, _) if n == name => found = true,
+            _ => {}
         });
         found
     }
@@ -276,7 +290,10 @@ impl Expr {
     pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
-            Expr::Index(_, subs) | Expr::Intrinsic(_, subs) | Expr::Unique(_, subs) | Expr::Unknown(_, subs) => {
+            Expr::Index(_, subs)
+            | Expr::Intrinsic(_, subs)
+            | Expr::Unique(_, subs)
+            | Expr::Unknown(_, subs) => {
                 for s in subs {
                     s.walk(f);
                 }
@@ -307,7 +324,10 @@ impl Expr {
     /// children have been rewritten.
     pub fn rewrite(&mut self, f: &mut impl FnMut(&mut Expr)) {
         match self {
-            Expr::Index(_, subs) | Expr::Intrinsic(_, subs) | Expr::Unique(_, subs) | Expr::Unknown(_, subs) => {
+            Expr::Index(_, subs)
+            | Expr::Intrinsic(_, subs)
+            | Expr::Unique(_, subs)
+            | Expr::Unknown(_, subs) => {
                 for s in subs {
                     s.rewrite(f);
                 }
@@ -362,7 +382,10 @@ impl LoopId {
 
     /// Create a loop id.
     pub fn new(unit: impl Into<String>, idx: u32) -> Self {
-        LoopId { unit: unit.into(), idx }
+        LoopId {
+            unit: unit.into(),
+            idx,
+        }
     }
 
     /// True if this loop was synthesized from an annotation body.
@@ -453,13 +476,18 @@ pub struct TagInfo {
 }
 
 /// Statement kinds.
+#[allow(clippy::large_enum_variant)] // Stmt is Box-free by design; see Block
 #[derive(Debug, Clone, PartialEq)]
 pub enum StmtKind {
     /// `lhs = rhs`; `lhs` is a `Var`, `Index`, or `Section` expression.
     Assign { lhs: Expr, rhs: Expr },
     /// Block `IF`/`ELSE`. One-line logical IFs are parsed into this form
     /// with a single-statement `then_blk`.
-    If { cond: Expr, then_blk: Block, else_blk: Block },
+    If {
+        cond: Expr,
+        then_blk: Block,
+        else_blk: Block,
+    },
     /// A `DO` loop.
     Do(DoLoop),
     /// Subroutine invocation.
@@ -491,7 +519,11 @@ pub struct Stmt {
 impl Stmt {
     /// Wrap a kind with a synthetic span and no label.
     pub fn synth(kind: StmtKind) -> Stmt {
-        Stmt { kind, span: Span::SYNTH, label: None }
+        Stmt {
+            kind,
+            span: Span::SYNTH,
+            label: None,
+        }
     }
 
     /// Shorthand for a synthetic assignment.
@@ -501,7 +533,10 @@ impl Stmt {
 
     /// Shorthand for a synthetic call.
     pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Stmt {
-        Stmt::synth(StmtKind::Call { name: name.into(), args })
+        Stmt::synth(StmtKind::Call {
+            name: name.into(),
+            args,
+        })
     }
 }
 
@@ -604,7 +639,9 @@ impl ProcUnit {
         fn count(b: &Block) -> usize {
             b.iter()
                 .map(|s| match &s.kind {
-                    StmtKind::If { then_blk, else_blk, .. } => 1 + count(then_blk) + count(else_blk),
+                    StmtKind::If {
+                        then_blk, else_blk, ..
+                    } => 1 + count(then_blk) + count(else_blk),
                     StmtKind::Do(d) => 1 + count(&d.body),
                     StmtKind::Tagged { body, .. } => count(body),
                     _ => 1,
@@ -653,15 +690,28 @@ mod tests {
 
     #[test]
     fn const_folding_in_as_int_const() {
-        let e = Expr::bin(BinOp::Mul, Expr::int(3), Expr::bin(BinOp::Add, Expr::int(2), Expr::int(5)));
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::int(3),
+            Expr::bin(BinOp::Add, Expr::int(2), Expr::int(5)),
+        );
         assert_eq!(e.as_int_const(), Some(21));
-        assert_eq!(Expr::bin(BinOp::Pow, Expr::int(2), Expr::int(10)).as_int_const(), Some(1024));
+        assert_eq!(
+            Expr::bin(BinOp::Pow, Expr::int(2), Expr::int(10)).as_int_const(),
+            Some(1024)
+        );
         assert_eq!(Expr::var("N").as_int_const(), None);
     }
 
     #[test]
     fn mentions_sees_array_bases_and_subscripts() {
-        let e = Expr::idx("T", vec![Expr::add(Expr::idx("IX", vec![Expr::int(7)]), Expr::var("I"))]);
+        let e = Expr::idx(
+            "T",
+            vec![Expr::add(
+                Expr::idx("IX", vec![Expr::int(7)]),
+                Expr::var("I"),
+            )],
+        );
         assert!(e.mentions("T"));
         assert!(e.mentions("IX"));
         assert!(e.mentions("I"));
@@ -676,7 +726,10 @@ mod tests {
                 *node = Expr::int(4);
             }
         });
-        assert_eq!(e, Expr::add(Expr::int(4), Expr::mul(Expr::int(4), Expr::var("Y"))));
+        assert_eq!(
+            e,
+            Expr::add(Expr::int(4), Expr::mul(Expr::int(4), Expr::var("Y")))
+        );
     }
 
     #[test]

@@ -31,22 +31,38 @@ pub enum Phase {
 impl Error {
     /// Construct a lexer error.
     pub fn lex(message: impl Into<String>, span: Span) -> Self {
-        Error { message: message.into(), span, phase: Phase::Lex }
+        Error {
+            message: message.into(),
+            span,
+            phase: Phase::Lex,
+        }
     }
 
     /// Construct a parser error.
     pub fn parse(message: impl Into<String>, span: Span) -> Self {
-        Error { message: message.into(), span, phase: Phase::Parse }
+        Error {
+            message: message.into(),
+            span,
+            phase: Phase::Parse,
+        }
     }
 
     /// Construct a resolution error.
     pub fn resolve(message: impl Into<String>, span: Span) -> Self {
-        Error { message: message.into(), span, phase: Phase::Resolve }
+        Error {
+            message: message.into(),
+            span,
+            phase: Phase::Resolve,
+        }
     }
 
     /// Construct a transformation error.
     pub fn transform(message: impl Into<String>) -> Self {
-        Error { message: message.into(), span: Span::SYNTH, phase: Phase::Transform }
+        Error {
+            message: message.into(),
+            span: Span::SYNTH,
+            phase: Phase::Transform,
+        }
     }
 }
 

@@ -119,7 +119,11 @@ pub fn prune_dead_branches(block: &mut Block) {
     let mut i = 0;
     while i < block.len() {
         let replace = match &mut block[i].kind {
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 prune_dead_branches(then_blk);
                 prune_dead_branches(else_blk);
                 match cond {
@@ -182,7 +186,10 @@ mod tests {
 
     #[test]
     fn double_negation() {
-        let mut e = Expr::Un(UnOp::Neg, Box::new(Expr::Un(UnOp::Neg, Box::new(Expr::var("A")))));
+        let mut e = Expr::Un(
+            UnOp::Neg,
+            Box::new(Expr::Un(UnOp::Neg, Box::new(Expr::var("A")))),
+        );
         fold_expr(&mut e);
         assert_eq!(e, Expr::var("A"));
     }

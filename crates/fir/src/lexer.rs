@@ -33,7 +33,13 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, at_line_start: true, tokens: Vec::new() }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            at_line_start: true,
+            tokens: Vec::new(),
+        }
     }
 
     fn peek(&self) -> u8 {
@@ -61,7 +67,10 @@ impl<'a> Lexer<'a> {
 
     fn emit_newline(&mut self) {
         // Collapse consecutive newlines; never start the stream with one.
-        if matches!(self.tokens.last().map(|t| &t.kind), Some(Tok::Newline) | None) {
+        if matches!(
+            self.tokens.last().map(|t| &t.kind),
+            Some(Tok::Newline) | None
+        ) {
             return;
         }
         let start = self.pos;
@@ -75,7 +84,11 @@ impl<'a> Lexer<'a> {
                 b'\n' => {
                     self.bump();
                     // A trailing `&` just before the newline means continue.
-                    if let Some(Token { kind: Tok::Ident(_), .. }) = self.tokens.last() {
+                    if let Some(Token {
+                        kind: Tok::Ident(_),
+                        ..
+                    }) = self.tokens.last()
+                    {
                         // fallthrough: `&` is consumed separately below
                     }
                     self.emit_newline();
@@ -133,8 +146,9 @@ impl<'a> Lexer<'a> {
         while matches!(self.peek(), b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_') {
             self.bump();
         }
-        let text: String =
-            std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_ascii_uppercase();
+        let text: String = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .to_ascii_uppercase();
         self.at_line_start = false;
         // `DOUBLE PRECISION` is two words; peek ahead for `PRECISION`.
         if text == "DOUBLE" {
@@ -143,11 +157,12 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
             let wstart = self.pos;
-            while matches!(self.peek(), b'A'..=b'Z' | b'a'..=b'z') {
+            while self.peek().is_ascii_alphabetic() {
                 self.bump();
             }
-            let next: String =
-                std::str::from_utf8(&self.src[wstart..self.pos]).unwrap().to_ascii_uppercase();
+            let next: String = std::str::from_utf8(&self.src[wstart..self.pos])
+                .unwrap()
+                .to_ascii_uppercase();
             if next == "PRECISION" {
                 self.push(Tok::DoublePrecision, start);
                 return;
@@ -201,15 +216,18 @@ impl<'a> Lexer<'a> {
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
         if is_real {
             let norm = text.replace(['D', 'd'], "E");
-            let val: f64 = norm
-                .parse()
-                .map_err(|_| Error::lex(format!("bad real literal '{text}'"), self.span_from(start)))?;
+            let val: f64 = norm.parse().map_err(|_| {
+                Error::lex(format!("bad real literal '{text}'"), self.span_from(start))
+            })?;
             self.at_line_start = false;
             self.push(Tok::Real(val), start);
         } else {
-            let val: i64 = text
-                .parse()
-                .map_err(|_| Error::lex(format!("bad integer literal '{text}'"), self.span_from(start)))?;
+            let val: i64 = text.parse().map_err(|_| {
+                Error::lex(
+                    format!("bad integer literal '{text}'"),
+                    self.span_from(start),
+                )
+            })?;
             if self.at_line_start {
                 self.push(Tok::Label(val as u32), start);
             } else {
@@ -231,9 +249,9 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
             let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-            let val: f64 = text
-                .parse()
-                .map_err(|_| Error::lex(format!("bad real literal '{text}'"), self.span_from(start)))?;
+            let val: f64 = text.parse().map_err(|_| {
+                Error::lex(format!("bad real literal '{text}'"), self.span_from(start))
+            })?;
             self.at_line_start = false;
             self.push(Tok::Real(val), start);
             return Ok(());
@@ -243,8 +261,9 @@ impl<'a> Lexer<'a> {
         while self.peek().is_ascii_alphabetic() {
             self.bump();
         }
-        let word: String =
-            std::str::from_utf8(&self.src[wstart..self.pos]).unwrap().to_ascii_uppercase();
+        let word: String = std::str::from_utf8(&self.src[wstart..self.pos])
+            .unwrap()
+            .to_ascii_uppercase();
         if self.peek() != b'.' {
             return Err(Error::lex(
                 format!("unterminated dotted operator '.{word}'"),
@@ -283,7 +302,10 @@ impl<'a> Lexer<'a> {
         loop {
             match self.peek() {
                 0 | b'\n' => {
-                    return Err(Error::lex("unterminated string literal", self.span_from(start)))
+                    return Err(Error::lex(
+                        "unterminated string literal",
+                        self.span_from(start),
+                    ))
                 }
                 b'\'' => {
                     self.bump();
@@ -429,7 +451,13 @@ mod tests {
         let toks = kinds("C full line comment\n      X = 1 ! trailing\n* star comment\n");
         assert_eq!(
             toks,
-            vec![Tok::Ident("X".into()), Tok::Assign, Tok::Int(1), Tok::Newline, Tok::Eof]
+            vec![
+                Tok::Ident("X".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Eof
+            ]
         );
     }
 
@@ -494,7 +522,10 @@ mod tests {
     #[test]
     fn lines_tracked() {
         let toks = lex("X = 1\nY = 2\n").unwrap();
-        let y = toks.iter().find(|t| t.kind == Tok::Ident("Y".into())).unwrap();
+        let y = toks
+            .iter()
+            .find(|t| t.kind == Tok::Ident("Y".into()))
+            .unwrap();
         assert_eq!(y.span.line, 2);
     }
 }

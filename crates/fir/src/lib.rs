@@ -40,7 +40,7 @@ pub mod visit;
 
 pub use ast::{
     BinOp, Block, Decl, Dim, DoLoop, Expr, Ident, Intrinsic, LoopId, OmpDirective, ProcUnit,
-    Program, R64, RedOp, SecRange, Stmt, StmtKind, TagInfo, Type, UnOp, UnitKind, VarDecl,
+    Program, RedOp, SecRange, Stmt, StmtKind, TagInfo, Type, UnOp, UnitKind, VarDecl, R64,
 };
 pub use diag::{Error, Result};
 pub use loc::Span;

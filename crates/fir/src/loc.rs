@@ -21,7 +21,11 @@ pub struct Span {
 impl Span {
     /// A span covering nothing, used for compiler-synthesized nodes
     /// (inlined code, lowered annotations, peeled iterations).
-    pub const SYNTH: Span = Span { start: 0, end: 0, line: 0 };
+    pub const SYNTH: Span = Span {
+        start: 0,
+        end: 0,
+        line: 0,
+    };
 
     /// Create a span.
     pub fn new(start: u32, end: u32, line: u32) -> Self {

@@ -91,14 +91,20 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(Error::parse(format!("expected {}, found {}", want, self.peek()), self.span()))
+            Err(Error::parse(
+                format!("expected {}, found {}", want, self.peek()),
+                self.span(),
+            ))
         }
     }
 
     fn expect_ident(&mut self) -> Result<String> {
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            other => Err(Error::parse(format!("expected identifier, found {other}"), self.span())),
+            other => Err(Error::parse(
+                format!("expected identifier, found {other}"),
+                self.span(),
+            )),
         }
     }
 
@@ -115,9 +121,10 @@ impl Parser {
                 Ok(())
             }
             Tok::Eof => Ok(()),
-            other => {
-                Err(Error::parse(format!("expected end of statement, found {other}"), self.span()))
-            }
+            other => Err(Error::parse(
+                format!("expected end of statement, found {other}"),
+                self.span(),
+            )),
         }
     }
 
@@ -151,16 +158,14 @@ impl Parser {
             Tok::Subroutine => {
                 let name = self.expect_ident()?;
                 let mut params = Vec::new();
-                if self.eat(&Tok::LParen) {
-                    if !self.eat(&Tok::RParen) {
-                        loop {
-                            params.push(self.expect_ident()?);
-                            if !self.eat(&Tok::Comma) {
-                                break;
-                            }
+                if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+                    loop {
+                        params.push(self.expect_ident()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
                         }
-                        self.expect(Tok::RParen)?;
                     }
+                    self.expect(Tok::RParen)?;
                 }
                 self.end_of_stmt()?;
                 (UnitKind::Subroutine, name, params)
@@ -206,7 +211,14 @@ impl Parser {
         }
         self.end_of_stmt()?;
 
-        Ok(ProcUnit { kind, name, params, decls, body, span })
+        Ok(ProcUnit {
+            kind,
+            name,
+            params,
+            decls,
+            body,
+            span,
+        })
     }
 
     fn type_decl(&mut self) -> Result<Decl> {
@@ -237,7 +249,10 @@ impl Parser {
             // Represent multi-var declarations as a chain: the caller pushes
             // one Decl; store extras inside a Common with empty block name is
             // ugly, so instead we return a Var and stash the rest.
-            Ok(Decl::Common { block: String::new(), vars })
+            Ok(Decl::Common {
+                block: String::new(),
+                vars,
+            })
         }
     }
 
@@ -273,7 +288,10 @@ impl Parser {
         if vars.len() == 1 {
             Ok(Decl::Var(vars.pop().unwrap()))
         } else {
-            Ok(Decl::Common { block: String::new(), vars })
+            Ok(Decl::Common {
+                block: String::new(),
+                vars,
+            })
         }
     }
 
@@ -362,9 +380,7 @@ impl Parser {
                         }
                     }
                 }
-                if terminators.contains(&Tok::End)
-                    && !matches!(self.peek2(), Tok::If | Tok::Do)
-                {
+                if terminators.contains(&Tok::End) && !matches!(self.peek2(), Tok::If | Tok::Do) {
                     break;
                 }
             }
@@ -447,7 +463,11 @@ impl Parser {
         let lo = self.expr()?;
         self.expect(Tok::Comma)?;
         let hi = self.expr()?;
-        let step = if self.eat(&Tok::Comma) { Some(self.expr()?) } else { None };
+        let step = if self.eat(&Tok::Comma) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         self.end_of_stmt()?;
 
         let body = match target {
@@ -482,7 +502,15 @@ impl Parser {
             }
         };
 
-        Ok(StmtKind::Do(DoLoop { id, var, lo, hi, step, body, directive: None }))
+        Ok(StmtKind::Do(DoLoop {
+            id,
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            directive: None,
+        }))
     }
 
     fn if_stmt(&mut self) -> Result<StmtKind> {
@@ -495,20 +523,32 @@ impl Parser {
             self.end_of_stmt()?;
             let then_blk = self.block(&[Tok::Else, Tok::ElseIf, Tok::EndIf, Tok::End])?;
             let else_blk = self.else_part()?;
-            return Ok(StmtKind::If { cond, then_blk, else_blk });
+            return Ok(StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            });
         }
 
         // One-line logical IF: `IF (cond) stmt`.
         let inner = self.stmt(None)?;
         if matches!(inner.kind, StmtKind::Do(_) | StmtKind::If { .. }) {
-            return Err(Error::parse("logical IF cannot contain DO or IF", inner.span));
+            return Err(Error::parse(
+                "logical IF cannot contain DO or IF",
+                inner.span,
+            ));
         }
-        Ok(StmtKind::If { cond, then_blk: vec![inner], else_blk: vec![] })
+        Ok(StmtKind::If {
+            cond,
+            then_blk: vec![inner],
+            else_blk: vec![],
+        })
     }
 
     fn else_part(&mut self) -> Result<Block> {
         self.skip_newlines();
-        if self.eat(&Tok::ElseIf) || (matches!(self.peek(), Tok::Else) && matches!(self.peek2(), Tok::If))
+        if self.eat(&Tok::ElseIf)
+            || (matches!(self.peek(), Tok::Else) && matches!(self.peek2(), Tok::If))
         {
             // `ELSEIF (c) THEN` / `ELSE IF (c) THEN` — desugar into a nested IF.
             if matches!(self.peek(), Tok::If) {
@@ -522,7 +562,15 @@ impl Parser {
             let then_blk = self.block(&[Tok::Else, Tok::ElseIf, Tok::EndIf, Tok::End])?;
             let else_blk = self.else_part()?;
             let span = self.span();
-            return Ok(vec![Stmt { kind: StmtKind::If { cond, then_blk, else_blk }, span, label: None }]);
+            return Ok(vec![Stmt {
+                kind: StmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                },
+                span,
+                label: None,
+            }]);
         }
         if self.eat(&Tok::Else) {
             self.end_of_stmt()?;
@@ -549,16 +597,14 @@ impl Parser {
         self.expect(Tok::Call)?;
         let name = self.expect_ident()?;
         let mut args = Vec::new();
-        if self.eat(&Tok::LParen) {
-            if !self.eat(&Tok::RParen) {
-                loop {
-                    args.push(self.expr()?);
-                    if !self.eat(&Tok::Comma) {
-                        break;
-                    }
+        if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
                 }
-                self.expect(Tok::RParen)?;
             }
+            self.expect(Tok::RParen)?;
         }
         self.end_of_stmt()?;
         Ok(StmtKind::Call { name, args })
@@ -577,7 +623,12 @@ impl Parser {
             // Format labels are accepted and ignored (list-directed output).
             match self.bump() {
                 Tok::Int(_) => {}
-                other => return Err(Error::parse(format!("bad WRITE format {other}"), self.span())),
+                other => {
+                    return Err(Error::parse(
+                        format!("bad WRITE format {other}"),
+                        self.span(),
+                    ))
+                }
             }
         }
         self.expect(Tok::RParen)?;
@@ -780,7 +831,10 @@ impl Parser {
                     Ok(Expr::Var(name))
                 }
             }
-            other => Err(Error::parse(format!("unexpected {other} in expression"), span)),
+            other => Err(Error::parse(
+                format!("unexpected {other} in expression"),
+                span,
+            )),
         }
     }
 }
@@ -816,7 +870,9 @@ mod tests {
         let u = p.unit("PCINIT").unwrap();
         assert_eq!(u.params, vec!["X2", "Y2", "Z2"]);
         // Multi-entry DIMENSION is stored as an anonymous group.
-        assert!(matches!(&u.decls[0], Decl::Common { block, vars } if block.is_empty() && vars.len() == 3));
+        assert!(
+            matches!(&u.decls[0], Decl::Common { block, vars } if block.is_empty() && vars.len() == 3)
+        );
     }
 
     #[test]
@@ -921,7 +977,9 @@ mod tests {
 ";
         let p = parse_ok(src);
         match &p.main().unwrap().body[0].kind {
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 assert_eq!(then_blk.len(), 2);
                 assert_eq!(else_blk.len(), 1);
             }
@@ -957,7 +1015,9 @@ mod tests {
         let src = "      PROGRAM P\n      IF (IDEDON(IDE) .EQ. 0) IDEDON(IDE) = 1\n      END\n";
         let p = parse_ok(src);
         match &p.main().unwrap().body[0].kind {
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 assert_eq!(then_blk.len(), 1);
                 assert!(else_blk.is_empty());
             }
@@ -976,7 +1036,9 @@ mod tests {
 ";
         let p = parse_ok(src);
         let b = &p.main().unwrap().body;
-        assert!(matches!(&b[0].kind, StmtKind::Call { name, args } if name == "FSMP" && args.len() == 2));
+        assert!(
+            matches!(&b[0].kind, StmtKind::Call { name, args } if name == "FSMP" && args.len() == 2)
+        );
         assert!(matches!(&b[1].kind, StmtKind::Write { unit: 6, items } if items.len() == 3));
         assert!(matches!(&b[2].kind, StmtKind::Stop { message: Some(m) } if m == "F SINGULAR"));
     }
@@ -1082,7 +1144,14 @@ mod tests {
             }
         }
         collect(&p.main().unwrap().body, &mut ids);
-        assert_eq!(ids, vec![LoopId::new("P", 1), LoopId::new("P", 2), LoopId::new("P", 3)]);
+        assert_eq!(
+            ids,
+            vec![
+                LoopId::new("P", 1),
+                LoopId::new("P", 2),
+                LoopId::new("P", 3)
+            ]
+        );
     }
 
     #[test]
@@ -1127,7 +1196,8 @@ mod tests {
 
     #[test]
     fn negative_bounds_and_steps() {
-        let src = "      PROGRAM P\n      DO I = 10, 1, -1\n        A(I) = I\n      ENDDO\n      END\n";
+        let src =
+            "      PROGRAM P\n      DO I = 10, 1, -1\n        A(I) = I\n      ENDDO\n      END\n";
         let p = parse_ok(src);
         match &p.main().unwrap().body[0].kind {
             StmtKind::Do(d) => {

@@ -49,7 +49,11 @@ fn print_decl(d: &Decl, out: &mut String) {
         }
         Decl::Common { block, vars } if block.is_empty() => {
             // Anonymous group: a multi-entry type/DIMENSION declaration.
-            let ty = vars.iter().find_map(|v| v.ty).map(|t| t.keyword()).unwrap_or("DIMENSION");
+            let ty = vars
+                .iter()
+                .find_map(|v| v.ty)
+                .map(|t| t.keyword())
+                .unwrap_or("DIMENSION");
             let list: Vec<String> = vars.iter().map(var_decl_str).collect();
             let _ = writeln!(out, "      {} {}", ty, list.join(", "));
         }
@@ -107,11 +111,21 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
         StmtKind::Assign { lhs, rhs } => {
             let _ = writeln!(out, "{}{} = {}", ind, expr_str(lhs), expr_str(rhs));
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             if else_blk.is_empty() && then_blk.len() == 1 && is_simple(&then_blk[0]) {
                 let mut inner = String::new();
                 print_stmt(&then_blk[0], 1, &mut inner);
-                let _ = writeln!(out, "{}IF ({}) {}", ind, expr_str(cond), inner[6..].trim_end());
+                let _ = writeln!(
+                    out,
+                    "{}IF ({}) {}",
+                    ind,
+                    expr_str(cond),
+                    inner[6..].trim_end()
+                );
                 return;
             }
             let _ = writeln!(out, "{}IF ({}) THEN", ind, expr_str(cond));
@@ -180,7 +194,11 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
             let _ = writeln!(out, "{}CONTINUE", ind);
         }
         StmtKind::Tagged { tag, body } => {
-            let _ = writeln!(out, "*//@; BEGIN(Code, tag={}, callee={})", tag.tag_id, tag.callee);
+            let _ = writeln!(
+                out,
+                "*//@; BEGIN(Code, tag={}, callee={})",
+                tag.tag_id, tag.callee
+            );
             let _ = writeln!(out, "*//@; @annot inline {}", tag.callee);
             print_block(body, depth, out);
             let _ = writeln!(out, "*//@; END(tag={})", tag.tag_id);
@@ -304,7 +322,11 @@ fn expr_prec(e: &Expr, outer: u8) -> String {
             let p = prec(*op);
             // Right operand of left-associative ops needs parens at equal
             // precedence (e.g. a - (b - c)); Pow is right-associative.
-            let (lp, rp) = if *op == BinOp::Pow { (p + 1, p) } else { (p, p + 1) };
+            let (lp, rp) = if *op == BinOp::Pow {
+                (p + 1, p)
+            } else {
+                (p, p + 1)
+            };
             let s = format!("{}{}{}", expr_prec(l, lp), op_str(*op), expr_prec(r, rp));
             if p < outer {
                 format!("({s})")
@@ -379,7 +401,9 @@ mod tests {
                 s.span = Span::SYNTH;
                 s.label = None;
                 match &mut s.kind {
-                    StmtKind::If { then_blk, else_blk, .. } => {
+                    StmtKind::If {
+                        then_blk, else_blk, ..
+                    } => {
                         fix(then_blk);
                         fix(else_blk);
                     }
@@ -445,8 +469,9 @@ mod tests {
 
     #[test]
     fn directive_printing() {
-        let mut p = parse("      PROGRAM P\n      DO I = 1, 10\n      A(I) = I\n      ENDDO\n      END\n")
-            .unwrap();
+        let mut p =
+            parse("      PROGRAM P\n      DO I = 1, 10\n      A(I) = I\n      ENDDO\n      END\n")
+                .unwrap();
         if let StmtKind::Do(d) = &mut p.units[0].body[0].kind {
             d.directive = Some(OmpDirective {
                 private: vec!["T".into()],
@@ -465,7 +490,10 @@ mod tests {
     fn tagged_region_printing() {
         let body = vec![Stmt::assign(Expr::var("X"), Expr::int(1))];
         let tagged = Stmt::synth(StmtKind::Tagged {
-            tag: TagInfo { tag_id: 3, callee: "MATMLT".into() },
+            tag: TagInfo {
+                tag_id: 3,
+                callee: "MATMLT".into(),
+            },
             body,
         });
         let mut out = String::new();
@@ -476,13 +504,25 @@ mod tests {
 
     #[test]
     fn paren_minimality() {
-        assert_eq!(expr_str(&Expr::add(Expr::var("A"), Expr::mul(Expr::var("B"), Expr::var("C")))), "A + B*C");
         assert_eq!(
-            expr_str(&Expr::mul(Expr::add(Expr::var("A"), Expr::var("B")), Expr::var("C"))),
+            expr_str(&Expr::add(
+                Expr::var("A"),
+                Expr::mul(Expr::var("B"), Expr::var("C"))
+            )),
+            "A + B*C"
+        );
+        assert_eq!(
+            expr_str(&Expr::mul(
+                Expr::add(Expr::var("A"), Expr::var("B")),
+                Expr::var("C")
+            )),
             "(A + B)*C"
         );
         assert_eq!(
-            expr_str(&Expr::sub(Expr::var("A"), Expr::sub(Expr::var("B"), Expr::var("C")))),
+            expr_str(&Expr::sub(
+                Expr::var("A"),
+                Expr::sub(Expr::var("B"), Expr::var("C"))
+            )),
             "A - (B - C)"
         );
     }

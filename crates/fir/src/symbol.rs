@@ -63,6 +63,11 @@ impl Symbol {
 #[derive(Debug, Clone, Default)]
 pub struct SymbolTable {
     syms: HashMap<Ident, Symbol>,
+    /// First-insertion order of `syms`. [`SymbolTable::iter`] follows this,
+    /// never the map's hash order: downstream passes number fresh names and
+    /// allocate interpreter slots in iteration order, so it must be a pure
+    /// function of the source text.
+    order: Vec<Ident>,
     /// PARAMETER constants, already folded to literals where possible.
     params: HashMap<Ident, Expr>,
     /// Names of COMMON blocks declared in this unit, in order.
@@ -115,38 +120,47 @@ impl SymbolTable {
             match t.syms.get_mut(p) {
                 Some(s) => s.storage = Storage::Formal(i),
                 None => {
-                    t.syms.insert(
-                        p.clone(),
-                        Symbol {
-                            name: p.clone(),
-                            ty: Type::implicit_for(p),
-                            dims: vec![],
-                            storage: Storage::Formal(i),
-                        },
-                    );
+                    t.define(Symbol {
+                        name: p.clone(),
+                        ty: Type::implicit_for(p),
+                        dims: vec![],
+                        storage: Storage::Formal(i),
+                    });
                 }
             }
         }
 
-        // Pass 4: PARAMETER names become Param-storage symbols.
-        for name in t.params.keys().cloned().collect::<Vec<_>>() {
-            let ty = t.syms.get(&name).map(|s| s.ty).unwrap_or_else(|| Type::implicit_for(&name));
-            t.syms.insert(
-                name.clone(),
-                Symbol { name: name.clone(), ty, dims: vec![], storage: Storage::Param },
-            );
+        // Pass 4: PARAMETER names become Param-storage symbols. (Sorted:
+        // `params` is a hash map, but insertion order must be stable.)
+        let mut param_names: Vec<Ident> = t.params.keys().cloned().collect();
+        param_names.sort();
+        for name in param_names {
+            let ty = t
+                .syms
+                .get(&name)
+                .map(|s| s.ty)
+                .unwrap_or_else(|| Type::implicit_for(&name));
+            t.define(Symbol {
+                name,
+                ty,
+                dims: vec![],
+                storage: Storage::Param,
+            });
         }
 
         // Pass 5: implicit declarations for anything referenced in the body.
         let mut names = Vec::new();
         collect_names(&unit.body, &mut names);
         for n in names {
-            t.syms.entry(n.clone()).or_insert_with(|| Symbol {
-                name: n.clone(),
-                ty: Type::implicit_for(&n),
-                dims: vec![],
-                storage: Storage::Local,
-            });
+            if !t.syms.contains_key(&n) {
+                let ty = Type::implicit_for(&n);
+                t.define(Symbol {
+                    name: n,
+                    ty,
+                    dims: vec![],
+                    storage: Storage::Local,
+                });
+            }
         }
 
         // Fold PARAMETER references inside every dimension extent so that
@@ -164,7 +178,18 @@ impl SymbolTable {
         t
     }
 
+    /// Insert or replace a symbol, recording first-insertion order.
+    fn define(&mut self, sym: Symbol) {
+        if !self.syms.contains_key(&sym.name) {
+            self.order.push(sym.name.clone());
+        }
+        self.syms.insert(sym.name.clone(), sym);
+    }
+
     fn merge_decl(&mut self, v: &VarDecl, common: Option<Ident>) {
+        if !self.syms.contains_key(&v.name) {
+            self.order.push(v.name.clone());
+        }
         let entry = self.syms.entry(v.name.clone()).or_insert_with(|| Symbol {
             name: v.name.clone(),
             ty: v.ty.unwrap_or_else(|| Type::implicit_for(&v.name)),
@@ -209,15 +234,18 @@ impl SymbolTable {
         fold_with(e, &self.params);
     }
 
-    /// Iterate over all symbols.
+    /// Iterate over all symbols, in first-insertion (declaration) order.
     pub fn iter(&self) -> impl Iterator<Item = &Symbol> {
-        self.syms.values()
+        self.order.iter().map(|n| &self.syms[n])
     }
 
     /// All symbols stored in the given COMMON block.
     pub fn common_members(&self, block: &str) -> Vec<&Symbol> {
-        let mut v: Vec<&Symbol> =
-            self.syms.values().filter(|s| s.storage == Storage::Common(block.to_string())).collect();
+        let mut v: Vec<&Symbol> = self
+            .syms
+            .values()
+            .filter(|s| s.storage == Storage::Common(block.to_string()))
+            .collect();
         v.sort_by(|a, b| a.name.cmp(&b.name));
         v
     }
@@ -252,7 +280,11 @@ fn collect_names(block: &crate::ast::Block, out: &mut Vec<Ident>) {
                 expr_names(lhs, out);
                 expr_names(rhs, out);
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 expr_names(cond, out);
                 collect_names(then_blk, out);
                 collect_names(else_blk, out);
@@ -301,8 +333,16 @@ mod tests {
     #[test]
     fn merge_type_and_dimension_decls() {
         let decls = vec![
-            Decl::Var(VarDecl { name: "X".into(), ty: Some(Type::Double), dims: vec![] }),
-            Decl::Var(VarDecl { name: "X".into(), ty: None, dims: vec![Dim::Extent(Expr::int(10))] }),
+            Decl::Var(VarDecl {
+                name: "X".into(),
+                ty: Some(Type::Double),
+                dims: vec![],
+            }),
+            Decl::Var(VarDecl {
+                name: "X".into(),
+                ty: None,
+                dims: vec![Dim::Extent(Expr::int(10))],
+            }),
         ];
         let t = SymbolTable::build(&unit_with(decls, vec![], vec![]));
         let s = t.get("X").unwrap();
@@ -320,7 +360,11 @@ mod tests {
     fn common_membership() {
         let decls = vec![Decl::Common {
             block: "BLK".into(),
-            vars: vec![VarDecl { name: "T".into(), ty: None, dims: vec![Dim::Extent(Expr::int(100))] }],
+            vars: vec![VarDecl {
+                name: "T".into(),
+                ty: None,
+                dims: vec![Dim::Extent(Expr::int(100))],
+            }],
         }];
         let t = SymbolTable::build(&unit_with(decls, vec![], vec![]));
         assert_eq!(t.get("T").unwrap().storage, Storage::Common("BLK".into()));
@@ -331,7 +375,10 @@ mod tests {
     #[test]
     fn parameter_folding_in_dims() {
         let decls = vec![
-            Decl::Param { name: "N".into(), value: Expr::int(64) },
+            Decl::Param {
+                name: "N".into(),
+                value: Expr::int(64),
+            },
             Decl::Var(VarDecl {
                 name: "A".into(),
                 ty: None,
@@ -345,7 +392,10 @@ mod tests {
 
     #[test]
     fn implicit_symbols_from_body() {
-        let body = vec![Stmt::assign(Expr::var("KOUNT"), Expr::add(Expr::var("KOUNT"), Expr::int(1)))];
+        let body = vec![Stmt::assign(
+            Expr::var("KOUNT"),
+            Expr::add(Expr::var("KOUNT"), Expr::int(1)),
+        )];
         let t = SymbolTable::build(&unit_with(vec![], vec![], body));
         let s = t.get("KOUNT").unwrap();
         assert_eq!(s.ty, Type::Integer);
@@ -354,7 +404,11 @@ mod tests {
 
     #[test]
     fn assumed_size_has_no_extent() {
-        let decls = vec![Decl::Var(VarDecl { name: "X2".into(), ty: None, dims: vec![Dim::Assumed] })];
+        let decls = vec![Decl::Var(VarDecl {
+            name: "X2".into(),
+            ty: None,
+            dims: vec![Dim::Assumed],
+        })];
         let t = SymbolTable::build(&unit_with(decls, vec!["X2"], vec![]));
         let s = t.get("X2").unwrap();
         assert!(s.is_array());
@@ -365,8 +419,14 @@ mod tests {
     #[test]
     fn param_value_is_folded() {
         let decls = vec![
-            Decl::Param { name: "N".into(), value: Expr::int(4) },
-            Decl::Param { name: "M".into(), value: Expr::mul(Expr::var("N"), Expr::var("N")) },
+            Decl::Param {
+                name: "N".into(),
+                value: Expr::int(4),
+            },
+            Decl::Param {
+                name: "M".into(),
+                value: Expr::mul(Expr::var("N"), Expr::var("N")),
+            },
         ];
         let t = SymbolTable::build(&unit_with(decls, vec![], vec![]));
         assert_eq!(t.param_value("M"), Some(&Expr::int(16)));

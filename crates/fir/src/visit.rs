@@ -10,7 +10,9 @@ pub fn walk_stmts<'a>(block: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
     for s in block {
         f(s);
         match &s.kind {
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 walk_stmts(then_blk, f);
                 walk_stmts(else_blk, f);
             }
@@ -26,7 +28,9 @@ pub fn walk_stmts_mut(block: &mut Block, f: &mut impl FnMut(&mut Stmt)) {
     for s in block {
         f(s);
         match &mut s.kind {
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 walk_stmts_mut(then_blk, f);
                 walk_stmts_mut(else_blk, f);
             }
@@ -50,7 +54,9 @@ pub fn walk_loops<'a>(block: &'a Block, f: &mut impl FnMut(&'a DoLoop)) {
 pub fn walk_loops_mut(block: &mut Block, f: &mut impl FnMut(&mut DoLoop)) {
     for s in block {
         match &mut s.kind {
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 walk_loops_mut(then_blk, f);
                 walk_loops_mut(else_blk, f);
             }

@@ -70,7 +70,13 @@ impl AnnotRegistry {
     /// Parse a whole annotation file.
     pub fn parse(src: &str) -> Result<AnnotRegistry> {
         let toks = lex(src)?;
-        let mut p = P { toks, pos: 0, op_counter: 0, loop_counter: 0, sub: String::new() };
+        let mut p = P {
+            toks,
+            pos: 0,
+            op_counter: 0,
+            loop_counter: 0,
+            sub: String::new(),
+        };
         let mut reg = AnnotRegistry::default();
         while !p.at(&T::Eof) {
             let sub = p.subroutine()?;
@@ -154,7 +160,11 @@ fn lex(src: &str) -> Result<Vec<T>> {
                 while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
-                out.push(T::Id(std::str::from_utf8(&b[start..i]).unwrap().to_ascii_uppercase()));
+                out.push(T::Id(
+                    std::str::from_utf8(&b[start..i])
+                        .unwrap()
+                        .to_ascii_uppercase(),
+                ));
             }
             b'0'..=b'9' => {
                 let start = i;
@@ -162,7 +172,11 @@ fn lex(src: &str) -> Result<Vec<T>> {
                     i += 1;
                 }
                 let mut is_real = false;
-                if i < b.len() && b[i] == b'.' && (i + 1 >= b.len() || b[i + 1].is_ascii_digit() || !b[i + 1].is_ascii_alphabetic())
+                if i < b.len()
+                    && b[i] == b'.'
+                    && (i + 1 >= b.len()
+                        || b[i + 1].is_ascii_digit()
+                        || !b[i + 1].is_ascii_alphabetic())
                 {
                     is_real = true;
                     i += 1;
@@ -187,16 +201,26 @@ fn lex(src: &str) -> Result<Vec<T>> {
                 if is_real {
                     let norm = text.replace(['D', 'd'], "E");
                     out.push(T::Real(norm.parse().map_err(|_| {
-                        Error::lex(format!("bad number '{text}'"), Span::new(start as u32, i as u32, line))
+                        Error::lex(
+                            format!("bad number '{text}'"),
+                            Span::new(start as u32, i as u32, line),
+                        )
                     })?));
                 } else {
                     out.push(T::Int(text.parse().map_err(|_| {
-                        Error::lex(format!("bad number '{text}'"), Span::new(start as u32, i as u32, line))
+                        Error::lex(
+                            format!("bad number '{text}'"),
+                            Span::new(start as u32, i as u32, line),
+                        )
                     })?));
                 }
             }
             _ => {
-                let two = if i + 1 < b.len() { &b[i..i + 2] } else { &b[i..i + 1] };
+                let two = if i + 1 < b.len() {
+                    &b[i..i + 2]
+                } else {
+                    &b[i..i + 1]
+                };
                 let (tok, n) = match two {
                     b"==" => (T::EqEq, 2),
                     b"!=" => (T::Ne, 2),
@@ -301,14 +325,20 @@ impl P {
             self.bump();
             Ok(())
         } else {
-            Err(Error::parse(format!("annotation: expected {t:?}, found {:?}", self.peek()), Span::SYNTH))
+            Err(Error::parse(
+                format!("annotation: expected {t:?}, found {:?}", self.peek()),
+                Span::SYNTH,
+            ))
         }
     }
 
     fn ident(&mut self) -> Result<String> {
         match self.bump() {
             T::Id(s) => Ok(s),
-            other => Err(Error::parse(format!("annotation: expected identifier, found {other:?}"), Span::SYNTH)),
+            other => Err(Error::parse(
+                format!("annotation: expected identifier, found {other:?}"),
+                Span::SYNTH,
+            )),
         }
     }
 
@@ -392,7 +422,13 @@ impl P {
             }
             self.stmt_into(&mut body)?;
         }
-        Ok(AnnotSub { name, params, dims, types, body })
+        Ok(AnnotSub {
+            name,
+            params,
+            dims,
+            types,
+            body,
+        })
     }
 
     fn block_or_stmt(&mut self) -> Result<Block> {
@@ -424,7 +460,11 @@ impl P {
                     } else {
                         vec![]
                     };
-                    out.push(Stmt::synth(StmtKind::If { cond, then_blk, else_blk }));
+                    out.push(Stmt::synth(StmtKind::If {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    }));
                     return Ok(());
                 }
                 "DO" => {
@@ -435,7 +475,11 @@ impl P {
                     let lo = self.expr()?;
                     self.expect(T::Colon)?;
                     let hi = self.expr()?;
-                    let step = if self.eat(&T::Colon) { Some(self.expr()?) } else { None };
+                    let step = if self.eat(&T::Colon) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
                     self.expect(T::RParen)?;
                     self.loop_counter += 1;
                     let id = LoopId::new(self.sub.clone(), LoopId::ANNOT_BASE + self.loop_counter);
@@ -521,8 +565,16 @@ impl P {
                 let lo = self.expr()?;
                 if self.eat(&T::Colon) {
                     let hi = self.expr()?;
-                    let step = if self.eat(&T::Colon) { Some(Box::new(self.expr()?)) } else { None };
-                    out.push(SecRange::Range { lo: Some(Box::new(lo)), hi: Some(Box::new(hi)), step });
+                    let step = if self.eat(&T::Colon) {
+                        Some(Box::new(self.expr()?))
+                    } else {
+                        None
+                    };
+                    out.push(SecRange::Range {
+                        lo: Some(Box::new(lo)),
+                        hi: Some(Box::new(hi)),
+                        step,
+                    });
                 } else {
                     out.push(SecRange::At(lo));
                 }
@@ -676,7 +728,10 @@ impl P {
                 }
                 Ok(Expr::Var(name))
             }
-            other => Err(Error::parse(format!("annotation: unexpected {other:?}"), Span::SYNTH)),
+            other => Err(Error::parse(
+                format!("annotation: unexpected {other:?}"),
+                Span::SYNTH,
+            )),
         }
     }
 }
@@ -766,7 +821,10 @@ subroutine G(IDE) {
 ";
         let sub = AnnotRegistry::parse(src).unwrap().subs.remove("G").unwrap();
         match &sub.body[0].kind {
-            StmtKind::Assign { lhs: Expr::Section(n, secs), .. } => {
+            StmtKind::Assign {
+                lhs: Expr::Section(n, secs),
+                ..
+            } => {
                 assert_eq!(n, "FE");
                 assert!(matches!(secs[0], SecRange::Full));
                 assert!(matches!(secs[1], SecRange::At(_)));
@@ -774,7 +832,10 @@ subroutine G(IDE) {
             other => panic!("{other:?}"),
         }
         match &sub.body[1].kind {
-            StmtKind::Assign { lhs: Expr::Section(_, secs), .. } => {
+            StmtKind::Assign {
+                lhs: Expr::Section(_, secs),
+                ..
+            } => {
                 assert!(matches!(secs[0], SecRange::Range { .. }));
             }
             other => panic!("{other:?}"),
@@ -794,7 +855,11 @@ subroutine H(ID) {
         assert_eq!(sub.body.len(), 3);
         let mut ids = std::collections::BTreeSet::new();
         for s in &sub.body {
-            if let StmtKind::Assign { rhs: Expr::Unknown(id, _), .. } = &s.kind {
+            if let StmtKind::Assign {
+                rhs: Expr::Unknown(id, _),
+                ..
+            } = &s.kind
+            {
                 ids.insert(*id);
             }
         }
@@ -814,7 +879,9 @@ subroutine K(IDE) {
 ";
         let sub = AnnotRegistry::parse(src).unwrap().subs.remove("K").unwrap();
         match &sub.body[0].kind {
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 assert_eq!(then_blk.len(), 1);
                 assert_eq!(else_blk.len(), 1);
             }

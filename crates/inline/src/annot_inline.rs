@@ -33,12 +33,19 @@ pub fn apply(p: &mut Program, reg: &AnnotRegistry) -> AnnotInlineReport {
         let caller = unit.name.clone();
         let mut new_decls: Vec<Decl> = Vec::new();
         let body = std::mem::take(&mut unit.body);
-        unit.body = walk(body, reg, &caller, &mut next_tag, &mut report, &mut new_decls);
+        unit.body = walk(
+            body,
+            reg,
+            &caller,
+            &mut next_tag,
+            &mut report,
+            &mut new_decls,
+        );
         // Add declarations for annotation-declared globals the caller does
         // not declare yet.
         let have: Vec<Ident> = decl_names(&unit.decls);
         for d in new_decls {
-            let names = decl_names(&[d.clone()]);
+            let names = decl_names(std::slice::from_ref(&d));
             if names.iter().all(|n| !have.contains(n)) {
                 unit.decls.push(d);
             }
@@ -74,7 +81,9 @@ fn walk(
                 Some(sub) => {
                     let body = instantiate(sub, args);
                     *next_tag += 1;
-                    report.tags.push((*next_tag, caller.to_string(), name.clone()));
+                    report
+                        .tags
+                        .push((*next_tag, caller.to_string(), name.clone()));
                     // Globals declared in the annotation (shapes for arrays
                     // the caller may not know about).
                     for (gname, gdims) in &sub.dims {
@@ -87,7 +96,10 @@ fn walk(
                         }
                     }
                     out.push(Stmt::synth(StmtKind::Tagged {
-                        tag: TagInfo { tag_id: *next_tag, callee: name.clone() },
+                        tag: TagInfo {
+                            tag_id: *next_tag,
+                            callee: name.clone(),
+                        },
                         body,
                     }));
                 }
@@ -96,14 +108,29 @@ fn walk(
                     out.push(s);
                 }
             },
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let then_blk = walk(then_blk, reg, caller, next_tag, report, new_decls);
                 let else_blk = walk(else_blk, reg, caller, next_tag, report, new_decls);
-                s.kind = StmtKind::If { cond, then_blk, else_blk };
+                s.kind = StmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                };
                 out.push(s);
             }
             StmtKind::Do(mut d) => {
-                d.body = walk(std::mem::take(&mut d.body), reg, caller, next_tag, report, new_decls);
+                d.body = walk(
+                    std::mem::take(&mut d.body),
+                    reg,
+                    caller,
+                    next_tag,
+                    report,
+                    new_decls,
+                );
                 s.kind = StmtKind::Do(d);
                 out.push(s);
             }
@@ -123,7 +150,12 @@ enum Binding {
     /// declared extent with scalar actuals substituted (None = assumed
     /// size) — needed to render whole-array references at interior offsets
     /// as exact ranges.
-    Array { base: Ident, offsets: Vec<Expr>, extra: Vec<Expr>, extents: Vec<Option<Expr>> },
+    Array {
+        base: Ident,
+        offsets: Vec<Expr>,
+        extra: Vec<Expr>,
+        extents: Vec<Option<Expr>>,
+    },
 }
 
 /// Instantiate an annotation body with actual arguments (paper Fig. 18).
@@ -175,7 +207,12 @@ pub fn instantiate(sub: &AnnotSub, args: &[Expr]) -> Block {
                     let extra = subs[m..].to_vec();
                     bind.insert(
                         f.clone(),
-                        Binding::Array { base: base.clone(), offsets, extra, extents },
+                        Binding::Array {
+                            base: base.clone(),
+                            offsets,
+                            extra,
+                            extents,
+                        },
                     );
                 }
                 other => {
@@ -202,7 +239,12 @@ fn rewrite(e: &mut Expr, bind: &BTreeMap<Ident, Binding>) {
     match e {
         Expr::Var(n) => match bind.get(n) {
             Some(Binding::Scalar(a)) => *e = a.clone(),
-            Some(Binding::Array { base, offsets, extra, extents }) => {
+            Some(Binding::Array {
+                base,
+                offsets,
+                extra,
+                extents,
+            }) => {
                 // Whole-array reference: a section covering the formal's
                 // extent at the actual's offset — rendered exactly so the
                 // reverse inliner can recover the offset.
@@ -238,7 +280,12 @@ fn rewrite(e: &mut Expr, bind: &BTreeMap<Ident, Binding>) {
         Expr::Index(n, subs) => {
             if let Some(b) = bind.get(n) {
                 match b {
-                    Binding::Array { base, offsets, extra, .. } => {
+                    Binding::Array {
+                        base,
+                        offsets,
+                        extra,
+                        ..
+                    } => {
                         let mut new_subs = Vec::with_capacity(offsets.len() + extra.len());
                         for (j, sub) in subs.iter().enumerate() {
                             let off = offsets.get(j).cloned().unwrap_or(Expr::int(1));
@@ -260,7 +307,13 @@ fn rewrite(e: &mut Expr, bind: &BTreeMap<Ident, Binding>) {
             }
         }
         Expr::Section(n, secs) => {
-            if let Some(Binding::Array { base, offsets, extra, .. }) = bind.get(n) {
+            if let Some(Binding::Array {
+                base,
+                offsets,
+                extra,
+                ..
+            }) = bind.get(n)
+            {
                 let mut new_secs = Vec::with_capacity(offsets.len() + extra.len());
                 for (j, sec) in secs.iter().enumerate() {
                     let off = offsets.get(j).cloned().unwrap_or(Expr::int(1));
@@ -281,13 +334,20 @@ fn rewrite(e: &mut Expr, bind: &BTreeMap<Ident, Binding>) {
                                     let mut v = if matches!(off, Expr::Int(1)) {
                                         (**x).clone()
                                     } else {
-                                        Expr::sub(Expr::add(off.clone(), (**x).clone()), Expr::int(1))
+                                        Expr::sub(
+                                            Expr::add(off.clone(), (**x).clone()),
+                                            Expr::int(1),
+                                        )
                                     };
                                     fold_expr(&mut v);
                                     Box::new(v)
                                 })
                             };
-                            SecRange::Range { lo: shift(lo), hi: shift(hi), step: step.clone() }
+                            SecRange::Range {
+                                lo: shift(lo),
+                                hi: shift(hi),
+                                step: step.clone(),
+                            }
                         }
                     };
                     new_secs.push(shifted);
@@ -351,10 +411,9 @@ subroutine MATMLT(M1, M2, M3, L, M, N) {
 
     #[test]
     fn interior_offsets_shift_subscripts() {
-        let reg = AnnotRegistry::parse(
-            "subroutine S(X, N) { dimension X[N]; do (I = 1:N) X[I] = 0.0; }",
-        )
-        .unwrap();
+        let reg =
+            AnnotRegistry::parse("subroutine S(X, N) { dimension X[N]; do (I = 1:N) X[I] = 0.0; }")
+                .unwrap();
         let mut p = parse(
             "      PROGRAM MAIN
       DIMENSION T(100)
@@ -372,10 +431,7 @@ subroutine MATMLT(M1, M2, M3, L, M, N) {
 
     #[test]
     fn whole_array_actual_renames() {
-        let reg = AnnotRegistry::parse(
-            "subroutine Z(A, N) { dimension A[N]; A = 0.0; }",
-        )
-        .unwrap();
+        let reg = AnnotRegistry::parse("subroutine Z(A, N) { dimension A[N]; A = 0.0; }").unwrap();
         let mut p = parse(
             "      PROGRAM MAIN
       DIMENSION B(50)
@@ -431,8 +487,7 @@ subroutine MATMLT(M1, M2, M3, L, M, N) {
 
     #[test]
     fn tag_ids_are_unique_across_sites() {
-        let reg =
-            AnnotRegistry::parse("subroutine G(X) { Y = unknown(X); }").unwrap();
+        let reg = AnnotRegistry::parse("subroutine G(X) { Y = unknown(X); }").unwrap();
         let mut p = parse(
             "      PROGRAM MAIN
       CALL G(1)
@@ -462,7 +517,11 @@ subroutine MATMLT(M1, M2, M3, L, M, N) {
         apply(&mut p, &reg);
         let mut ids = Vec::new();
         fir::visit::walk_stmts(&p.units[0].body, &mut |s| {
-            if let StmtKind::Assign { rhs: Expr::Unknown(id, _), .. } = &s.kind {
+            if let StmtKind::Assign {
+                rhs: Expr::Unknown(id, _),
+                ..
+            } = &s.kind
+            {
                 ids.push(*id);
             }
         });

@@ -49,7 +49,10 @@ pub struct AutoGenOptions {
 
 impl Default for AutoGenOptions {
     fn default() -> Self {
-        AutoGenOptions { relax_error_handling: true, max_operands: 16 }
+        AutoGenOptions {
+            relax_error_handling: true,
+            max_operands: 16,
+        }
     }
 }
 
@@ -115,7 +118,10 @@ pub fn generate(unit: &ProcUnit, opts: &AutoGenOptions) -> Result<AnnotSub, Auto
         return Err(AutoGenRefusal::HasIo);
     }
     {
-        let probe = ProcUnit { body: body.clone(), ..unit.clone() };
+        let probe = ProcUnit {
+            body: body.clone(),
+            ..unit.clone()
+        };
         if crate::heuristics::has_early_return(&probe) {
             return Err(AutoGenRefusal::EarlyReturn);
         }
@@ -164,7 +170,9 @@ pub fn generate(unit: &ProcUnit, opts: &AutoGenOptions) -> Result<AnnotSub, Auto
         }
     }
     if operands.len() > opts.max_operands {
-        return Err(AutoGenRefusal::UnrepresentableRegion("<operand overflow>".into()));
+        return Err(AutoGenRefusal::UnrepresentableRegion(
+            "<operand overflow>".into(),
+        ));
     }
 
     let mut out_body: Block = Vec::new();
@@ -185,7 +193,10 @@ pub fn generate(unit: &ProcUnit, opts: &AutoGenOptions) -> Result<AnnotSub, Auto
             return Err(AutoGenRefusal::GuardedWrite(s.name.clone()));
         }
         summarized_scalars.push(s.name.clone());
-        out_body.push(Stmt::assign(Expr::Var(s.name.clone()), fresh_unknown(&operands)));
+        out_body.push(Stmt::assign(
+            Expr::Var(s.name.clone()),
+            fresh_unknown(&operands),
+        ));
     }
 
     // One summary assignment per array write access, in order.
@@ -208,9 +219,11 @@ pub fn generate(unit: &ProcUnit, opts: &AutoGenOptions) -> Result<AnnotSub, Auto
             let sec = match r {
                 DimRegion::Whole => SecRange::Full,
                 DimRegion::Point(e) => SecRange::At(e),
-                DimRegion::Range(lo, hi) => {
-                    SecRange::Range { lo: Some(Box::new(lo)), hi: Some(Box::new(hi)), step: None }
-                }
+                DimRegion::Range(lo, hi) => SecRange::Range {
+                    lo: Some(Box::new(lo)),
+                    hi: Some(Box::new(hi)),
+                    step: None,
+                },
                 DimRegion::Unknown => {
                     return Err(AutoGenRefusal::UnrepresentableRegion(a.array.clone()))
                 }
@@ -252,7 +265,8 @@ pub fn generate(unit: &ProcUnit, opts: &AutoGenOptions) -> Result<AnnotSub, Auto
         // Record the declared shape so the annotation inliner can map
         // actuals dimension-wise.
         if let Some(sym) = table.get(&a.array) {
-            dims.entry(a.array.clone()).or_insert_with(|| sym.dims.clone());
+            dims.entry(a.array.clone())
+                .or_insert_with(|| sym.dims.clone());
         }
     }
 
@@ -302,23 +316,27 @@ fn strip_error_handlers(block: &mut Block) {
     fn is_error_block(b: &Block) -> bool {
         b.iter().all(|s| match &s.kind {
             StmtKind::Write { .. } | StmtKind::Stop { .. } | StmtKind::Continue => true,
-            StmtKind::If { then_blk, else_blk, .. } => {
-                is_error_block(then_blk) && is_error_block(else_blk)
-            }
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => is_error_block(then_blk) && is_error_block(else_blk),
             _ => false,
         })
     }
     block.retain(|s| match &s.kind {
-        StmtKind::If { then_blk, else_blk, .. } => {
-            !((!then_blk.is_empty() || !else_blk.is_empty())
-                && is_error_block(then_blk)
-                && is_error_block(else_blk))
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => {
+            (then_blk.is_empty() && else_blk.is_empty())
+                || !is_error_block(then_blk)
+                || !is_error_block(else_blk)
         }
         _ => true,
     });
     for s in block.iter_mut() {
         match &mut s.kind {
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 strip_error_handlers(then_blk);
                 strip_error_handlers(else_blk);
             }
@@ -359,7 +377,10 @@ mod tests {
         // Two section writes: X2[1:N], Y2[1:N].
         assert_eq!(sub.body.len(), 2);
         match &sub.body[0].kind {
-            StmtKind::Assign { lhs: Expr::Section(n, secs), rhs: Expr::Unknown(_, ops) } => {
+            StmtKind::Assign {
+                lhs: Expr::Section(n, secs),
+                rhs: Expr::Unknown(_, ops),
+            } => {
                 assert_eq!(n, "X2");
                 assert!(matches!(&secs[0], SecRange::Range { .. }));
                 // Operands mention the read arrays.
@@ -404,7 +425,10 @@ mod tests {
         let none = compile_mode(&p, &reg, Mode::None);
         let annot = compile_mode(&p, &reg, Mode::Annotation);
         // No losses relative to no-inlining.
-        assert!(none.iter().all(|id| annot.contains(id)), "{none:?} vs {annot:?}");
+        assert!(
+            none.iter().all(|id| annot.contains(id)),
+            "{none:?} vs {annot:?}"
+        );
     }
 
     /// Minimal local shim so this crate's tests can exercise the pipeline
@@ -490,7 +514,10 @@ mod tests {
         let sub = generate(&u, &AutoGenOptions::default()).unwrap();
         assert_eq!(sub.body.len(), 1);
         // Without the relaxation, refused.
-        let strict = AutoGenOptions { relax_error_handling: false, ..Default::default() };
+        let strict = AutoGenOptions {
+            relax_error_handling: false,
+            ..Default::default()
+        };
         assert_eq!(generate(&u, &strict), Err(AutoGenRefusal::HasIo));
     }
 

@@ -57,7 +57,9 @@ pub fn inline_program(p: &mut Program, h: &Heuristics) -> ConvReport {
     let order = graph.bottom_up();
     let mut fresh = FreshNames::default();
     for unit_name in order {
-        let Some(idx) = p.units.iter().position(|u| u.name == unit_name) else { continue };
+        let Some(idx) = p.units.iter().position(|u| u.name == unit_name) else {
+            continue;
+        };
         let mut unit = p.units[idx].clone();
         let caller_table = SymbolTable::build(&unit);
         let mut ctx = InlineCtx {
@@ -143,7 +145,9 @@ impl<'a> InlineCtx<'a> {
                             let callee = callee.unwrap().clone();
                             match self.expand(&callee, args) {
                                 Ok(body) => {
-                                    self.report.inlined.push((self.caller.clone(), name.clone()));
+                                    self.report
+                                        .inlined
+                                        .push((self.caller.clone(), name.clone()));
                                     out.extend(body);
                                 }
                                 Err(reason) => {
@@ -157,15 +161,25 @@ impl<'a> InlineCtx<'a> {
                             }
                         }
                         Err(reason) => {
-                            self.report.skipped.push((self.caller.clone(), name.clone(), reason));
+                            self.report
+                                .skipped
+                                .push((self.caller.clone(), name.clone(), reason));
                             out.push(s);
                         }
                     }
                 }
-                StmtKind::If { cond, then_blk, else_blk } => {
+                StmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
                     let then_blk = self.walk_block(then_blk, in_loop);
                     let else_blk = self.walk_block(else_blk, in_loop);
-                    s.kind = StmtKind::If { cond, then_blk, else_blk };
+                    s.kind = StmtKind::If {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    };
                     out.push(s);
                 }
                 StmtKind::Do(mut d) => {
@@ -244,11 +258,9 @@ impl<'a> InlineCtx<'a> {
                     // some constant — we approximate Polaris by accepting
                     // rank-1-to-rank-1 and identical-rank passes whose formal
                     // dims are all assumed; anything else linearizes.
-                    let compatible = sym.dims.iter().all(|d| matches!(d, Dim::Assumed))
-                        || sym.dims.len() == 1;
-                    if compatible && sym.dims.len() == 1 {
-                        plans.insert(f.clone(), Plan::Rename(base.clone()));
-                    } else if sym.dims.iter().all(|d| matches!(d, Dim::Assumed)) {
+                    let compatible =
+                        sym.dims.iter().all(|d| matches!(d, Dim::Assumed)) || sym.dims.len() == 1;
+                    if compatible {
                         plans.insert(f.clone(), Plan::Rename(base.clone()));
                     } else {
                         // Reshape: linearize both sides.
@@ -256,7 +268,11 @@ impl<'a> InlineCtx<'a> {
                         self.linearize.push(base.clone());
                         plans.insert(
                             f.clone(),
-                            Plan::Flatten { base: base.clone(), offset: Expr::int(1), strides },
+                            Plan::Flatten {
+                                base: base.clone(),
+                                offset: Expr::int(1),
+                                strides,
+                            },
                         );
                     }
                 }
@@ -290,7 +306,11 @@ impl<'a> InlineCtx<'a> {
                     let strides = formal_strides(&instantiate_dims(&sym.dims));
                     plans.insert(
                         f.clone(),
-                        Plan::Flatten { base: base.clone(), offset, strides },
+                        Plan::Flatten {
+                            base: base.clone(),
+                            offset,
+                            strides,
+                        },
                     );
                 }
                 _ => return Err(SkipReason::External), // non-lvalue for array formal
@@ -370,7 +390,11 @@ impl<'a> InlineCtx<'a> {
                     Some(Plan::Rename(base)) => {
                         *n = base.clone();
                     }
-                    Some(Plan::Flatten { base, offset, strides }) => {
+                    Some(Plan::Flatten {
+                        base,
+                        offset,
+                        strides,
+                    }) => {
                         let mut lin = offset.clone();
                         for (k, sub) in subs.iter().enumerate() {
                             let stride = strides.get(k).cloned().unwrap_or(Expr::int(1));
@@ -696,8 +720,13 @@ mod tests {
             &Heuristics::polaris(),
         );
         let mut ids = Vec::new();
-        fir::visit::walk_loops(&p.unit("MAIN").unwrap().body, &mut |d| ids.push(d.id.clone()));
+        fir::visit::walk_loops(&p.unit("MAIN").unwrap().body, &mut |d| {
+            ids.push(d.id.clone())
+        });
         assert!(ids.contains(&LoopId::new("MAIN", 1)));
-        assert!(ids.contains(&LoopId::new("F", 1)), "callee loop id preserved: {ids:?}");
+        assert!(
+            ids.contains(&LoopId::new("F", 1)),
+            "callee loop id preserved: {ids:?}"
+        );
     }
 }

@@ -27,7 +27,12 @@ pub struct Heuristics {
 impl Heuristics {
     /// The Polaris default strategy.
     pub fn polaris() -> Heuristics {
-        Heuristics { max_stmts: 150, allow_io: false, require_loop_context: true, max_callee_calls: 0 }
+        Heuristics {
+            max_stmts: 150,
+            allow_io: false,
+            require_loop_context: true,
+            max_callee_calls: 0,
+        }
     }
 
     /// A permissive policy used by ablation benches (inline everything
@@ -151,7 +156,10 @@ mod tests {
       END
 ",
         );
-        assert_eq!(check("S", p.unit("S"), true, &g, &Heuristics::polaris()), Ok(()));
+        assert_eq!(
+            check("S", p.unit("S"), true, &g, &Heuristics::polaris()),
+            Ok(())
+        );
     }
 
     #[test]
@@ -202,7 +210,10 @@ mod tests {
             Err(SkipReason::TooLarge { stmts: 200 })
         );
         // The aggressive policy takes it.
-        assert_eq!(check("S", p.unit("S"), true, &g, &Heuristics::aggressive()), Ok(()));
+        assert_eq!(
+            check("S", p.unit("S"), true, &g, &Heuristics::aggressive()),
+            Ok(())
+        );
     }
 
     #[test]
@@ -241,7 +252,10 @@ mod tests {
       END
 ",
         );
-        assert_eq!(check("S", p.unit("S"), true, &g, &Heuristics::polaris()), Ok(()));
+        assert_eq!(
+            check("S", p.unit("S"), true, &g, &Heuristics::polaris()),
+            Ok(())
+        );
 
         let (p, g) = fixture(
             "      SUBROUTINE S(I)

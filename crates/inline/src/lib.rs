@@ -27,8 +27,8 @@ pub mod reverse;
 pub mod soundness;
 
 pub use annot::{AnnotRegistry, AnnotSub};
-pub use autogen::{generate, generate_program, AutoGenOptions, AutoGenRefusal};
 pub use annot_inline::AnnotInlineReport;
+pub use autogen::{generate, generate_program, AutoGenOptions, AutoGenRefusal};
 pub use conventional::{inline_program, ConvReport};
 pub use heuristics::{Heuristics, SkipReason};
 pub use reverse::ReverseReport;

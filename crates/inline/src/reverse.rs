@@ -44,35 +44,41 @@ fn walk(block: Block, reg: &AnnotRegistry, report: &mut ReverseReport) -> Block 
     let mut out = Vec::with_capacity(block.len());
     for mut s in block {
         match s.kind {
-            StmtKind::Tagged { ref tag, ref body } => {
-                match reg.get(&tag.callee) {
-                    Some(sub) => match match_region(sub, body) {
-                        Ok(args) => {
-                            report.restored.push((tag.tag_id, tag.callee.clone()));
-                            out.push(Stmt::synth(StmtKind::Call {
-                                name: tag.callee.clone(),
-                                args,
-                            }));
-                        }
-                        Err(why) => {
-                            report.failed.push((tag.tag_id, tag.callee.clone(), why));
-                            out.push(s);
-                        }
-                    },
-                    None => {
-                        report.failed.push((
-                            tag.tag_id,
-                            tag.callee.clone(),
-                            "no annotation registered".into(),
-                        ));
+            StmtKind::Tagged { ref tag, ref body } => match reg.get(&tag.callee) {
+                Some(sub) => match match_region(sub, body) {
+                    Ok(args) => {
+                        report.restored.push((tag.tag_id, tag.callee.clone()));
+                        out.push(Stmt::synth(StmtKind::Call {
+                            name: tag.callee.clone(),
+                            args,
+                        }));
+                    }
+                    Err(why) => {
+                        report.failed.push((tag.tag_id, tag.callee.clone(), why));
                         out.push(s);
                     }
+                },
+                None => {
+                    report.failed.push((
+                        tag.tag_id,
+                        tag.callee.clone(),
+                        "no annotation registered".into(),
+                    ));
+                    out.push(s);
                 }
-            }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            },
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let then_blk = walk(then_blk, reg, report);
                 let else_blk = walk(else_blk, reg, report);
-                s.kind = StmtKind::If { cond, then_blk, else_blk };
+                s.kind = StmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                };
                 out.push(s);
             }
             StmtKind::Do(mut d) => {
@@ -89,13 +95,19 @@ fn walk(block: Block, reg: &AnnotRegistry, report: &mut ReverseReport) -> Block 
 /// Match a tagged body against the annotation and extract the actual
 /// arguments of the original call.
 pub fn match_region(sub: &AnnotSub, body: &Block) -> Result<Vec<Expr>, String> {
-    let mut m = Matcher { sub, bind: BTreeMap::new() };
+    let mut m = Matcher {
+        sub,
+        bind: BTreeMap::new(),
+    };
     // Templates drop trailing RETURNs at instantiation; mirror that here.
     let mut tmpl: Vec<&Stmt> = sub.body.iter().collect();
     while matches!(tmpl.last().map(|s| &s.kind), Some(StmtKind::Return)) {
         tmpl.pop();
     }
-    let act: Vec<&Stmt> = body.iter().filter(|s| !matches!(s.kind, StmtKind::Continue)).collect();
+    let act: Vec<&Stmt> = body
+        .iter()
+        .filter(|s| !matches!(s.kind, StmtKind::Continue))
+        .collect();
     if !m.match_block(&tmpl, &act) {
         return Err("tagged region does not match annotation template".into());
     }
@@ -104,7 +116,11 @@ pub fn match_region(sub: &AnnotSub, body: &Block) -> Result<Vec<Expr>, String> {
     for f in &sub.params {
         let a = match m.bind.get(f) {
             Some(Bound::Scalar(e)) => e.clone(),
-            Some(Bound::Array { base, offsets, extra }) => {
+            Some(Bound::Array {
+                base,
+                offsets,
+                extra,
+            }) => {
                 if extra.is_empty() && offsets.iter().all(|o| matches!(o, Expr::Int(1))) {
                     Expr::Var(base.clone())
                 } else {
@@ -126,7 +142,11 @@ pub fn match_region(sub: &AnnotSub, body: &Block) -> Result<Vec<Expr>, String> {
 #[derive(Debug, Clone, PartialEq)]
 enum Bound {
     Scalar(Expr),
-    Array { base: Ident, offsets: Vec<Expr>, extra: Vec<Expr> },
+    Array {
+        base: Ident,
+        offsets: Vec<Expr>,
+        extra: Vec<Expr>,
+    },
 }
 
 struct Matcher<'a> {
@@ -144,7 +164,9 @@ impl<'a> Matcher<'a> {
     }
 
     fn match_perm(&mut self, tmpl: &[&Stmt], act: &[&Stmt], used: &mut Vec<bool>) -> bool {
-        let Some((first, rest)) = tmpl.split_first() else { return true };
+        let Some((first, rest)) = tmpl.split_first() else {
+            return true;
+        };
         // Try the "natural" position first (the unreordered common case),
         // then every other unused statement.
         let natural = used.iter().position(|u| !u).unwrap_or(0);
@@ -173,12 +195,26 @@ impl<'a> Matcher<'a> {
                 self.match_expr(tl, al) && self.match_expr(tr, ar)
             }
             (
-                StmtKind::If { cond: tc, then_blk: tt, else_blk: te },
-                StmtKind::If { cond: ac, then_blk: at, else_blk: ae },
+                StmtKind::If {
+                    cond: tc,
+                    then_blk: tt,
+                    else_blk: te,
+                },
+                StmtKind::If {
+                    cond: ac,
+                    then_blk: at,
+                    else_blk: ae,
+                },
             ) => {
                 self.match_expr(tc, ac)
-                    && self.match_block(&tt.iter().collect::<Vec<_>>(), &at.iter().collect::<Vec<_>>())
-                    && self.match_block(&te.iter().collect::<Vec<_>>(), &ae.iter().collect::<Vec<_>>())
+                    && self.match_block(
+                        &tt.iter().collect::<Vec<_>>(),
+                        &at.iter().collect::<Vec<_>>(),
+                    )
+                    && self.match_block(
+                        &te.iter().collect::<Vec<_>>(),
+                        &ae.iter().collect::<Vec<_>>(),
+                    )
             }
             (StmtKind::Do(td), StmtKind::Do(ad)) => {
                 // Loop variables are template-chosen names and survive
@@ -209,8 +245,16 @@ impl<'a> Matcher<'a> {
             (SecRange::Full, SecRange::Full) => true,
             (SecRange::At(x), SecRange::At(y)) => self.match_expr(x, y),
             (
-                SecRange::Range { lo: tl, hi: th, step: ts },
-                SecRange::Range { lo: al, hi: ah, step: aas },
+                SecRange::Range {
+                    lo: tl,
+                    hi: th,
+                    step: ts,
+                },
+                SecRange::Range {
+                    lo: al,
+                    hi: ah,
+                    step: aas,
+                },
             ) => {
                 let ob = |t: &Option<Box<Expr>>, a: &Option<Box<Expr>>, m: &mut Self| match (t, a) {
                     (None, None) => true,
@@ -245,12 +289,9 @@ impl<'a> Matcher<'a> {
                 let dims = self.sub.dims[f].clone();
                 let rank = dims.len();
                 match a {
-                    Expr::Var(base) => self.bind_array(
-                        f,
-                        base.clone(),
-                        vec![Expr::Int(1); rank],
-                        vec![],
-                    ),
+                    Expr::Var(base) => {
+                        self.bind_array(f, base.clone(), vec![Expr::Int(1); rank], vec![])
+                    }
                     Expr::Section(base, secs) => {
                         // Instantiation renders whole-array refs as
                         // Section(base, Full|Range(off : off+extent-1) ...
@@ -262,7 +303,11 @@ impl<'a> Matcher<'a> {
                         for (j, sec) in secs.iter().enumerate() {
                             match sec {
                                 SecRange::Full if j < rank => offsets.push(Expr::Int(1)),
-                                SecRange::Range { lo: Some(l), hi, step: None } if j < rank => {
+                                SecRange::Range {
+                                    lo: Some(l),
+                                    hi,
+                                    step: None,
+                                } if j < rank => {
                                     // hi must be consistent with the formal's
                                     // declared extent at this offset.
                                     match (&dims[j], hi) {
@@ -292,39 +337,53 @@ impl<'a> Matcher<'a> {
             }
             Expr::Var(g) => matches!(a, Expr::Var(n) if n == g),
             Expr::Index(f, tsubs) if self.is_array_param(f) => {
-                let Expr::Index(base, asubs) = a else { return false };
+                let Expr::Index(base, asubs) = a else {
+                    return false;
+                };
                 self.match_array_ref(f, tsubs, base, asubs)
             }
             Expr::Index(g, tsubs) => {
-                let Expr::Index(base, asubs) = a else { return false };
+                let Expr::Index(base, asubs) = a else {
+                    return false;
+                };
                 base == g
                     && tsubs.len() == asubs.len()
                     && tsubs.iter().zip(asubs).all(|(x, y)| self.match_expr(x, y))
             }
             Expr::Section(f, tsecs) if self.is_array_param(f) => {
-                let Expr::Section(base, asecs) = a else { return false };
+                let Expr::Section(base, asecs) = a else {
+                    return false;
+                };
                 self.match_array_section(f, tsecs, base, asecs)
             }
             Expr::Section(g, tsecs) => {
-                let Expr::Section(base, asecs) = a else { return false };
+                let Expr::Section(base, asecs) = a else {
+                    return false;
+                };
                 base == g
                     && tsecs.len() == asecs.len()
                     && tsecs.iter().zip(asecs).all(|(x, y)| self.match_sec(x, y))
             }
             Expr::Unknown(id, targs) => {
-                let Expr::Unknown(aid, aargs) = a else { return false };
+                let Expr::Unknown(aid, aargs) = a else {
+                    return false;
+                };
                 id == aid
                     && targs.len() == aargs.len()
                     && targs.iter().zip(aargs).all(|(x, y)| self.match_expr(x, y))
             }
             Expr::Unique(id, targs) => {
-                let Expr::Unique(aid, aargs) = a else { return false };
+                let Expr::Unique(aid, aargs) = a else {
+                    return false;
+                };
                 id == aid
                     && targs.len() == aargs.len()
                     && targs.iter().zip(aargs).all(|(x, y)| self.match_expr(x, y))
             }
             Expr::Intrinsic(i, targs) => {
-                let Expr::Intrinsic(ai, aargs) = a else { return false };
+                let Expr::Intrinsic(ai, aargs) = a else {
+                    return false;
+                };
                 i == ai
                     && targs.len() == aargs.len()
                     && targs.iter().zip(aargs).all(|(x, y)| self.match_expr(x, y))
@@ -384,7 +443,11 @@ impl<'a> Matcher<'a> {
 
     fn bind_array(&mut self, f: &str, base: Ident, offsets: Vec<Expr>, extra: Vec<Expr>) -> bool {
         match self.bind.get(f) {
-            Some(Bound::Array { base: b2, offsets: o2, extra: e2 }) => {
+            Some(Bound::Array {
+                base: b2,
+                offsets: o2,
+                extra: e2,
+            }) => {
                 *b2 == base
                     && o2.len() == offsets.len()
                     && o2.iter().zip(&offsets).all(|(x, y)| exprs_identical(x, y))
@@ -393,7 +456,14 @@ impl<'a> Matcher<'a> {
             }
             Some(_) => false,
             None => {
-                self.bind.insert(f.to_string(), Bound::Array { base, offsets, extra });
+                self.bind.insert(
+                    f.to_string(),
+                    Bound::Array {
+                        base,
+                        offsets,
+                        extra,
+                    },
+                );
                 true
             }
         }
@@ -666,7 +736,11 @@ subroutine AX(A, K, C) {
         fir::visit::walk_stmts_mut(&mut p.units[0].body, &mut |s| {
             if let StmtKind::Tagged { body, .. } = &mut s.kind {
                 for t in body.iter_mut() {
-                    if let StmtKind::Assign { rhs: Expr::Bin(BinOp::Add, l, r), .. } = &mut t.kind {
+                    if let StmtKind::Assign {
+                        rhs: Expr::Bin(BinOp::Add, l, r),
+                        ..
+                    } = &mut t.kind
+                    {
                         std::mem::swap(l, r);
                     }
                 }
@@ -713,7 +787,11 @@ subroutine AX(A, K, C) {
         fir::visit::walk_stmts_mut(&mut p.units[0].body, &mut |s| {
             if let StmtKind::Tagged { body, .. } = &mut s.kind {
                 for t in body.iter_mut() {
-                    if let StmtKind::Assign { rhs: Expr::Unknown(id, _), .. } = &mut t.kind {
+                    if let StmtKind::Assign {
+                        rhs: Expr::Unknown(id, _),
+                        ..
+                    } = &mut t.kind
+                    {
                         *id += 99;
                     }
                 }
@@ -758,8 +836,8 @@ subroutine AX(A, K, C) {
         annot_inline::apply(&mut p, &reg);
         let rep = apply(&mut p, &reg);
         assert!(rep.failed.is_empty(), "{:?}", rep.failed);
-        let mut p2 = p.clone();
-        let out = print_program(&mut p2);
+        let p2 = p.clone();
+        let out = print_program(&p2);
         assert!(out.contains("CALL C2(W, K + 2)"), "{out}");
     }
 

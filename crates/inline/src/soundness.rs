@@ -165,7 +165,10 @@ fn modref_rec(
     // name is visible here too (COMMON is global).
     for (callee, args) in calls {
         let callee_mr = modref_rec(p, &callee, memo, in_progress);
-        let formals: Vec<Ident> = p.unit(&callee).map(|u| u.params.clone()).unwrap_or_default();
+        let formals: Vec<Ident> = p
+            .unit(&callee)
+            .map(|u| u.params.clone())
+            .unwrap_or_default();
         let translate = |name: &Ident| -> Option<Ident> {
             if let Some(pos) = formals.iter().position(|f| f == name) {
                 match args.get(pos) {
@@ -208,10 +211,8 @@ pub fn modref_of_annotation(sub: &AnnotSub) -> ModRef {
     walk_stmts(&sub.body, &mut |s| {
         let mut reads = |e: &Expr| {
             e.walk(&mut |n| match n {
-                Expr::Var(v) | Expr::Index(v, _) | Expr::Section(v, _) => {
-                    if !local(v) {
-                        mr.reads.insert(v.clone());
-                    }
+                Expr::Var(v) | Expr::Index(v, _) | Expr::Section(v, _) if !local(v) => {
+                    mr.reads.insert(v.clone());
                 }
                 _ => {}
             });
@@ -219,10 +220,8 @@ pub fn modref_of_annotation(sub: &AnnotSub) -> ModRef {
         match &s.kind {
             StmtKind::Assign { lhs, rhs } => {
                 match lhs {
-                    Expr::Var(n) | Expr::Index(n, _) | Expr::Section(n, _) => {
-                        if !local(n) {
-                            mr.writes.insert(n.clone());
-                        }
+                    Expr::Var(n) | Expr::Index(n, _) | Expr::Section(n, _) if !local(n) => {
+                        mr.writes.insert(n.clone());
                     }
                     _ => {}
                 }
@@ -285,29 +284,42 @@ pub fn check(p: &Program, sub: &AnnotSub) -> Vec<Issue> {
 
     for w in &impl_mr.writes {
         if !annot_mr.writes.contains(w) {
-            issues.push(Issue { severity: Severity::Error, what: IssueKind::MissingWrite(w.clone()) });
+            issues.push(Issue {
+                severity: Severity::Error,
+                what: IssueKind::MissingWrite(w.clone()),
+            });
         }
     }
     for r in &impl_mr.reads {
         if !annot_mr.reads.contains(r) && !annot_mr.writes.contains(r) {
-            issues.push(Issue { severity: Severity::Error, what: IssueKind::MissingRead(r.clone()) });
+            issues.push(Issue {
+                severity: Severity::Error,
+                what: IssueKind::MissingRead(r.clone()),
+            });
         }
     }
     for w in &annot_mr.writes {
         if !impl_mr.writes.contains(w) && !annot_loop_vars.contains(w) {
-            issues.push(Issue { severity: Severity::Warning, what: IssueKind::ExtraWrite(w.clone()) });
+            issues.push(Issue {
+                severity: Severity::Warning,
+                what: IssueKind::ExtraWrite(w.clone()),
+            });
         }
     }
     for r in &annot_mr.reads {
-        if !impl_mr.reads.contains(r)
-            && !impl_mr.writes.contains(r)
-            && !annot_loop_vars.contains(r)
+        if !impl_mr.reads.contains(r) && !impl_mr.writes.contains(r) && !annot_loop_vars.contains(r)
         {
-            issues.push(Issue { severity: Severity::Warning, what: IssueKind::ExtraRead(r.clone()) });
+            issues.push(Issue {
+                severity: Severity::Warning,
+                what: IssueKind::ExtraRead(r.clone()),
+            });
         }
     }
     if impl_mr.has_io && !annot_mr.has_io {
-        issues.push(Issue { severity: Severity::Info, what: IssueKind::OmittedErrorHandling });
+        issues.push(Issue {
+            severity: Severity::Info,
+            what: IssueKind::OmittedErrorHandling,
+        });
     }
     issues
 }
@@ -387,7 +399,9 @@ subroutine FSMP(ID, IDE) {
         let reg = AnnotRegistry::parse(annot).unwrap();
         let issues = check(&program(), reg.get("FSMP").unwrap());
         assert!(is_sound(&issues), "{issues:?}");
-        assert!(issues.iter().any(|i| i.what == IssueKind::OmittedErrorHandling));
+        assert!(issues
+            .iter()
+            .any(|i| i.what == IssueKind::OmittedErrorHandling));
     }
 
     #[test]
@@ -405,7 +419,9 @@ subroutine FSMP(ID, IDE) {
         let reg = AnnotRegistry::parse(annot).unwrap();
         let issues = check(&program(), reg.get("FSMP").unwrap());
         assert!(!is_sound(&issues), "{issues:?}");
-        assert!(issues.iter().any(|i| i.what == IssueKind::MissingWrite("XY".into())));
+        assert!(issues
+            .iter()
+            .any(|i| i.what == IssueKind::MissingWrite("XY".into())));
     }
 
     #[test]

@@ -54,11 +54,7 @@ pub fn peel_last_iteration(d: &DoLoop) -> Vec<Stmt> {
         let mut e = Expr::add(
             d.lo.clone(),
             Expr::mul(
-                Expr::bin(
-                    BinOp::Div,
-                    Expr::sub(d.hi.clone(), d.lo.clone()),
-                    s.clone(),
-                ),
+                Expr::bin(BinOp::Div, Expr::sub(d.hi.clone(), d.lo.clone()), s.clone()),
                 s,
             ),
         );
@@ -71,7 +67,11 @@ pub fn peel_last_iteration(d: &DoLoop) -> Vec<Stmt> {
 
     vec![
         Stmt::synth(StmtKind::Do(main)),
-        Stmt::synth(StmtKind::If { cond: guard, then_blk: peeled, else_blk: vec![] }),
+        Stmt::synth(StmtKind::If {
+            cond: guard,
+            then_blk: peeled,
+            else_blk: vec![],
+        }),
     ]
 }
 

@@ -8,7 +8,7 @@
 //! observable final values.
 
 use crate::peel::peel_last_iteration;
-use crate::profit::{Profitability, ProfitVerdict};
+use crate::profit::{ProfitVerdict, Profitability};
 use fdep::analyze::{analyze_loop, Blocker, LoopAnalysis, UnitCtx};
 use fir::ast::*;
 use fir::symbol::SymbolTable;
@@ -30,7 +30,11 @@ pub struct ParOptions {
 
 impl Default for ParOptions {
     fn default() -> Self {
-        ParOptions { profit: Profitability::default(), nested: false, enable_peel: true }
+        ParOptions {
+            profit: Profitability::default(),
+            nested: false,
+            enable_peel: true,
+        }
     }
 }
 
@@ -73,7 +77,10 @@ impl ParReport {
             }
         }
         out.retain(|id| {
-            self.decisions.iter().filter(|d| &d.id == id).all(|d| d.legal && d.profitable)
+            self.decisions
+                .iter()
+                .filter(|d| &d.id == id)
+                .all(|d| d.legal && d.profitable)
         });
         out.sort();
         out
@@ -165,7 +172,11 @@ fn plan_block(
                         out.extend(stmts);
                     } else {
                         em.directive = Some(directive);
-                        out.push(Stmt { kind: StmtKind::Do(em), span: s.span, label: s.label });
+                        out.push(Stmt {
+                            kind: StmtKind::Do(em),
+                            span: s.span,
+                            label: s.label,
+                        });
                     }
                     // Post-loop compensation: each substituted induction
                     // variable gets its sequential final value,
@@ -175,16 +186,17 @@ fn plan_block(
                             fir::ast::Intrinsic::Max,
                             vec![
                                 Expr::add(
-                                    Expr::sub(analysis.transformed.hi.clone(), analysis.transformed.lo.clone()),
+                                    Expr::sub(
+                                        analysis.transformed.hi.clone(),
+                                        analysis.transformed.lo.clone(),
+                                    ),
                                     Expr::int(1),
                                 ),
                                 Expr::int(0),
                             ],
                         );
-                        let mut rhs = Expr::add(
-                            Expr::var(name.clone()),
-                            Expr::mul(trip, Expr::int(*incr)),
-                        );
+                        let mut rhs =
+                            Expr::add(Expr::var(name.clone()), Expr::mul(trip, Expr::int(*incr)));
                         fir::fold::fold_expr(&mut rhs);
                         out.push(Stmt::assign(Expr::var(name.clone()), rhs));
                     }
@@ -203,12 +215,20 @@ fn plan_block(
                 s.kind = StmtKind::Do(d);
                 out.push(s);
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let then_blk =
                     plan_block(then_blk, table, unit_name, opts, inside_parallel, report);
                 let else_blk =
                     plan_block(else_blk, table, unit_name, opts, inside_parallel, report);
-                s.kind = StmtKind::If { cond, then_blk, else_blk };
+                s.kind = StmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                };
                 out.push(s);
             }
             StmtKind::Tagged { tag, body } => {
@@ -256,15 +276,13 @@ mod tests {
 
     #[test]
     fn simple_loop_gets_directive() {
-        let (p, r) = run(
-            "      PROGRAM P
+        let (p, r) = run("      PROGRAM P
       DIMENSION A(100), B(100)
       DO I = 1, 100
         A(I) = B(I)*2.0
       ENDDO
       END
-",
-        );
+");
         assert_eq!(r.parallel_ids(), vec![LoopId::new("P", 1)]);
         let out = print_program(&p);
         assert!(out.contains("!$OMP PARALLEL DO"), "{out}");
@@ -272,8 +290,7 @@ mod tests {
 
     #[test]
     fn outermost_only_emission() {
-        let (p, r) = run(
-            "      PROGRAM P
+        let (p, r) = run("      PROGRAM P
       DIMENSION A(64, 64)
       DO I = 1, 64
         DO J = 1, 64
@@ -281,30 +298,35 @@ mod tests {
         ENDDO
       ENDDO
       END
-",
-        );
+");
         // Both loops counted as parallelizable...
         assert_eq!(r.parallel_ids().len(), 2);
         // ...but only the outer one carries a directive.
         let out = print_program(&p);
         assert_eq!(out.matches("!$OMP PARALLEL DO").count(), 1, "{out}");
-        let outer = r.decisions.iter().find(|d| d.id == LoopId::new("P", 1)).unwrap();
-        let inner = r.decisions.iter().find(|d| d.id == LoopId::new("P", 2)).unwrap();
+        let outer = r
+            .decisions
+            .iter()
+            .find(|d| d.id == LoopId::new("P", 1))
+            .unwrap();
+        let inner = r
+            .decisions
+            .iter()
+            .find(|d| d.id == LoopId::new("P", 2))
+            .unwrap();
         assert!(outer.emitted);
         assert!(!inner.emitted);
     }
 
     #[test]
     fn recurrence_is_not_parallelized() {
-        let (p, r) = run(
-            "      PROGRAM P
+        let (p, r) = run("      PROGRAM P
       DIMENSION A(100)
       DO I = 2, 100
         A(I) = A(I - 1)
       ENDDO
       END
-",
-        );
+");
         assert!(r.parallel_ids().is_empty());
         assert!(!print_program(&p).contains("!$OMP"));
         assert!(!r.decisions[0].blockers.is_empty());
@@ -312,15 +334,13 @@ mod tests {
 
     #[test]
     fn small_trip_count_unprofitable() {
-        let (p, r) = run(
-            "      PROGRAM P
+        let (p, r) = run("      PROGRAM P
       DIMENSION A(3)
       DO I = 1, 3
         A(I) = 0.0
       ENDDO
       END
-",
-        );
+");
         let d = &r.decisions[0];
         assert!(d.legal);
         assert!(!d.profitable);
@@ -329,23 +349,20 @@ mod tests {
 
     #[test]
     fn reduction_clause_emitted() {
-        let (p, _) = run(
-            "      PROGRAM P
+        let (p, _) = run("      PROGRAM P
       DIMENSION A(100)
       DO I = 1, 100
         S = S + A(I)
       ENDDO
       END
-",
-        );
+");
         let out = print_program(&p);
         assert!(out.contains("!$OMP+REDUCTION(+:S)"), "{out}");
     }
 
     #[test]
     fn lastprivate_triggers_peeling() {
-        let (p, _) = run(
-            "      PROGRAM P
+        let (p, _) = run("      PROGRAM P
       COMMON /WK/ WTDET
       DIMENSION A(100), B(100)
       DO I = 1, 100
@@ -353,20 +370,21 @@ mod tests {
         B(I) = WTDET*2.0
       ENDDO
       END
-",
-        );
+");
         let out = print_program(&p);
         // Peeled: shortened loop + guarded last iteration.
         assert!(out.contains("DO I = 1, 99"), "{out}");
         assert!(out.contains("IF (100 .GE. 1) THEN"), "{out}");
         assert!(out.contains("I = 100"), "{out}");
-        assert!(out.contains("!$OMP+PRIVATE") || out.contains("!$OMP+LASTPRIVATE"), "{out}");
+        assert!(
+            out.contains("!$OMP+PRIVATE") || out.contains("!$OMP+LASTPRIVATE"),
+            "{out}"
+        );
     }
 
     #[test]
     fn private_temp_array_clause() {
-        let (p, _) = run(
-            "      PROGRAM P
+        let (p, _) = run("      PROGRAM P
       DIMENSION A(100), B(100), T(8)
       DO I = 1, 100
         DO J = 1, 8
@@ -377,8 +395,7 @@ mod tests {
         ENDDO
       ENDDO
       END
-",
-        );
+");
         let out = print_program(&p);
         assert!(out.contains("PRIVATE(") && out.contains("T"), "{out}");
     }
@@ -386,10 +403,9 @@ mod tests {
     #[test]
     fn loops_inside_tagged_regions_are_planned() {
         use finline::{annot_inline, AnnotRegistry};
-        let reg = AnnotRegistry::parse(
-            "subroutine Z(A, N) { dimension A[N]; do (I = 1:N) A[I] = 0.0; }",
-        )
-        .unwrap();
+        let reg =
+            AnnotRegistry::parse("subroutine Z(A, N) { dimension A[N]; do (I = 1:N) A[I] = 0.0; }")
+                .unwrap();
         let mut p = parse(
             "      PROGRAM MAIN
       DIMENSION B(100)
@@ -410,15 +426,16 @@ mod tests {
 
     #[test]
     fn call_blocks_loop() {
-        let (_, r) = run(
-            "      PROGRAM P
+        let (_, r) = run("      PROGRAM P
       DO I = 1, 100
         CALL OPAQUE(I)
       ENDDO
       END
-",
-        );
+");
         assert!(r.parallel_ids().is_empty());
-        assert!(r.decisions[0].blockers.iter().any(|b| matches!(b, Blocker::Call(_))));
+        assert!(r.decisions[0]
+            .blockers
+            .iter()
+            .any(|b| matches!(b, Blocker::Call(_))));
     }
 }

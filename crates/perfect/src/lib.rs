@@ -10,14 +10,17 @@ pub mod bdna;
 pub mod dyfesm;
 pub mod flo52q;
 pub mod mdg;
+pub mod metrics;
 pub mod mg3d;
 pub mod ocean;
 pub mod qcd;
-pub mod metrics;
 pub mod spec77;
 pub mod suite;
 pub mod track;
 pub mod trfd;
 
-pub use metrics::{evaluate_app, evaluate_suite, AppEvaluation};
+pub use metrics::{
+    driver_options, evaluate_app, evaluate_app_serial, evaluate_suite, evaluate_suite_serial,
+    evaluate_suite_with_metrics, suite_job, suite_jobs, AppEvaluation, VERIFY_THREADS,
+};
 pub use suite::{all, by_name, App};

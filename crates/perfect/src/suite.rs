@@ -68,7 +68,9 @@ pub fn all() -> Vec<App> {
 
 /// Look up an application by name.
 pub fn by_name(name: &str) -> Option<App> {
-    all().into_iter().find(|a| a.name.eq_ignore_ascii_case(name))
+    all()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -36,13 +36,23 @@ impl Machine {
     /// benchmarks do not benefit from loop parallelization due to their
     /// small input data size ... at most 10% performance improvement").
     pub fn intel8() -> Machine {
-        Machine { name: "intel8", cores: 8, fork_overhead: 14000.0, efficiency: 0.70 }
+        Machine {
+            name: "intel8",
+            cores: 8,
+            fork_overhead: 14000.0,
+            efficiency: 0.70,
+        }
     }
 
     /// The paper's AMD Opteron: two dual-core 3 GHz, ifort 11.1 -O3.
     /// Fewer cores, heavier fork cost over the HyperTransport link.
     pub fn amd4() -> Machine {
-        Machine { name: "amd4", cores: 4, fork_overhead: 20000.0, efficiency: 0.60 }
+        Machine {
+            name: "amd4",
+            cores: 4,
+            fork_overhead: 20000.0,
+            efficiency: 0.60,
+        }
     }
 
     /// Simulated parallel time of one loop instance.
@@ -90,7 +100,10 @@ pub fn simulate(
         par -= ev.ops as f64;
         par += machine.loop_time(ev);
     }
-    SimResult { seq_time: total_ops as f64, par_time: par }
+    SimResult {
+        seq_time: total_ops as f64,
+        par_time: par,
+    }
 }
 
 /// The paper's empirical tuning: a loop is disabled when parallelizing all
@@ -112,7 +125,11 @@ mod tests {
     use super::*;
 
     fn ev(idx: u32, ops: u64, iters: u64) -> ParLoopEvent {
-        ParLoopEvent { id: LoopId::new("P", idx), ops, iters }
+        ParLoopEvent {
+            id: LoopId::new("P", idx),
+            ops,
+            iters,
+        }
     }
 
     #[test]

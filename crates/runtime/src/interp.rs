@@ -12,11 +12,15 @@
 //!   testers": iterations of each parallel loop record their shared
 //!   read/write sets and cross-iteration conflicts are reported;
 //! * **threaded execution** (`threads > 1`) — iterations are partitioned
-//!   across crossbeam scoped threads, each running on a full memory clone
-//!   with a write log; logs are merged in iteration order, reductions are
-//!   combined associatively. Data-race freedom is by construction; an
-//!   *illegally* parallelized loop shows up as a sequential-vs-parallel
-//!   output mismatch, not as UB.
+//!   into per-thread chunks, each running on its own memory arena with a
+//!   write log; logs are merged in iteration order, reductions are
+//!   combined associatively. The merge order makes the result fully
+//!   deterministic, so on a single-CPU host the same chunk semantics run
+//!   inline on one reusable scratch arena instead of paying OS-thread
+//!   spawns and per-chunk allocations for no parallelism (override with
+//!   [`ExecOptions::spawn_threads`]). Data-race freedom is by
+//!   construction; an *illegally* parallelized loop shows up as a
+//!   sequential-vs-parallel output mismatch, not as UB.
 
 use crate::memory::{Memory, Scalar, View};
 use fir::ast::*;
@@ -32,12 +36,31 @@ pub struct ExecOptions {
     pub check_races: bool,
     /// Fuel: maximum op count before aborting (runaway protection).
     pub max_ops: u64,
+    /// Run directive-loop chunks on OS threads. `None` (default) spawns
+    /// only when the host has more than one CPU; the chunked write-log
+    /// semantics — and therefore the results — are identical either way.
+    pub spawn_threads: Option<bool>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { threads: 1, check_races: false, max_ops: 2_000_000_000 }
+        ExecOptions {
+            threads: 1,
+            check_races: false,
+            max_ops: 2_000_000_000,
+            spawn_threads: None,
+        }
     }
+}
+
+/// Host CPU count, sampled once per process.
+fn host_cpus() -> usize {
+    static CPUS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CPUS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// One dynamic execution of a directive-carrying loop.
@@ -92,7 +115,9 @@ impl RunResult {
             }
         }
         for (key, &slot_a) in &self.memory.commons {
-            let Some(&slot_b) = other.memory.commons.get(key) else { return false };
+            let Some(&slot_b) = other.memory.commons.get(key) else {
+                return false;
+            };
             let (a, b) = (&self.memory.slots[slot_a], &other.memory.slots[slot_b]);
             let n = a.data.len().min(b.data.len());
             for i in 0..n {
@@ -153,9 +178,14 @@ impl std::error::Error for RtError {}
 pub fn run(p: &Program, opts: &ExecOptions) -> Result<RunResult, RtError> {
     let ctx = Ctx::new(p)?;
     let mut st = State::default();
+    preallocate_commons(&ctx, &mut st);
     let main = ctx.main.ok_or_else(|| RtError::new("no PROGRAM unit"))?;
     let frame = build_frame(&ctx, &mut st, main, &[], opts)?;
-    let mut interp = Interp { ctx: &ctx, st, opts };
+    let mut interp = Interp {
+        ctx: &ctx,
+        st,
+        opts,
+    };
     let flow = interp.exec_unit(main, &frame)?;
     let stopped = match flow {
         Flow::Stop(m) => Some(m),
@@ -191,7 +221,65 @@ impl<'a> Ctx<'a> {
             units.insert(u.name.as_str(), (u, SymbolTable::build(u)));
             order.push(u);
         }
-        Ok(Ctx { units, main: main.map(|i| i), order })
+        Ok(Ctx { units, main, order })
+    }
+}
+
+/// Resolve an extent expression without a frame: constants and PARAMETER
+/// references only (what F77 allows in COMMON declarations).
+fn const_extent(e: &Expr, table: &SymbolTable) -> Option<i64> {
+    if let Some(v) = e.as_int_const() {
+        return Some(v);
+    }
+    match e {
+        Expr::Var(n) => table.param_value(n).and_then(|p| const_extent(p, table)),
+        Expr::Bin(op, l, r) => {
+            let a = const_extent(l, table)?;
+            let b = const_extent(r, table)?;
+            Expr::Bin(*op, Box::new(Expr::int(a)), Box::new(Expr::int(b))).as_int_const()
+        }
+        Expr::Un(op, inner) => {
+            let v = const_extent(inner, table)?;
+            Expr::Un(*op, Box::new(Expr::int(v))).as_int_const()
+        }
+        _ => None,
+    }
+}
+
+/// Pre-allocate every COMMON slot declared anywhere in the program, before
+/// any unit executes. Lazily created COMMON storage is doubly problematic:
+/// it defeats frame reclamation (the slot must be pinned across `release`)
+/// and it would not exist in the pre-loop memory clones the threaded
+/// executor merges write logs into. COMMON extents are constants or
+/// PARAMETER references in F77, so everything resolvable is created here;
+/// anything else stays lazy and is handled by `Memory::release` compaction.
+fn preallocate_commons(ctx: &Ctx<'_>, st: &mut State) {
+    for u in &ctx.order {
+        let (_, table) = &ctx.units[u.name.as_str()];
+        let mut members: Vec<&fir::symbol::Symbol> = table
+            .iter()
+            .filter(|s| matches!(s.storage, Storage::Common(_)))
+            .collect();
+        members.sort_by(|a, b| a.name.cmp(&b.name));
+        for sym in members {
+            let Storage::Common(block) = &sym.storage else {
+                unreachable!()
+            };
+            let mut len = 1usize;
+            let mut resolvable = true;
+            for d in &sym.dims {
+                match d {
+                    Dim::Extent(e) => match const_extent(e, table) {
+                        Some(v) if v >= 0 => len *= (v as usize).max(1),
+                        _ => resolvable = false,
+                    },
+                    Dim::Assumed => resolvable = false,
+                }
+            }
+            if resolvable {
+                st.mem.common(block, &sym.name, sym.ty, len.max(1));
+            }
+        }
     }
 }
 
@@ -207,10 +295,40 @@ struct State {
     /// Active write log (thread-sim mode).
     write_log: Option<Vec<(usize, usize, f64)>>,
     /// Access recorder for race checking: (slot, off) → (iter, was_write).
-    race_map: Option<(HashMap<(usize, usize), (i64, bool)>, i64)>,
+    race_map: Option<(AccessMap, i64)>,
+    /// Retired access recorder, kept to reuse its table allocation.
+    race_scratch: Option<AccessMap>,
     /// Slots excluded from logging/race checks (privates, reductions).
     excluded: Vec<usize>,
+    /// Reusable chunk arena for inline (no-spawn) threaded execution.
+    scratch: Option<Memory>,
 }
+
+/// Multiply-rotate hasher for the race map's `(slot, offset)` keys — the
+/// race checker hashes every shared access in a directive loop, and the
+/// default SipHash dominates its cost.
+#[derive(Default)]
+struct AccessHasher(u64);
+
+impl std::hash::Hasher for AccessHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.0 = (self.0 ^ v as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(23);
+    }
+}
+
+type AccessMap = HashMap<(usize, usize), (i64, bool), std::hash::BuildHasherDefault<AccessHasher>>;
 
 /// Variable bindings of one call frame.
 #[derive(Debug, Clone, Default)]
@@ -278,7 +396,14 @@ fn build_frame(
             _ => st.mem.alloc(sym.ty, len),
         };
         frame.types.insert(sym.name.clone(), sym.ty);
-        frame.views.insert(sym.name.clone(), View { slot, offset: 0, dims });
+        frame.views.insert(
+            sym.name.clone(),
+            View {
+                slot,
+                offset: 0,
+                dims,
+            },
+        );
     }
 
     // Phase 4: resolve formal array shapes (dim expressions may reference
@@ -309,7 +434,11 @@ fn resolve_dims(
         match d {
             Dim::Assumed => out.push(0),
             Dim::Extent(e) => {
-                let mut tmp = Interp { ctx, st: std::mem::take(st), opts: &ExecOptions::default() };
+                let mut tmp = Interp {
+                    ctx,
+                    st: std::mem::take(st),
+                    opts: &ExecOptions::default(),
+                };
                 let v = tmp.eval(e, frame);
                 *st = tmp.st;
                 let v = v.map_err(|err| {
@@ -364,7 +493,11 @@ impl<'a> Interp<'a> {
                 self.assign(lhs, val, frame)?;
                 Ok(Flow::Normal)
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let c = self.eval(cond, frame)?.as_b();
                 if c {
                     self.exec_block(then_blk, frame, unit)
@@ -463,8 +596,10 @@ impl<'a> Interp<'a> {
             // Sequential execution, with optional race recording.
             self.st.par_depth += 1;
             if self.opts.check_races {
-                self.st.race_map = Some((HashMap::new(), 0));
-                self.st.excluded = excluded.clone();
+                let mut map = self.st.race_scratch.take().unwrap_or_default();
+                map.clear();
+                self.st.race_map = Some((map, 0));
+                self.st.excluded = std::mem::take(&mut excluded);
             }
             let mut out = Flow::Normal;
             for (k, &i) in iters.iter().enumerate() {
@@ -481,7 +616,7 @@ impl<'a> Interp<'a> {
                 }
             }
             if let Some((map, _)) = self.st.race_map.take() {
-                let _ = map;
+                self.st.race_scratch = Some(map);
             }
             self.st.excluded.clear();
             self.st.par_depth -= 1;
@@ -497,6 +632,7 @@ impl<'a> Interp<'a> {
     }
 
     /// Threaded execution of a parallel loop with write-log merging.
+    #[allow(clippy::too_many_arguments)]
     fn exec_parallel(
         &mut self,
         d: &DoLoop,
@@ -519,79 +655,63 @@ impl<'a> Interp<'a> {
             }
         }
 
-        struct ThreadOut {
-            log: Vec<(usize, usize, f64)>,
-            io: Vec<String>,
-            ops: u64,
-            red_finals: Vec<f64>,
-            flow_stop: Option<String>,
-            err: Option<RtError>,
-        }
+        let red_init: Vec<(RedOp, View)> = red_slots
+            .iter()
+            .map(|(op, v, _)| (*op, v.clone()))
+            .collect();
 
-        let results: Vec<ThreadOut> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
+        let spawn = self.opts.spawn_threads.unwrap_or_else(|| host_cpus() > 1);
+        let results: Vec<ChunkOut> = if spawn {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in &chunks {
+                    let base_mem = self.st.mem.clone();
+                    let ctx = self.ctx;
+                    let opts = self.opts;
+                    let red_init = red_init.clone();
+                    let var_view = var_view.clone();
+                    let frame = frame.clone();
+                    let unit = unit.to_string();
+                    let chunk: Vec<i64> = chunk.to_vec();
+                    handles.push(scope.spawn(move || {
+                        exec_chunk(
+                            ctx, opts, base_mem, &red_init, &var_view, &frame, &unit, d, &chunk,
+                        )
+                        .0
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        } else {
+            // Single-CPU host: identical chunk semantics, run inline.
+            // Chunks execute in iteration order on one scratch arena that
+            // is re-seeded (allocation-free after the first loop) from the
+            // live arena, so the write-log merge below sees exactly what
+            // the spawning path would produce.
+            let mut scratch = self.st.scratch.take().unwrap_or_default();
+            let mut outs = Vec::with_capacity(chunks.len());
             for chunk in &chunks {
-                let base_mem = self.st.mem.clone();
-                let ctx = self.ctx;
-                let opts = self.opts;
-                let red_init: Vec<(RedOp, View)> =
-                    red_slots.iter().map(|(op, v, _)| (*op, v.clone())).collect();
-                let var_view = var_view.clone();
-                let frame = frame.clone();
-                let unit = unit.to_string();
-                let chunk: Vec<i64> = chunk.to_vec();
-                handles.push(scope.spawn(move |_| {
-                    let mut st = State {
-                        mem: base_mem,
-                        write_log: Some(Vec::new()),
-                        par_depth: 1,
-                        ..Default::default()
-                    };
-                    // Reduction slots start at the identity in each thread.
-                    for (op, v) in &red_init {
-                        let id = match op {
-                            RedOp::Add => 0.0,
-                            RedOp::Mul => 1.0,
-                            RedOp::Min => f64::INFINITY,
-                            RedOp::Max => f64::NEG_INFINITY,
-                        };
-                        st.mem.write(v, &[], Scalar::F(id));
-                    }
-                    let mut t = Interp { ctx, st, opts };
-                    let mut flow_stop = None;
-                    let mut err = None;
-                    for &i in &chunk {
-                        t.st.mem.write(&var_view, &[], Scalar::I(i));
-                        match t.exec_block(&d.body, &frame, &unit) {
-                            Ok(Flow::Normal) => {}
-                            Ok(Flow::Stop(m)) => {
-                                flow_stop = Some(m);
-                                break;
-                            }
-                            Ok(Flow::Return) => break,
-                            Err(e) => {
-                                err = Some(e);
-                                break;
-                            }
-                        }
-                    }
-                    let red_finals = red_init
-                        .iter()
-                        .map(|(_, v)| t.st.mem.read(v, &[]).map(|s| s.as_f()).unwrap_or(0.0))
-                        .collect();
-                    ThreadOut {
-                        log: t.st.write_log.take().unwrap_or_default(),
-                        io: t.st.io,
-                        ops: t.st.ops,
-                        red_finals,
-                        flow_stop,
-                        err,
-                    }
-                }));
+                scratch.clone_from(&self.st.mem);
+                let (out, mem) = exec_chunk(
+                    self.ctx,
+                    self.opts,
+                    std::mem::take(&mut scratch),
+                    &red_init,
+                    var_view,
+                    frame,
+                    unit,
+                    d,
+                    chunk,
+                );
+                scratch = mem;
+                outs.push(out);
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("thread scope failed");
+            self.st.scratch = Some(scratch);
+            outs
+        };
 
         // Merge in chunk (iteration) order.
         let mut flow = Flow::Normal;
@@ -681,7 +801,11 @@ impl<'a> Interp<'a> {
                 let off = base
                     .flat(&idx, slot_len)
                     .ok_or_else(|| RtError::new(format!("subscript out of range for {n}")))?;
-                Ok(View { slot: base.slot, offset: off, dims: vec![0] })
+                Ok(View {
+                    slot: base.slot,
+                    offset: off,
+                    dims: vec![0],
+                })
             }
             // Non-lvalue: pass a copy (the callee must not write it).
             e => {
@@ -804,13 +928,19 @@ impl<'a> Interp<'a> {
         if excluded.contains(&slot) {
             return;
         }
-        let Some((map, cur)) = &mut self.st.race_map else { return };
+        let Some((map, cur)) = &mut self.st.race_map else {
+            return;
+        };
         let cur = *cur;
         match map.get_mut(&(slot, off)) {
             Some((iter, had_write)) => {
                 if *iter != cur && (is_write || *had_write) {
                     // Record the violation once per loop (avoid floods).
-                    let already = self.st.races.iter().any(|r| r.what.contains(&format!("slot {slot}")));
+                    let already = self
+                        .st
+                        .races
+                        .iter()
+                        .any(|r| r.what.contains(&format!("slot {slot}")));
                     if !already {
                         self.st.races.push(RaceViolation {
                             id: LoopId::new("?", 0),
@@ -846,7 +976,11 @@ impl<'a> Interp<'a> {
                     // Whole-array read in scalar context: first element
                     // (annotation atomic-scalar idiom).
                     let v = View::scalar(view.slot, view.offset);
-                    let val = self.st.mem.read(&v, &[]).ok_or_else(|| RtError::new("bad read"))?;
+                    let val = self
+                        .st
+                        .mem
+                        .read(&v, &[])
+                        .ok_or_else(|| RtError::new("bad read"))?;
                     self.record_access(view.slot, view.offset, false);
                     return Ok(val);
                 }
@@ -867,9 +1001,9 @@ impl<'a> Interp<'a> {
                     idx.push(self.eval(s, frame)?.as_i());
                 }
                 let slot_len = self.st.mem.slots[view.slot].data.len();
-                let off = view
-                    .flat(&idx, slot_len)
-                    .ok_or_else(|| RtError::new(format!("subscript out of range for {n}{idx:?}")))?;
+                let off = view.flat(&idx, slot_len).ok_or_else(|| {
+                    RtError::new(format!("subscript out of range for {n}{idx:?}"))
+                })?;
                 self.record_access(view.slot, off, false);
                 Ok(self.st.mem.slots[view.slot].get(off))
             }
@@ -1005,12 +1139,23 @@ fn eval_intrinsic(i: Intrinsic, args: &[Scalar]) -> Result<Scalar, RtError> {
             let int = args.iter().all(|a| matches!(a, Scalar::I(_)));
             if int {
                 let it = args.iter().map(|a| a.as_i());
-                Ok(Scalar::I(if i == Intrinsic::Min { it.min() } else { it.max() }.unwrap()))
+                Ok(Scalar::I(
+                    if i == Intrinsic::Min {
+                        it.min()
+                    } else {
+                        it.max()
+                    }
+                    .unwrap(),
+                ))
             } else {
                 let mut acc = args[0].as_f();
                 for a in &args[1..] {
                     let v = a.as_f();
-                    acc = if i == Intrinsic::Min { acc.min(v) } else { acc.max(v) };
+                    acc = if i == Intrinsic::Min {
+                        acc.min(v)
+                    } else {
+                        acc.max(v)
+                    };
                 }
                 Ok(Scalar::F(acc))
             }
@@ -1053,6 +1198,89 @@ fn eval_intrinsic(i: Intrinsic, args: &[Scalar]) -> Result<Scalar, RtError> {
             })
         }
     }
+}
+
+/// What one chunk of a threaded directive loop produced.
+struct ChunkOut {
+    log: Vec<(usize, usize, f64)>,
+    io: Vec<String>,
+    ops: u64,
+    red_finals: Vec<f64>,
+    flow_stop: Option<String>,
+    err: Option<RtError>,
+}
+
+/// Execute one chunk of a directive loop on its own arena, returning the
+/// chunk result plus the arena for reuse. Shared by the OS-thread and
+/// inline execution paths so both produce identical results.
+#[allow(clippy::too_many_arguments)]
+fn exec_chunk(
+    ctx: &Ctx<'_>,
+    opts: &ExecOptions,
+    mem: Memory,
+    red_init: &[(RedOp, View)],
+    var_view: &View,
+    frame: &Frame,
+    unit: &str,
+    d: &DoLoop,
+    chunk: &[i64],
+) -> (ChunkOut, Memory) {
+    let mut st = State {
+        mem,
+        write_log: Some(Vec::new()),
+        par_depth: 1,
+        ..Default::default()
+    };
+    // Reduction slots start at the identity in each chunk.
+    for (op, v) in red_init {
+        let id = match op {
+            RedOp::Add => 0.0,
+            RedOp::Mul => 1.0,
+            RedOp::Min => f64::INFINITY,
+            RedOp::Max => f64::NEG_INFINITY,
+        };
+        st.mem.write(v, &[], Scalar::F(id));
+    }
+    let mut t = Interp { ctx, st, opts };
+    let mut flow_stop = None;
+    let mut err = None;
+    for &i in chunk {
+        t.st.mem.write(var_view, &[], Scalar::I(i));
+        match t.exec_block(&d.body, frame, unit) {
+            Ok(Flow::Normal) => {}
+            Ok(Flow::Stop(m)) => {
+                flow_stop = Some(m);
+                break;
+            }
+            Ok(Flow::Return) => break,
+            Err(e) => {
+                err = Some(e);
+                break;
+            }
+        }
+    }
+    let red_finals = red_init
+        .iter()
+        .map(|(_, v)| t.st.mem.read(v, &[]).map(|s| s.as_f()).unwrap_or(0.0))
+        .collect();
+    let State {
+        mem,
+        io,
+        ops,
+        write_log,
+        ..
+    } = t.st;
+    (
+        ChunkOut {
+            log: write_log.unwrap_or_default(),
+            io,
+            ops,
+            red_finals,
+            flow_stop,
+            err,
+        },
+        mem,
+    )
 }
 
 /// Split `items` into `n` contiguous chunks of near-equal size.
@@ -1112,6 +1340,96 @@ mod tests {
 ",
         );
         assert_eq!(r.io[0], "1.100000000E2");
+    }
+
+    #[test]
+    fn call_frames_reclaimed_despite_callee_only_common() {
+        // The callee declares a COMMON block main never mentions plus big
+        // locals. Every frame must be reclaimed: the slot count after the
+        // run must not grow with the call count (the old `release` pinned
+        // every local allocated below a lazily created COMMON slot).
+        let src = |calls: usize| {
+            format!(
+                "      PROGRAM P
+      DIMENSION A(4)
+      DO I = 1, {calls}
+        CALL W(I)
+      ENDDO
+      A(1) = 1.0
+      END
+      SUBROUTINE W(K)
+      COMMON /LZ/ Q(5)
+      DIMENSION TMP(50)
+      TMP(1) = K
+      Q(K) = TMP(1)
+      END
+"
+            )
+        };
+        let one = run_src(&src(1));
+        let many = run_src(&src(3));
+        assert_eq!(one.memory.slots.len(), many.memory.slots.len());
+        // The COMMON is pre-allocated and retains the last call's write.
+        let q = many.memory.commons[&("LZ".to_string(), "Q".to_string())];
+        assert_eq!(many.memory.slots[q].get(2), Scalar::F(3.0));
+    }
+
+    #[test]
+    fn inline_chunks_match_spawned_threads() {
+        // The spawning and inline chunk paths must be byte-identical:
+        // same I/O, ops, memory, and reduction results. Exercises
+        // reductions, lastprivate-free merges, and a STOP-free program
+        // with several dynamic directive-loop instances.
+        let src = "      PROGRAM P
+      COMMON /OUT/ A(64), TOT
+      DO K = 1, 5
+        DO I = 1, 64
+          A(I) = A(I) + I*0.5 + K
+        ENDDO
+      ENDDO
+      TOT = 0.0
+      DO I = 1, 64
+        TOT = TOT + A(I)
+      ENDDO
+      WRITE(6,*) TOT
+      END
+";
+        let mut p = parse(src).unwrap();
+        fir::visit::walk_loops_mut(&mut p.units[0].body, &mut |d| {
+            let mut dir = OmpDirective::default();
+            let sums_tot = d.body.iter().any(|s| {
+                matches!(&s.kind, StmtKind::Assign { lhs, .. }
+                    if matches!(lhs, Expr::Var(n) if n == "TOT"))
+            });
+            if d.var == "I" && sums_tot {
+                dir.reductions.push((RedOp::Add, "TOT".to_string()));
+            }
+            d.directive = Some(dir);
+        });
+        let spawned = run(
+            &p,
+            &ExecOptions {
+                threads: 4,
+                spawn_threads: Some(true),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let inline = run(
+            &p,
+            &ExecOptions {
+                threads: 4,
+                spawn_threads: Some(false),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(spawned.io, inline.io);
+        assert_eq!(spawned.total_ops, inline.total_ops);
+        assert_eq!(spawned.par_events, inline.par_events);
+        for (a, b) in spawned.memory.slots.iter().zip(&inline.memory.slots) {
+            assert_eq!(a.data, b.data);
+        }
     }
 
     #[test]
@@ -1271,8 +1589,20 @@ mod tests {
             }
         });
         let seq = run(&p, &ExecOptions::default()).unwrap();
-        let par = run(&p, &ExecOptions { threads: 4, ..Default::default() }).unwrap();
-        assert!(seq.same_observable(&par, 1e-12), "{:?} vs {:?}", seq.io, par.io);
+        let par = run(
+            &p,
+            &ExecOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            seq.same_observable(&par, 1e-12),
+            "{:?} vs {:?}",
+            seq.io,
+            par.io
+        );
         assert_eq!(seq.io[0], "6.304000000E3");
     }
 
@@ -1295,7 +1625,14 @@ mod tests {
             d.directive = Some(OmpDirective::default());
         });
         let seq = run(&p, &ExecOptions::default()).unwrap();
-        let par = run(&p, &ExecOptions { threads: 4, ..Default::default() }).unwrap();
+        let par = run(
+            &p,
+            &ExecOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(!seq.same_observable(&par, 1e-9));
     }
 
@@ -1312,7 +1649,14 @@ mod tests {
         fir::visit::walk_loops_mut(&mut p.units[0].body, &mut |d| {
             d.directive = Some(OmpDirective::default());
         });
-        let r = run(&p, &ExecOptions { check_races: true, ..Default::default() }).unwrap();
+        let r = run(
+            &p,
+            &ExecOptions {
+                check_races: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(!r.races.is_empty());
     }
 
@@ -1329,7 +1673,14 @@ mod tests {
         fir::visit::walk_loops_mut(&mut p.units[0].body, &mut |d| {
             d.directive = Some(OmpDirective::default());
         });
-        let r = run(&p, &ExecOptions { check_races: true, ..Default::default() }).unwrap();
+        let r = run(
+            &p,
+            &ExecOptions {
+                check_races: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(r.races.is_empty(), "{:?}", r.races);
     }
 
@@ -1364,7 +1715,13 @@ mod tests {
       END
 ";
         let p = parse(src).unwrap();
-        let err = run(&p, &ExecOptions { max_ops: 10_000, ..Default::default() });
+        let err = run(
+            &p,
+            &ExecOptions {
+                max_ops: 10_000,
+                ..Default::default()
+            },
+        );
         assert!(err.is_err());
     }
 

@@ -4,7 +4,7 @@
 //! *measured*:
 //!
 //! * [`interp`] — a sequential interpreter with Fortran call-by-reference /
-//!   sequence-association semantics, plus a threaded executor (crossbeam
+//!   sequence-association semantics, plus a threaded executor (std
 //!   scoped threads, per-thread write logs merged in iteration order) and a
 //!   runtime race checker — the paper's "runtime testers" (§III-D).
 //! * [`memory`] — flat column-major storage with COMMON sharing and

@@ -53,7 +53,7 @@ impl Scalar {
 }
 
 /// One storage slot: a typed flat array.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Slot {
     /// Element type (affects get/set conversion).
     pub ty: Type,
@@ -61,10 +61,30 @@ pub struct Slot {
     pub data: Vec<f64>,
 }
 
+impl Clone for Slot {
+    fn clone(&self) -> Slot {
+        Slot {
+            ty: self.ty,
+            data: self.data.clone(),
+        }
+    }
+
+    // Hand-written so `clone_from` reuses the existing data buffer — the
+    // threaded executor re-seeds a scratch arena from the live arena once
+    // per chunk, and the derive would reallocate every slot every time.
+    fn clone_from(&mut self, src: &Slot) {
+        self.ty = src.ty;
+        self.data.clone_from(&src.data);
+    }
+}
+
 impl Slot {
     /// New zero-initialized slot.
     pub fn new(ty: Type, len: usize) -> Slot {
-        Slot { ty, data: vec![0.0; len] }
+        Slot {
+            ty,
+            data: vec![0.0; len],
+        }
     }
 
     /// Typed read.
@@ -102,15 +122,31 @@ pub struct View {
 impl View {
     /// Scalar view of one element.
     pub fn scalar(slot: usize, offset: usize) -> View {
-        View { slot, offset, dims: vec![] }
+        View {
+            slot,
+            offset,
+            dims: vec![],
+        }
     }
 
     /// Column-major flat offset of `subs` (1-based Fortran subscripts)
     /// relative to the slot, or `None` when out of the view's bounds.
-    /// Assumed-size final dimensions are not bounds-checked.
+    ///
+    /// Every explicit extent is bounds-checked, including the final one —
+    /// otherwise an out-of-bounds last subscript of a view into a larger
+    /// slot would silently alias neighbouring storage. Two sequence
+    /// -association escapes remain, both deliberate:
+    /// * assumed-size (extent 0) dimensions are never checked;
+    /// * a *partial* subscript list (fewer subscripts than dimensions, the
+    ///   linearized-addressing idiom reshape inlining produces) checks its
+    ///   last subscript against the flattened remaining extent.
     pub fn flat(&self, subs: &[i64], slot_len: usize) -> Option<usize> {
         if self.dims.is_empty() {
-            return if subs.is_empty() { Some(self.offset) } else { None };
+            return if subs.is_empty() {
+                Some(self.offset)
+            } else {
+                None
+            };
         }
         let mut off = 0usize;
         let mut stride = 1usize;
@@ -120,9 +156,25 @@ impl View {
             if idx < 0 {
                 return None;
             }
-            // Bounds-check explicit extents; assumed-size (0) passes.
-            if extent != 0 && k + 1 < subs.len() && idx as usize >= extent {
-                return None;
+            if extent != 0 {
+                let bound = if k + 1 == subs.len() && subs.len() < self.dims.len() {
+                    // Linearized access: the last provided subscript walks
+                    // the remaining (flattened) dimensions.
+                    self.dims[k..].iter().try_fold(1usize, |acc, &d| {
+                        if d == 0 {
+                            None // assumed-size tail: unbounded
+                        } else {
+                            Some(acc * d)
+                        }
+                    })
+                } else {
+                    Some(extent)
+                };
+                if let Some(b) = bound {
+                    if idx as usize >= b {
+                        return None;
+                    }
+                }
             }
             off += idx as usize * stride;
             stride *= if extent == 0 { 1 } else { extent };
@@ -162,12 +214,29 @@ impl View {
 }
 
 /// The slot arena plus the COMMON-block directory.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Memory {
     /// All storage.
     pub slots: Vec<Slot>,
     /// `(block, name)` → slot index for COMMON members.
     pub commons: HashMap<(String, String), usize>,
+}
+
+impl Clone for Memory {
+    fn clone(&self) -> Memory {
+        Memory {
+            slots: self.slots.clone(),
+            commons: self.commons.clone(),
+        }
+    }
+
+    // `Vec::clone_from` truncates/extends in place and calls the
+    // element-wise `Slot::clone_from`, so re-seeding a scratch arena from
+    // a same-shaped arena is pure memcpy with no allocator traffic.
+    fn clone_from(&mut self, src: &Memory) {
+        self.slots.clone_from(&src.slots);
+        self.commons.clone_from(&src.commons);
+    }
 }
 
 impl Memory {
@@ -187,7 +256,8 @@ impl Memory {
             return idx;
         }
         let idx = self.alloc(ty, len);
-        self.commons.insert((block.to_string(), name.to_string()), idx);
+        self.commons
+            .insert((block.to_string(), name.to_string()), idx);
         idx
     }
 
@@ -196,12 +266,44 @@ impl Memory {
         self.slots.len()
     }
 
-    /// Release everything allocated after `mark` (call frames only — COMMON
-    /// slots are always allocated before any call executes... except lazily
-    /// created ones, which we pin by never truncating below them).
+    /// Release everything allocated after `mark` (call frames). COMMON
+    /// slots created lazily *during* the frame are compacted down to start
+    /// at `mark` and their directory entries rebound; the frame's locals
+    /// are reclaimed. Callers built before `mark` cannot hold views of
+    /// those slots (they did not exist yet), so rebinding is safe.
     pub fn release(&mut self, mark: usize) {
-        let min_keep = self.commons.values().copied().max().map(|m| m + 1).unwrap_or(0);
-        self.slots.truncate(mark.max(min_keep));
+        if self.slots.len() <= mark {
+            return;
+        }
+        let mut pinned: Vec<usize> = self
+            .commons
+            .values()
+            .copied()
+            .filter(|&i| i >= mark)
+            .collect();
+        if pinned.is_empty() {
+            self.slots.truncate(mark);
+            return;
+        }
+        pinned.sort_unstable();
+        pinned.dedup();
+        // Move each pinned slot down to a consecutive position at `mark`.
+        // Destinations hold doomed locals (earlier pinned slots land below,
+        // later ones sit above), so a swap never displaces a survivor.
+        let mut remap: HashMap<usize, usize> = HashMap::new();
+        for (j, &src) in pinned.iter().enumerate() {
+            let dst = mark + j;
+            if dst != src {
+                self.slots.swap(dst, src);
+            }
+            remap.insert(src, dst);
+        }
+        for idx in self.commons.values_mut() {
+            if let Some(&dst) = remap.get(idx) {
+                *idx = dst;
+            }
+        }
+        self.slots.truncate(mark + pinned.len());
     }
 
     /// Read through a view.
@@ -237,7 +339,11 @@ mod tests {
     #[test]
     fn column_major_layout() {
         // A(2,3): A(i,j) at (i-1) + (j-1)*2.
-        let v = View { slot: 0, offset: 0, dims: vec![2, 3] };
+        let v = View {
+            slot: 0,
+            offset: 0,
+            dims: vec![2, 3],
+        };
         assert_eq!(v.flat(&[1, 1], 6), Some(0));
         assert_eq!(v.flat(&[2, 1], 6), Some(1));
         assert_eq!(v.flat(&[1, 2], 6), Some(2));
@@ -250,9 +356,17 @@ mod tests {
         let mut m = Memory::default();
         let slot = m.alloc(Type::Real, 100);
         // Formal X2(*) bound to T(41): element i of the view is T(40 + i).
-        let view = View { slot, offset: 40, dims: vec![0] };
+        let view = View {
+            slot,
+            offset: 40,
+            dims: vec![0],
+        };
         m.write(&view, &[1], Scalar::F(5.0)).unwrap();
-        let whole = View { slot, offset: 0, dims: vec![100] };
+        let whole = View {
+            slot,
+            offset: 0,
+            dims: vec![100],
+        };
         assert_eq!(m.read(&whole, &[41]), Some(Scalar::F(5.0)));
     }
 
@@ -281,9 +395,17 @@ mod tests {
 
     #[test]
     fn assumed_size_length() {
-        let v = View { slot: 0, offset: 10, dims: vec![0] };
+        let v = View {
+            slot: 0,
+            offset: 10,
+            dims: vec![0],
+        };
         assert_eq!(v.len(100), 90);
-        let v = View { slot: 0, offset: 0, dims: vec![2, 0] };
+        let v = View {
+            slot: 0,
+            offset: 0,
+            dims: vec![2, 0],
+        };
         assert_eq!(v.len(100), 100);
     }
 
@@ -298,8 +420,69 @@ mod tests {
     }
 
     #[test]
+    fn final_subscript_bounds_checked_inside_larger_slot() {
+        // A(2,3) viewed inside a 100-element slot: an out-of-bounds final
+        // subscript used to silently alias the neighbouring storage at
+        // offset 6 — it must be rejected.
+        let v = View {
+            slot: 0,
+            offset: 0,
+            dims: vec![2, 3],
+        };
+        assert_eq!(v.flat(&[1, 4], 100), None);
+        assert_eq!(v.flat(&[3, 3], 100), None);
+        assert_eq!(v.flat(&[2, 3], 100), Some(5));
+        // Assumed-size finals still pass (sequence association).
+        let v = View {
+            slot: 0,
+            offset: 0,
+            dims: vec![2, 0],
+        };
+        assert_eq!(v.flat(&[1, 4], 100), Some(6));
+        // Linearized (partial) subscripts walk the flattened remainder…
+        let v = View {
+            slot: 0,
+            offset: 0,
+            dims: vec![2, 3],
+        };
+        assert_eq!(v.flat(&[5], 100), Some(4));
+        assert_eq!(v.flat(&[6], 100), Some(5));
+        // …but not beyond it.
+        assert_eq!(v.flat(&[7], 100), None);
+    }
+
+    #[test]
+    fn release_reclaims_locals_under_lazy_commons() {
+        let mut m = Memory::default();
+        let _g = m.common("B", "X", Type::Real, 4);
+        let mark = m.mark();
+        let _l1 = m.alloc(Type::Real, 8);
+        let lazy = m.common("L", "Y", Type::Real, 6);
+        m.slots[lazy].set(0, Scalar::F(9.5));
+        let _l2 = m.alloc(Type::Integer, 8);
+        m.release(mark);
+        // Only the lazily created COMMON survives, compacted to the mark;
+        // the frame's locals are reclaimed (they used to stay pinned).
+        assert_eq!(m.slots.len(), mark + 1);
+        let y = m.common("L", "Y", Type::Real, 6);
+        assert_eq!(y, mark);
+        assert_eq!(m.slots[y].get(0), Scalar::F(9.5));
+        // The compacted slot is addressable through the directory.
+        let v = View {
+            slot: y,
+            offset: 0,
+            dims: vec![6],
+        };
+        assert_eq!(m.read(&v, &[1]), Some(Scalar::F(9.5)));
+    }
+
+    #[test]
     fn negative_subscript_rejected() {
-        let v = View { slot: 0, offset: 0, dims: vec![10] };
+        let v = View {
+            slot: 0,
+            offset: 0,
+            dims: vec![10],
+        };
         assert_eq!(v.flat(&[0], 10), None);
         assert_eq!(v.flat(&[-3], 10), None);
     }

@@ -46,9 +46,16 @@ fn main() {
     // --- 3. the generated annotations drive the pipeline -----------------
     let none = compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::None));
     let annot = compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Annotation));
-    let conv = compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Conventional));
+    let conv = compile(
+        &p,
+        &reg,
+        &PipelineOptions::for_mode(InlineMode::Conventional),
+    );
     println!("\npipeline with AUTO-GENERATED annotations:");
-    println!("  no-inline     : {:>2} parallel loops", none.parallel_loops().len());
+    println!(
+        "  no-inline     : {:>2} parallel loops",
+        none.parallel_loops().len()
+    );
     println!(
         "  conventional  : {:>2} parallel loops ({} lost)",
         conv.parallel_loops().len(),

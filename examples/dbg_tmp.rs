@@ -13,10 +13,15 @@ fn main() {
             if tag.callee == "INTERF" && count < 3 {
                 count += 1;
                 println!("== tag {} ==", tag.tag_id);
-                for st in body { println!("  {:?}", st.kind); }
+                for st in body {
+                    println!("  {:?}", st.kind);
+                }
             }
         }
     });
     let rev = finline::reverse::apply(&mut q, &reg);
-    println!("failed: {:?}", rev.failed.iter().map(|f| f.0).collect::<Vec<_>>());
+    println!(
+        "failed: {:?}",
+        rev.failed.iter().map(|f| f.0).collect::<Vec<_>>()
+    );
 }

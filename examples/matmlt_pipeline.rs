@@ -60,14 +60,25 @@ fn main() {
     let registry = AnnotRegistry::parse(ANNOTATION).expect("annotations");
 
     // --- §II-A2: conventional inlining linearizes and loses the loops ----
-    let conv = compile(&program, &registry, &PipelineOptions::for_mode(InlineMode::Conventional));
+    let conv = compile(
+        &program,
+        &registry,
+        &PipelineOptions::for_mode(InlineMode::Conventional),
+    );
     println!("=== conventional inlining (paper SII-A2) ===");
     println!(
         "MATMLT loops still parallelized: {:?}",
-        conv.parallel_loops().iter().filter(|l| l.unit == "MATMLT").count()
+        conv.parallel_loops()
+            .iter()
+            .filter(|l| l.unit == "MATMLT")
+            .count()
     );
     println!("--- inlined + linearized source (excerpt) ---");
-    for line in conv.source.lines().filter(|l| l.contains("TM1") || l.contains("PP(")) {
+    for line in conv
+        .source
+        .lines()
+        .filter(|l| l.contains("TM1") || l.contains("PP("))
+    {
         println!("{line}");
     }
 
@@ -83,13 +94,20 @@ fn main() {
     println!("\n--- stage 2: after automatic parallelization (Fig. 17) ---");
     println!(
         "loops parallelized: {:?}",
-        par.parallel_ids().iter().map(|l| l.to_string()).collect::<Vec<_>>()
+        par.parallel_ids()
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
     );
 
     let rev = reverse::apply(&mut staged, &registry);
     println!("\n--- stage 3: after reverse inlining (Fig. 19) ---");
     print!("{}", fir::print_program(&staged));
-    println!("(restored calls: {}, failures: {})", rev.restored.len(), rev.failed.len());
+    println!(
+        "(restored calls: {}, failures: {})",
+        rev.restored.len(),
+        rev.failed.len()
+    );
 
     // --- runtime testers -------------------------------------------------
     let v = ipp::ipp_core::verify(&program, &staged, 4).expect("verify");

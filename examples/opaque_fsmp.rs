@@ -14,7 +14,10 @@ fn main() {
     let registry = app.registry();
 
     println!("=== DYFESM: {} ===\n", app.description);
-    println!("annotated subroutines: {:?}\n", registry.subs.keys().collect::<Vec<_>>());
+    println!(
+        "annotated subroutines: {:?}\n",
+        registry.subs.keys().collect::<Vec<_>>()
+    );
 
     for mode in InlineMode::all() {
         let r = compile(&program, &registry, &PipelineOptions::for_mode(mode));

@@ -8,8 +8,10 @@
 fn main() {
     print!("{}", bench::table1_report());
     println!();
-    let evals = bench::full_evaluation();
+    let (evals, metrics) = bench::full_evaluation_with_metrics();
     print!("{}", bench::table2_report(&evals));
     println!();
     print!("{}", bench::verify_report(&evals));
+    println!();
+    print!("{}", bench::metrics_report(&metrics));
 }

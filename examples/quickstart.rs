@@ -54,7 +54,10 @@ fn main() {
             loops.iter().map(|l| l.to_string()).collect::<Vec<_>>()
         );
         if mode == InlineMode::Annotation {
-            println!("--- emitted source (annotation mode) ---\n{}", result.source);
+            println!(
+                "--- emitted source (annotation mode) ---\n{}",
+                result.source
+            );
             // Verify with the runtime testers: original vs optimized,
             // sequential vs 4-thread execution.
             let v = ipp::ipp_core::verify(&program, &result.program, 4).expect("verify");

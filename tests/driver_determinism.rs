@@ -1,0 +1,85 @@
+//! Driver determinism and run accounting on the real 12-application suite.
+//!
+//! The concurrent driver must be an *observational no-op*: whatever the
+//! worker count, the Table II rows, Figure 20 points, and emitted sources
+//! must be byte-identical to the single-worker run. And the caching layer
+//! must actually cut interpreter runs: 12 memoized baselines shared across
+//! 36 cells, 82 total runs instead of the legacy path's 144.
+
+use fruntime::Machine;
+use ipp_core::driver::DriverOptions;
+use ipp_core::SuiteMetrics;
+use perfect::{driver_options, evaluate_suite_with_metrics, AppEvaluation};
+
+fn run_at(workers: usize) -> (Vec<AppEvaluation>, SuiteMetrics) {
+    let machines = [Machine::intel8(), Machine::amd4()];
+    let opts = DriverOptions {
+        workers,
+        ..driver_options(&machines)
+    };
+    evaluate_suite_with_metrics(&machines, &opts)
+}
+
+#[test]
+fn concurrent_driver_is_byte_identical_to_single_worker() {
+    let (base, base_metrics) = run_at(1);
+    assert_eq!(base.len(), 12);
+
+    // Single-worker run accounting is fully deterministic: one baseline
+    // per app (12), two verification runs per cell (72), minus two runs
+    // for the one configuration pair that emits identical source.
+    assert_eq!(base_metrics.interp_runs, 82);
+    assert_eq!(base_metrics.baseline_memo_hits, 24);
+    assert_eq!(base_metrics.verify_cache_hits, 1);
+    for phase in ipp_core::Phase::ALL {
+        assert!(
+            base_metrics.phases.count_of(phase) > 0,
+            "phase {} never recorded",
+            phase.label()
+        );
+    }
+
+    for workers in [2, 8] {
+        let (evals, metrics) = run_at(workers);
+        assert_eq!(evals.len(), base.len());
+        for (a, b) in base.iter().zip(&evals) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                a.rows, b.rows,
+                "{}: rows differ at {workers} workers",
+                a.name
+            );
+            assert_eq!(
+                a.fig20, b.fig20,
+                "{}: fig20 differs at {workers} workers",
+                a.name
+            );
+            for ((ma, ra), (mb, rb)) in a.results.iter().zip(&b.results) {
+                assert_eq!(ma, mb);
+                assert_eq!(
+                    ra.source,
+                    rb.source,
+                    "{} [{}]: emitted source differs at {workers} workers",
+                    a.name,
+                    ma.label()
+                );
+            }
+            for ((ma, va), (mb, vb)) in a.verify.iter().zip(&b.verify) {
+                assert_eq!(ma, mb);
+                assert!(va.ok() && vb.ok(), "{}: verification regressed", a.name);
+                assert_eq!(va.total_ops, vb.total_ops);
+                assert_eq!(va.races, vb.races);
+            }
+        }
+
+        // The interpreter-run count and the verify-cache hit count are
+        // schedule-independent (`OnceLock::get_or_init` runs each closure
+        // exactly once); the baseline-memo hit counter alone may undercount
+        // when a worker arrives while the baseline is still initializing,
+        // so it only gets an upper bound here.
+        assert_eq!(metrics.interp_runs, 82, "{workers} workers");
+        assert_eq!(metrics.verify_cache_hits, 1, "{workers} workers");
+        assert!(metrics.baseline_memo_hits <= 24, "{workers} workers");
+        assert_eq!(metrics.workers, workers);
+    }
+}

@@ -17,7 +17,13 @@ fn every_app_every_mode_verifies() {
         for mode in InlineMode::all() {
             let r = compile(&p, &reg, &PipelineOptions::for_mode(mode));
             if let Some(rev) = &r.reverse_report {
-                assert!(rev.failed.is_empty(), "{} [{}]: {:?}", app.name, mode.label(), rev.failed);
+                assert!(
+                    rev.failed.is_empty(),
+                    "{} [{}]: {:?}",
+                    app.name,
+                    mode.label(),
+                    rev.failed
+                );
             }
             let v = verify(&p, &r.program, 4)
                 .unwrap_or_else(|e| panic!("{} [{}]: {e}", app.name, mode.label()));
@@ -43,9 +49,21 @@ fn annotation_mode_output_contains_no_tags_or_operators() {
         let p = app.program();
         let reg = app.registry();
         let r = compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Annotation));
-        assert!(!r.source.contains("BEGIN(Code"), "{}: tags left behind", app.name);
-        assert!(!r.source.contains("UNKN"), "{}: unknown operator leaked", app.name);
-        assert!(!r.source.contains("UNIQ"), "{}: unique operator leaked", app.name);
+        assert!(
+            !r.source.contains("BEGIN(Code"),
+            "{}: tags left behind",
+            app.name
+        );
+        assert!(
+            !r.source.contains("UNKN"),
+            "{}: unknown operator leaked",
+            app.name
+        );
+        assert!(
+            !r.source.contains("UNIQ"),
+            "{}: unique operator leaked",
+            app.name
+        );
     }
 }
 
@@ -59,14 +77,22 @@ fn fig20_speedups_are_modest_and_machine_ordered() {
         let ev = perfect::evaluate_app(&app, &machines);
         for pair in ev.fig20.chunks(2) {
             let (intel, amd) = (&pair[0], &pair[1]);
-            assert!(intel.speedup >= 0.999, "{}: tuned slowdown {intel:?}", app.name);
+            assert!(
+                intel.speedup >= 0.999,
+                "{}: tuned slowdown {intel:?}",
+                app.name
+            );
             assert!(amd.speedup >= 0.999, "{}: tuned slowdown {amd:?}", app.name);
             assert!(
                 intel.speedup >= amd.speedup - 1e-9,
                 "{}: {intel:?} vs {amd:?}",
                 app.name
             );
-            assert!(intel.speedup < 8.0, "{}: implausible speedup {intel:?}", app.name);
+            assert!(
+                intel.speedup < 8.0,
+                "{}: implausible speedup {intel:?}",
+                app.name
+            );
         }
     }
 }

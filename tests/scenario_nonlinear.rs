@@ -76,7 +76,12 @@ fn annotation_inlining_preserves_the_loop() {
     let r = run_mode(InlineMode::Annotation);
     assert!(r.parallel_loops().contains(&LoopId::new("PCINIT", 1)));
     // The reverse inliner restored the original call.
-    assert!(r.source.contains("CALL PCINIT(T(IX(7)), T(IX(8)), T(IX(9)), 256)"), "{}", r.source);
+    assert!(
+        r.source
+            .contains("CALL PCINIT(T(IX(7)), T(IX(8)), T(IX(9)), 256)"),
+        "{}",
+        r.source
+    );
     assert!(r.reverse_report.as_ref().unwrap().failed.is_empty());
 }
 

@@ -8,7 +8,11 @@ use ipp_core::{compile, verify, InlineMode, PipelineOptions};
 
 fn dyfesm(mode: InlineMode) -> ipp_core::PipelineResult {
     let app = perfect::by_name("DYFESM").unwrap();
-    compile(&app.program(), &app.registry(), &PipelineOptions::for_mode(mode))
+    compile(
+        &app.program(),
+        &app.registry(),
+        &PipelineOptions::for_mode(mode),
+    )
 }
 
 #[test]
@@ -17,7 +21,9 @@ fn element_loop_blocked_without_inlining() {
     let k_loop = LoopId::new("DYFESM", 2);
     assert!(!r.parallel_loops().contains(&k_loop));
     assert!(
-        r.blockers_of(&k_loop).iter().any(|b| matches!(b, Blocker::Call(n) if n == "FSMP")),
+        r.blockers_of(&k_loop)
+            .iter()
+            .any(|b| matches!(b, Blocker::Call(n) if n == "FSMP")),
         "{:?}",
         r.blockers_of(&k_loop)
     );

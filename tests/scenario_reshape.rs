@@ -70,7 +70,10 @@ fn matmlt_loops_parallel_standalone() {
     // MATMLT#4 (the JM accumulation loop) is a genuine recurrence on
     // M3(JL,JN); the other four loops are parallel.
     for k in [1, 2, 3, 5] {
-        assert!(ids.contains(&LoopId::new("MATMLT", k)), "MATMLT#{k} missing: {ids:?}");
+        assert!(
+            ids.contains(&LoopId::new("MATMLT", k)),
+            "MATMLT#{k} missing: {ids:?}"
+        );
     }
     assert!(!ids.contains(&LoopId::new("MATMLT", 4)), "{ids:?}");
     // The KS call loop (MAIN#6, after the init loops) is blocked by the
@@ -86,7 +89,10 @@ fn conventional_linearization_loses_matmlt() {
     // innermost stride-1 (JL) loops remain analyzable — linearization
     // degrades, it does not annihilate.
     for k in [1, 3] {
-        assert!(!ids.contains(&LoopId::new("MATMLT", k)), "MATMLT#{k} survived: {ids:?}");
+        assert!(
+            !ids.contains(&LoopId::new("MATMLT", k)),
+            "MATMLT#{k} survived: {ids:?}"
+        );
     }
     // Caller arrays lose their multi-dimensional shape (flat declarations).
     assert!(r.source.contains("PP(960)"), "{}", r.source);
@@ -119,7 +125,12 @@ fn no_code_explosion_under_annotation() {
     // Annotation mode only added directives (the suite-level test in
     // table2_shape.rs checks conventional growth where definitions stay
     // alive across multiple call sites).
-    assert!(annot.loc <= none.loc + 8, "annot {} vs none {}", annot.loc, none.loc);
+    assert!(
+        annot.loc <= none.loc + 8,
+        "annot {} vs none {}",
+        annot.loc,
+        none.loc
+    );
 }
 
 #[test]

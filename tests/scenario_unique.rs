@@ -101,5 +101,8 @@ fn wrong_injectivity_claim_is_caught_by_runtime_testers() {
     // the runtime testers expose the inconsistency.
     assert!(r.parallel_loops().contains(&LoopId::new("MAIN", 2)));
     let v = verify(&p, &r.program, 4).unwrap();
-    assert!(!v.parallel_consistent, "bad annotation must be caught: {v:?}");
+    assert!(
+        !v.parallel_consistent,
+        "bad annotation must be caught: {v:?}"
+    );
 }

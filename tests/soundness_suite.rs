@@ -13,8 +13,10 @@ fn all_suite_annotations_are_sound() {
         let p = app.program();
         let reg = app.registry();
         for (name, issues) in check_registry(&p, &reg) {
-            let errors: Vec<_> =
-                issues.iter().filter(|i| i.severity == Severity::Error).collect();
+            let errors: Vec<_> = issues
+                .iter()
+                .filter(|i| i.severity == Severity::Error)
+                .collect();
             assert!(errors.is_empty(), "{} / {name}: {errors:?}", app.name);
         }
     }
@@ -29,7 +31,10 @@ fn error_handling_omissions_are_reported_as_info() {
     let reg = app.registry();
     let issues = check(&p, reg.get("FSMP").unwrap());
     assert!(is_sound(&issues), "{issues:?}");
-    assert!(issues.iter().any(|i| i.severity == Severity::Info), "{issues:?}");
+    assert!(
+        issues.iter().any(|i| i.severity == Severity::Info),
+        "{issues:?}"
+    );
 }
 
 #[test]
@@ -39,9 +44,15 @@ fn autogen_annotations_are_sound_where_generated() {
         let (reg, refusals) = generate_program(&p, &AutoGenOptions::default());
         for (name, sub) in &reg.subs {
             let issues = check(&p, sub);
-            let errors: Vec<_> =
-                issues.iter().filter(|i| i.severity == Severity::Error).collect();
-            assert!(errors.is_empty(), "{} / {name} (autogen): {errors:?}", app.name);
+            let errors: Vec<_> = issues
+                .iter()
+                .filter(|i| i.severity == Severity::Error)
+                .collect();
+            assert!(
+                errors.is_empty(),
+                "{} / {name} (autogen): {errors:?}",
+                app.name
+            );
         }
         // Sanity: the generator produced something on every app (the leaf
         // kernels qualify) and refused the compositional ones.

@@ -17,10 +17,12 @@ fn all_rows() -> Vec<ipp_core::Table2Row> {
         let p = app.program();
         let reg = app.registry();
         let none = ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::None));
-        let conv =
-            ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Conventional));
-        let annot =
-            ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Annotation));
+        let conv = ipp_core::compile(
+            &p,
+            &reg,
+            &PipelineOptions::for_mode(InlineMode::Conventional),
+        );
+        let annot = ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Annotation));
         rows.extend(table2_rows(app.name, &none, &conv, &annot));
     }
     rows
@@ -46,7 +48,10 @@ fn table2_shape_matches_the_paper() {
     assert!(conv.par_loss > 5 * conv.par_extra, "{conv:?}");
 
     // Annotation gains several times the conventional gains (paper: 37 vs 12).
-    assert!(annot.par_extra >= 3 * conv.par_extra, "annot {annot:?} conv {conv:?}");
+    assert!(
+        annot.par_extra >= 3 * conv.par_extra,
+        "annot {annot:?} conv {conv:?}"
+    );
     assert!(annot.par_extra >= 15, "{annot:?}");
 
     // Net loop counts order: annotation > no-inline > conventional.
@@ -54,9 +59,17 @@ fn table2_shape_matches_the_paper() {
     assert!(base.par_loops > conv.par_loops);
 
     // Code size: conventional grows (paper ≈ +10%), annotation barely.
-    assert!(conv.loc > base.loc, "conv {} vs base {}", conv.loc, base.loc);
+    assert!(
+        conv.loc > base.loc,
+        "conv {} vs base {}",
+        conv.loc,
+        base.loc
+    );
     let conv_growth = (conv.loc as f64 - base.loc as f64) / base.loc as f64;
-    assert!(conv_growth > 0.03 && conv_growth < 0.35, "conv growth {conv_growth}");
+    assert!(
+        conv_growth > 0.03 && conv_growth < 0.35,
+        "conv growth {conv_growth}"
+    );
     let annot_growth = (annot.loc as f64 - base.loc as f64) / base.loc as f64;
     assert!(annot_growth < 0.12, "annot growth {annot_growth}");
 }
@@ -88,10 +101,12 @@ fn conventional_covers_a_subset_of_annotation_gains() {
         let p = app.program();
         let reg = app.registry();
         let none = ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::None));
-        let conv =
-            ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Conventional));
-        let annot =
-            ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Annotation));
+        let conv = ipp_core::compile(
+            &p,
+            &reg,
+            &PipelineOptions::for_mode(InlineMode::Conventional),
+        );
+        let annot = ipp_core::compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Annotation));
         let conv_extra = ipp_core::extra_loops(&none, &conv);
         let annot_extra = ipp_core::extra_loops(&none, &annot);
         for id in &conv_extra {
