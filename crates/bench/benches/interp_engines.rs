@@ -1,0 +1,99 @@
+//! Reference tree-walker vs bytecode VM on the race-checked PERFECT
+//! verification workload: every app is pipeline-compiled in all three
+//! inlining modes and executed sequentially with the race checker on —
+//! the exact run `ipp_core::verify` performs per matrix cell. Run with
+//! `cargo bench --bench interp_engines`.
+//!
+//! VM timings include lowering (`compile` + execute, the worst case for
+//! the VM — the driver amortizes the compile over two runs).
+//!
+//! Emits `crates/bench/artifacts/interp_engines.json` with per-engine
+//! medians and the headline speedup. `IPP_BENCH_QUICK=1` runs a reduced
+//! workload and skips the artifact write (the CI smoke mode).
+
+use bench::harness::{fmt_dur, median_of};
+use fruntime::{run, Engine, ExecOptions};
+use ipp_core::{compile, InlineMode, PipelineOptions};
+use std::time::Duration;
+
+fn engine_opts(engine: Engine) -> ExecOptions {
+    ExecOptions {
+        check_races: true,
+        engine,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let quick = std::env::var("IPP_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let samples = if quick { 1 } else { 5 };
+    let mut apps = perfect::all();
+    if quick {
+        apps.truncate(3);
+    }
+
+    // Pipeline-compile the whole workload up front; only execution is
+    // timed.
+    let mut programs = Vec::new();
+    for app in &apps {
+        let p = app.program();
+        let reg = app.registry();
+        for mode in [
+            InlineMode::None,
+            InlineMode::Conventional,
+            InlineMode::Annotation,
+        ] {
+            let r = compile(&p, &reg, &PipelineOptions::for_mode(mode));
+            programs.push((format!("{} [{}]", app.name, mode.label()), r.program));
+        }
+    }
+
+    println!("group: interp_engines");
+    let run_all = |engine: Engine| -> Duration {
+        let opts = engine_opts(engine);
+        median_of(samples, || {
+            let mut checksum = 0u64;
+            for (name, p) in &programs {
+                let r = run(p, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+                checksum = checksum.wrapping_add(r.total_ops);
+            }
+            checksum
+        })
+    };
+
+    let tree = run_all(Engine::TreeWalk);
+    println!(
+        "bench: {:<44} median {:>12}",
+        "interp_engines/tree-walker",
+        fmt_dur(tree)
+    );
+    let vm = run_all(Engine::Bytecode);
+    println!(
+        "bench: {:<44} median {:>12}",
+        "interp_engines/bytecode-vm",
+        fmt_dur(vm)
+    );
+
+    let speedup = tree.as_secs_f64() / vm.as_secs_f64();
+    println!("\ninterp_engines: bytecode VM vs tree-walker = {speedup:.2}x");
+
+    if quick {
+        println!("quick mode: skipping artifact write");
+        return;
+    }
+
+    let json = format!(
+        "{{\"bench\":\"interp_engines\",\"samples_per_point\":{},\"workload\":\"race-checked sequential verification run, {} programs ({} apps x 3 inline modes)\",\"tree_walker_median_ns\":{},\"bytecode_vm_median_ns\":{},\"speedup_vm_vs_tree\":{:.4}}}\n",
+        samples,
+        programs.len(),
+        apps.len(),
+        tree.as_nanos(),
+        vm.as_nanos(),
+        speedup
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("artifacts");
+    std::fs::create_dir_all(&dir).expect("create artifacts dir");
+    let path = dir.join("interp_engines.json");
+    std::fs::write(&path, &json).expect("write interp_engines.json");
+    println!("artifact: {}", path.display());
+}

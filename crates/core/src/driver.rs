@@ -118,8 +118,23 @@ struct CellOutcome {
     metrics: CellMetrics,
 }
 
-/// (application index, emitted source) keying a shared verification slot.
-type VerifyCache = HashMap<(usize, String), Arc<OnceLock<Arc<VerifyResult>>>>;
+/// (application index, emitted-source hash) keying a shared verification
+/// slot. The 128-bit key replaces retained whole-source strings; at that
+/// width accidental collision over a suite corpus is not a practical
+/// concern ([`source_key`]).
+type VerifyCache = HashMap<(usize, u128), Arc<OnceLock<Arc<VerifyResult>>>>;
+
+/// 128-bit FNV-1a over the emitted source, the verify-dedup cache key.
+pub fn source_key(source: &str) -> u128 {
+    const OFFSET: u128 = 0x6C62272E07BB014262B821756295C58D;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    let mut h = OFFSET;
+    for b in source.as_bytes() {
+        h ^= *b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
 
 /// Shared across workers for the duration of one suite run.
 struct Shared<'a> {
@@ -262,7 +277,7 @@ fn evaluate_cell(shared: &Shared<'_>, app_idx: usize, mode: InlineMode) -> CellO
             // baseline is fixed per app, the interpreter deterministic).
             let slot = {
                 let mut map = shared.vcache.lock().expect("vcache poisoned");
-                map.entry((app_idx, result.source.clone()))
+                map.entry((app_idx, source_key(&result.source)))
                     .or_insert_with(|| Arc::new(OnceLock::new()))
                     .clone()
             };

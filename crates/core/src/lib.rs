@@ -46,7 +46,9 @@ pub mod pipeline;
 pub mod report;
 pub mod verify;
 
-pub use driver::{run_app, run_suite, AppReport, DriverOptions, SuiteJob, SuiteOutcome};
+pub use driver::{
+    run_app, run_suite, source_key, AppReport, DriverOptions, SuiteJob, SuiteOutcome,
+};
 pub use phase::{blocker_counts, CellMetrics, Phase, PhaseTimings, SuiteMetrics};
 pub use pipeline::{compile, compile_timed, InlineMode, PipelineOptions, PipelineResult};
 pub use report::{

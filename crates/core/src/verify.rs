@@ -12,7 +12,7 @@
 //!    any parallelized loop.
 
 use fir::ast::Program;
-use fruntime::{run, ExecOptions, RtError};
+use fruntime::{run, run_compiled, Engine, ExecOptions, RtError};
 
 /// Result of verifying one optimized program against its original.
 #[derive(Debug, Clone)]
@@ -77,14 +77,23 @@ pub fn verify_with_baseline_using(
     optimized: &Program,
     par_opts: &ExecOptions,
 ) -> Result<VerifyResult, RtError> {
-    let seq = run(
-        optimized,
-        &ExecOptions {
-            check_races: true,
-            ..Default::default()
-        },
-    )?;
-    let par = run(optimized, par_opts)?;
+    let seq_opts = ExecOptions {
+        check_races: true,
+        engine: par_opts.engine,
+        ..Default::default()
+    };
+    let (seq, par) = match par_opts.engine {
+        // Compile once, run twice: both verification runs share one
+        // lowered program.
+        Engine::Bytecode => {
+            let compiled = fruntime::compile(optimized);
+            (
+                run_compiled(&compiled, &seq_opts)?,
+                run_compiled(&compiled, par_opts)?,
+            )
+        }
+        Engine::TreeWalk => (run(optimized, &seq_opts)?, run(optimized, par_opts)?),
+    };
 
     Ok(VerifyResult {
         matches_original: base.same_observable(&seq, 1e-12),

@@ -1,0 +1,1899 @@
+//! Slot-resolved bytecode engine — the fast path of the runtime testers.
+//!
+//! The tree-walker in [`crate::interp`] re-resolves every variable
+//! reference through an `Ident → HashMap<Ident, View>` lookup, collects
+//! every DO loop's iteration space into a `Vec<i64>` up front, allocates a
+//! fresh subscript vector per array access, and bumps the op budget once
+//! per AST node. This module removes all four costs while preserving the
+//! tree-walker's observable semantics *exactly* — same io, same total op
+//! count, same `ParLoopEvent`s, same races, same final memory:
+//!
+//! * each [`ProcUnit`] is lowered once into a flat [`Insn`] stream whose
+//!   operands are frame-local indices resolved at compile time; a frame is
+//!   a dense `Vec<Option<View>>` instead of two hash maps;
+//! * DO loops execute as jump-back instructions ([`Insn::DoInit`] /
+//!   [`Insn::DoNext`]) with an arithmetic trip count — no iteration vector
+//!   is ever materialized;
+//! * subscript vectors reuse one scratch buffer in the VM state;
+//! * op accounting is amortized to straight-line runs: one [`Insn::Tick`]
+//!   carries the statically known cost of a maximal block of simple
+//!   statements. Totals stay byte-identical because the reference engine's
+//!   per-node costs are static (its `eval` never short-circuits) and every
+//!   point where an op counter is *observed* — `ParLoopEvent::ops` capture
+//!   at a directive-loop head — is a run barrier. Dynamic costs (section
+//!   odometer steps, frame-build extent evaluation) stay dynamic.
+//!
+//! The race checker is rebuilt on the same epoch idea the ROADMAP queued:
+//! instead of a `(slot, offset) → (iter, had_write)` hash map cleared per
+//! loop, a per-slot vector of `(generation, iter, had_write)` entries kept
+//! across directive loops. Bumping the generation invalidates every entry
+//! at once, so `record` is two array indexings and a compare, with zero
+//! steady-state allocation — the vector analogue of `race_scratch`.
+//!
+//! Compile once, run many: [`compile`] + [`run_compiled`] let `verify`
+//! lower a program a single time for its sequential and threaded runs.
+//! [`CompiledProgram`] owns all its data and is `Sync`, so chunk workers
+//! share it without cloning.
+
+use crate::interp::{
+    eval_bin, eval_intrinsic, host_cpus, ExecOptions, ParLoopEvent, RaceViolation, RtError,
+    RunResult, DEFAULT_MAX_OPS,
+};
+use crate::memory::{Memory, Scalar, View};
+use fir::ast::*;
+use fir::symbol::{Storage, SymbolTable};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Compiled form
+
+/// One lowered instruction. Locals are indices into the frame's view
+/// vector; string-valued operands index the unit's literal pool.
+#[derive(Debug, Clone)]
+enum Insn {
+    /// Add the statically known cost of a straight-line run to the op
+    /// counter and check the budget.
+    Tick(u64),
+    PushI(i64),
+    PushF(f64),
+    PushB(bool),
+    /// Read a scalar local (or the first element of a whole-array read).
+    Load(u32),
+    /// Read an array element: pops `n` subscripts.
+    LoadElem(u32, u8),
+    /// Pop a value into a scalar local (or fill a whole array with it).
+    StoreVar(u32),
+    /// Pop `n` subscripts, then the value; store one element.
+    StoreElem(u32, u8),
+    /// Section assignment: pops the bound values of section plan `s`,
+    /// then the fill value. Odometer ticks dynamically.
+    StoreSection(u32, u32),
+    Bin(BinOp),
+    Neg,
+    Not,
+    Intr(Intrinsic, u8),
+    UnknownOp(u32, u8),
+    UniqueOp(u32, u8),
+    Jump(u32),
+    JumpIfFalse(u32),
+    WriteBegin,
+    WriteStr(u32),
+    WriteVal,
+    WriteEnd,
+    /// Unconditional runtime error with a pooled message (lowered from
+    /// expressions the reference engine rejects at evaluation time).
+    Bad(u32),
+    Stop(u32),
+    Ret,
+    /// Pop step (if the loop has one), hi, lo; enter loop `l`.
+    DoInit(u32),
+    /// Advance loop `l`: jump back to its body or fall through to exit.
+    DoNext(u32),
+    /// Push an argument view for a variable (allocating an implicit
+    /// scalar when unbound).
+    ArgVar(u32),
+    /// Pop `n` subscripts; push a view of the addressed element.
+    ArgElem(u32, u8),
+    /// Pop a value; materialize it as a fresh scalar slot and push its
+    /// view (by-value argument).
+    ArgVal,
+    /// Call unit `u` with the top `n` argument views.
+    Call(u32, u8),
+    CallUnknown(u32),
+    EndUnit,
+}
+
+/// Static description of one DO loop.
+#[derive(Debug, Clone)]
+struct LoopMeta {
+    var: u32,
+    has_step: bool,
+    /// First instruction of the body (the one after `DoInit`).
+    body_pc: u32,
+    /// First instruction after the loop (the one after `DoNext`).
+    exit_pc: u32,
+    id: LoopId,
+    dir: Option<DirPlan>,
+}
+
+/// Compile-time view of a loop's parallel directive.
+#[derive(Debug, Clone)]
+struct DirPlan {
+    /// private + lastprivate locals, in clause order.
+    privates: Vec<u32>,
+    reductions: Vec<(RedOp, u32)>,
+}
+
+/// One dimension of a section plan; bound values that exist are on the
+/// stack in declaration order.
+#[derive(Debug, Clone, Copy)]
+enum SecDimPlan {
+    Full,
+    At,
+    Range { has_lo: bool, has_hi: bool },
+}
+
+/// How one frame-plan dimension resolves.
+#[derive(Debug, Clone)]
+enum DimPlan {
+    Assumed,
+    /// Value code (`Tick` + expression ops) evaluated against the frame
+    /// under construction.
+    Extent(Vec<Insn>),
+}
+
+/// PARAMETER constant materialized during frame build.
+#[derive(Debug, Clone)]
+struct ParamConstPlan {
+    local: u32,
+    ty: Type,
+    /// Folded value; `None` reproduces the reference engine's
+    /// "non-constant PARAMETER" runtime error.
+    val: Option<i64>,
+}
+
+/// A COMMON member or local allocated during frame build (phase 3 order:
+/// sorted by name).
+#[derive(Debug, Clone)]
+struct LocalPlan {
+    local: u32,
+    ty: Type,
+    /// COMMON block name, or `None` for a plain local.
+    block: Option<String>,
+    dims: Vec<DimPlan>,
+}
+
+/// Everything needed to build a call frame, phase for phase in the
+/// reference engine's allocation order (slot indices must match).
+#[derive(Debug, Clone, Default)]
+struct FramePlan {
+    nlocals: usize,
+    /// Local index per formal position.
+    formals: Vec<u32>,
+    consts: Vec<ParamConstPlan>,
+    locals: Vec<LocalPlan>,
+    /// Array formals whose shapes re-resolve against the full frame
+    /// (phase 4), in parameter order.
+    formal_dims: Vec<(u32, Vec<DimPlan>)>,
+}
+
+/// One lowered procedure unit.
+#[derive(Debug, Clone)]
+struct UnitCode {
+    name: String,
+    code: Vec<Insn>,
+    /// Local index → variable name (error messages only).
+    names: Vec<String>,
+    loops: Vec<LoopMeta>,
+    secs: Vec<Vec<SecDimPlan>>,
+    strs: Vec<String>,
+    plan: FramePlan,
+}
+
+/// A fully lowered program: owned, immutable, `Sync` — compile once, run
+/// from any number of threads.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    units: Vec<UnitCode>,
+    main: Option<usize>,
+    /// Pre-resolved COMMON allocations `(block, member, ty, len)` in the
+    /// reference engine's preallocation order.
+    commons: Vec<(String, String, Type, usize)>,
+}
+
+// ---------------------------------------------------------------------------
+// Compiler
+
+/// Exact op cost of evaluating `e`: one tick per node, no short-circuit —
+/// mirrors the reference engine's `eval` recursion.
+fn cost(e: &Expr) -> u64 {
+    1 + match e {
+        Expr::Int(_)
+        | Expr::Real(_)
+        | Expr::Logical(_)
+        | Expr::Str(_)
+        | Expr::Var(_)
+        | Expr::Section(_, _) => 0,
+        Expr::Index(_, subs) => subs.iter().map(cost).sum(),
+        Expr::Intrinsic(_, args) | Expr::Unknown(_, args) | Expr::Unique(_, args) => {
+            args.iter().map(cost).sum()
+        }
+        Expr::Bin(_, l, r) => cost(l) + cost(r),
+        Expr::Un(_, inner) => cost(inner),
+    }
+}
+
+/// Op cost of a call argument (`arg_view` in the reference engine):
+/// variables bind without evaluation, element references evaluate their
+/// subscripts, anything else evaluates the whole expression.
+fn arg_cost(a: &Expr) -> u64 {
+    match a {
+        Expr::Var(_) => 0,
+        Expr::Index(_, subs) => subs.iter().map(cost).sum(),
+        e => cost(e),
+    }
+}
+
+/// The statically known op cost a statement incurs before any control
+/// transfer: its own tick plus every unconditionally evaluated expression.
+fn leading_cost(s: &Stmt) -> u64 {
+    1 + match &s.kind {
+        StmtKind::Assign { lhs, rhs } => {
+            cost(rhs)
+                + match lhs {
+                    Expr::Var(_) => 0,
+                    Expr::Index(_, subs) => subs.iter().map(cost).sum(),
+                    Expr::Section(_, ranges) => ranges
+                        .iter()
+                        .map(|r| match r {
+                            SecRange::Full => 0,
+                            SecRange::At(e) => cost(e),
+                            SecRange::Range { lo, hi, .. } => {
+                                lo.as_ref().map(|e| cost(e)).unwrap_or(0)
+                                    + hi.as_ref().map(|e| cost(e)).unwrap_or(0)
+                            }
+                        })
+                        .sum(),
+                    _ => 0,
+                }
+        }
+        StmtKind::If { cond, .. } => cost(cond),
+        StmtKind::Do(d) => cost(&d.lo) + cost(&d.hi) + d.step.as_ref().map(cost).unwrap_or(0),
+        StmtKind::Call { args, .. } => args.iter().map(arg_cost).sum(),
+        StmtKind::Write { items, .. } => items
+            .iter()
+            .map(|it| {
+                if matches!(it, Expr::Str(_)) {
+                    0
+                } else {
+                    cost(it)
+                }
+            })
+            .sum(),
+        StmtKind::Stop { .. } | StmtKind::Return | StmtKind::Continue => 0,
+        // A tagged body can stop/return, so its cost stays inside the
+        // nested block's own runs.
+        StmtKind::Tagged { .. } => 0,
+    }
+}
+
+/// True when control can leave the straight line at this statement, ending
+/// a tick-merge run.
+fn is_barrier(s: &Stmt) -> bool {
+    matches!(
+        s.kind,
+        StmtKind::If { .. }
+            | StmtKind::Do(_)
+            | StmtKind::Call { .. }
+            | StmtKind::Stop { .. }
+            | StmtKind::Return
+            | StmtKind::Tagged { .. }
+    )
+}
+
+/// Per-unit lowering state.
+struct UnitCompiler<'p> {
+    names: Vec<String>,
+    name_idx: HashMap<String, u32>,
+    code: Vec<Insn>,
+    loops: Vec<LoopMeta>,
+    secs: Vec<Vec<SecDimPlan>>,
+    strs: Vec<String>,
+    unit_by_name: &'p HashMap<&'p str, usize>,
+}
+
+impl<'p> UnitCompiler<'p> {
+    fn local(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.name_idx.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.name_idx.insert(name.to_string(), i);
+        i
+    }
+
+    fn stri(&mut self, s: &str) -> u32 {
+        if let Some(i) = self.strs.iter().position(|x| x == s) {
+            return i as u32;
+        }
+        self.strs.push(s.to_string());
+        (self.strs.len() - 1) as u32
+    }
+
+    fn emit(&mut self, i: Insn) -> usize {
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Lower a block, merging the leading costs of each maximal
+    /// straight-line run of statements into a single `Tick`.
+    fn block(&mut self, b: &Block) {
+        let mut i = 0;
+        while i < b.len() {
+            let mut j = i;
+            let mut sum = 0u64;
+            while j < b.len() {
+                sum += leading_cost(&b[j]);
+                j += 1;
+                if is_barrier(&b[j - 1]) {
+                    break;
+                }
+            }
+            if sum > 0 {
+                self.emit(Insn::Tick(sum));
+            }
+            for s in &b[i..j] {
+                self.stmt(s);
+            }
+            i = j;
+        }
+    }
+
+    /// Lower one statement's code (its leading cost is already ticked).
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                self.expr(rhs);
+                match lhs {
+                    Expr::Var(n) => {
+                        let l = self.local(n);
+                        self.emit(Insn::StoreVar(l));
+                    }
+                    Expr::Index(n, subs) => {
+                        for sub in subs {
+                            self.expr(sub);
+                        }
+                        let l = self.local(n);
+                        self.emit(Insn::StoreElem(l, subs.len() as u8));
+                    }
+                    Expr::Section(n, ranges) => {
+                        let mut plan = Vec::with_capacity(ranges.len());
+                        for r in ranges {
+                            match r {
+                                SecRange::Full => plan.push(SecDimPlan::Full),
+                                SecRange::At(e) => {
+                                    self.expr(e);
+                                    plan.push(SecDimPlan::At);
+                                }
+                                SecRange::Range { lo, hi, .. } => {
+                                    if let Some(e) = lo {
+                                        self.expr(e);
+                                    }
+                                    if let Some(e) = hi {
+                                        self.expr(e);
+                                    }
+                                    plan.push(SecDimPlan::Range {
+                                        has_lo: lo.is_some(),
+                                        has_hi: hi.is_some(),
+                                    });
+                                }
+                            }
+                        }
+                        let l = self.local(n);
+                        self.secs.push(plan);
+                        let sidx = (self.secs.len() - 1) as u32;
+                        self.emit(Insn::StoreSection(l, sidx));
+                    }
+                    other => {
+                        let m = self.stri(&format!("invalid assignment target {other:?}"));
+                        self.emit(Insn::Bad(m));
+                    }
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.expr(cond);
+                let jf = self.emit(Insn::JumpIfFalse(0));
+                self.block(then_blk);
+                let j = self.emit(Insn::Jump(0));
+                let else_pc = self.here();
+                self.code[jf] = Insn::JumpIfFalse(else_pc);
+                self.block(else_blk);
+                let end = self.here();
+                self.code[j] = Insn::Jump(end);
+            }
+            StmtKind::Do(d) => {
+                self.expr(&d.lo);
+                self.expr(&d.hi);
+                if let Some(e) = &d.step {
+                    self.expr(e);
+                }
+                let dir = d.directive.as_ref().map(|dir| DirPlan {
+                    privates: dir
+                        .private
+                        .iter()
+                        .chain(dir.lastprivate.iter())
+                        .map(|n| self.local(n))
+                        .collect(),
+                    reductions: dir
+                        .reductions
+                        .iter()
+                        .map(|(op, n)| (*op, self.local(n)))
+                        .collect(),
+                });
+                let m = self.loops.len() as u32;
+                let var = self.local(&d.var);
+                self.loops.push(LoopMeta {
+                    var,
+                    has_step: d.step.is_some(),
+                    body_pc: 0,
+                    exit_pc: 0,
+                    id: d.id.clone(),
+                    dir,
+                });
+                self.emit(Insn::DoInit(m));
+                self.loops[m as usize].body_pc = self.here();
+                self.block(&d.body);
+                self.emit(Insn::DoNext(m));
+                self.loops[m as usize].exit_pc = self.here();
+            }
+            StmtKind::Call { name, args } => {
+                for a in args {
+                    match a {
+                        Expr::Var(n) => {
+                            let l = self.local(n);
+                            self.emit(Insn::ArgVar(l));
+                        }
+                        Expr::Index(n, subs) => {
+                            for sub in subs {
+                                self.expr(sub);
+                            }
+                            let l = self.local(n);
+                            self.emit(Insn::ArgElem(l, subs.len() as u8));
+                        }
+                        e => {
+                            self.expr(e);
+                            self.emit(Insn::ArgVal);
+                        }
+                    }
+                }
+                match self.unit_by_name.get(name.as_str()) {
+                    Some(&u) => {
+                        self.emit(Insn::Call(u as u32, args.len() as u8));
+                    }
+                    None => {
+                        let m = self.stri(&format!("call to undefined subroutine {name}"));
+                        self.emit(Insn::CallUnknown(m));
+                    }
+                }
+            }
+            StmtKind::Write { items, .. } => {
+                self.emit(Insn::WriteBegin);
+                for item in items {
+                    match item {
+                        Expr::Str(text) => {
+                            let m = self.stri(text);
+                            self.emit(Insn::WriteStr(m));
+                        }
+                        e => {
+                            self.expr(e);
+                            self.emit(Insn::WriteVal);
+                        }
+                    }
+                }
+                self.emit(Insn::WriteEnd);
+            }
+            StmtKind::Stop { message } => {
+                let m = self.stri(&message.clone().unwrap_or_default());
+                self.emit(Insn::Stop(m));
+            }
+            StmtKind::Return => {
+                self.emit(Insn::Ret);
+            }
+            StmtKind::Continue => {}
+            StmtKind::Tagged { body, .. } => self.block(body),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Int(v) => {
+                self.emit(Insn::PushI(*v));
+            }
+            Expr::Real(R64(x)) => {
+                self.emit(Insn::PushF(*x));
+            }
+            Expr::Logical(b) => {
+                self.emit(Insn::PushB(*b));
+            }
+            Expr::Str(_) => {
+                let m = self.stri("string in arithmetic context");
+                self.emit(Insn::Bad(m));
+            }
+            Expr::Var(n) => {
+                let l = self.local(n);
+                self.emit(Insn::Load(l));
+            }
+            Expr::Index(n, subs) => {
+                for sub in subs {
+                    self.expr(sub);
+                }
+                let l = self.local(n);
+                self.emit(Insn::LoadElem(l, subs.len() as u8));
+            }
+            Expr::Section(_, _) => {
+                let m = self.stri("array section in scalar context");
+                self.emit(Insn::Bad(m));
+            }
+            Expr::Intrinsic(i, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Insn::Intr(*i, args.len() as u8));
+            }
+            Expr::Bin(op, l, r) => {
+                self.expr(l);
+                self.expr(r);
+                self.emit(Insn::Bin(*op));
+            }
+            Expr::Un(UnOp::Neg, inner) => {
+                self.expr(inner);
+                self.emit(Insn::Neg);
+            }
+            Expr::Un(UnOp::Not, inner) => {
+                self.expr(inner);
+                self.emit(Insn::Not);
+            }
+            Expr::Unknown(id, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Insn::UnknownOp(*id, args.len() as u8));
+            }
+            Expr::Unique(id, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Insn::UniqueOp(*id, args.len() as u8));
+            }
+        }
+    }
+
+    /// Lower one declared dimension into a value-code snippet (ticked
+    /// like the reference engine's per-extent `eval`).
+    fn dim_plan(&mut self, d: &Dim) -> DimPlan {
+        match d {
+            Dim::Assumed => DimPlan::Assumed,
+            Dim::Extent(e) => {
+                let saved = std::mem::take(&mut self.code);
+                self.emit(Insn::Tick(cost(e)));
+                self.expr(e);
+                let code = std::mem::replace(&mut self.code, saved);
+                DimPlan::Extent(code)
+            }
+        }
+    }
+
+    fn frame_plan(&mut self, unit: &ProcUnit, table: &SymbolTable) -> FramePlan {
+        let formals = unit.params.iter().map(|p| self.local(p)).collect();
+        let mut consts = Vec::new();
+        for sym in table.iter() {
+            if sym.storage == Storage::Param {
+                let val = table.param_value(&sym.name).and_then(|e| e.as_int_const());
+                let local = self.local(&sym.name);
+                consts.push(ParamConstPlan {
+                    local,
+                    ty: sym.ty,
+                    val,
+                });
+            }
+        }
+        let mut pending: Vec<&fir::symbol::Symbol> = table
+            .iter()
+            .filter(|s| matches!(s.storage, Storage::Common(_) | Storage::Local))
+            .collect();
+        pending.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut locals = Vec::with_capacity(pending.len());
+        for sym in pending {
+            let local = self.local(&sym.name);
+            let dims = sym.dims.iter().map(|d| self.dim_plan(d)).collect();
+            locals.push(LocalPlan {
+                local,
+                ty: sym.ty,
+                block: match &sym.storage {
+                    Storage::Common(b) => Some(b.clone()),
+                    _ => None,
+                },
+                dims,
+            });
+        }
+        let mut formal_dims = Vec::new();
+        for p in &unit.params {
+            let sym = table.get_or_implicit(p);
+            if sym.is_array() {
+                let local = self.local(p);
+                let dims = sym.dims.iter().map(|d| self.dim_plan(d)).collect();
+                formal_dims.push((local, dims));
+            }
+        }
+        FramePlan {
+            nlocals: 0, // patched after the body compiles
+            formals,
+            consts,
+            locals,
+            formal_dims,
+        }
+    }
+}
+
+/// Lower a program. Infallible: everything the reference engine reports
+/// at runtime (undefined names, non-constant PARAMETERs, bad extents)
+/// stays a runtime error here too.
+pub fn compile(p: &Program) -> CompiledProgram {
+    let mut unit_by_name: HashMap<&str, usize> = HashMap::new();
+    let mut main = None;
+    for (i, u) in p.units.iter().enumerate() {
+        unit_by_name.entry(u.name.as_str()).or_insert(i);
+        if u.kind == UnitKind::Program {
+            main = Some(i);
+        }
+    }
+    let tables: Vec<SymbolTable> = p.units.iter().map(SymbolTable::build).collect();
+
+    // COMMON preallocation, in the reference engine's order: units in
+    // program order, members sorted by name, constant extents only.
+    let mut commons = Vec::new();
+    for (u, table) in p.units.iter().zip(&tables) {
+        let mut members: Vec<&fir::symbol::Symbol> = table
+            .iter()
+            .filter(|s| matches!(s.storage, Storage::Common(_)))
+            .collect();
+        members.sort_by(|a, b| a.name.cmp(&b.name));
+        for sym in members {
+            let Storage::Common(block) = &sym.storage else {
+                unreachable!()
+            };
+            let mut len = 1usize;
+            let mut resolvable = true;
+            for d in &sym.dims {
+                match d {
+                    Dim::Extent(e) => match crate::interp::const_extent(e, table) {
+                        Some(v) if v >= 0 => len *= (v as usize).max(1),
+                        _ => resolvable = false,
+                    },
+                    Dim::Assumed => resolvable = false,
+                }
+            }
+            if resolvable {
+                commons.push((block.clone(), sym.name.clone(), sym.ty, len.max(1)));
+            }
+        }
+        let _ = u;
+    }
+
+    let units = p
+        .units
+        .iter()
+        .zip(&tables)
+        .map(|(u, table)| {
+            let mut c = UnitCompiler {
+                names: Vec::new(),
+                name_idx: HashMap::new(),
+                code: Vec::new(),
+                loops: Vec::new(),
+                secs: Vec::new(),
+                strs: Vec::new(),
+                unit_by_name: &unit_by_name,
+            };
+            let mut plan = c.frame_plan(u, table);
+            c.block(&u.body);
+            c.emit(Insn::EndUnit);
+            plan.nlocals = c.names.len();
+            UnitCode {
+                name: u.name.clone(),
+                code: c.code,
+                names: c.names,
+                loops: c.loops,
+                secs: c.secs,
+                strs: c.strs,
+                plan,
+            }
+        })
+        .collect();
+
+    CompiledProgram {
+        units,
+        main,
+        commons,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VM state
+
+/// One epoch entry of the race table: valid only when `gen` matches the
+/// checker's current generation.
+#[derive(Debug, Clone, Copy, Default)]
+struct EpochEntry {
+    gen: u32,
+    iter: i64,
+    write: bool,
+}
+
+/// Allocation-free race checker: per-slot epoch vectors, recycled across
+/// directive loops by bumping `gen`.
+#[derive(Debug, Default)]
+struct RaceState {
+    active: bool,
+    /// Current iteration index of the checked loop.
+    cur: i64,
+    /// Current generation; entries from older generations are stale.
+    gen: u32,
+    /// Sorted slots exempt from checking (loop var, privates, reductions).
+    excluded: Vec<usize>,
+    /// `table[slot][off]` — lazily sized to each slot's length.
+    table: Vec<Vec<EpochEntry>>,
+    /// Slots already reported this loop instance.
+    reported: crate::interp::SlotSet,
+}
+
+#[derive(Debug, Default)]
+struct VmState {
+    mem: Memory,
+    io: Vec<String>,
+    ops: u64,
+    par_events: Vec<ParLoopEvent>,
+    races: Vec<RaceViolation>,
+    par_depth: usize,
+    write_log: Option<Vec<(usize, usize, f64)>>,
+    race: RaceState,
+    /// Value stack, shared by every frame of this VM.
+    stack: Vec<Scalar>,
+    /// Pending argument views between `Arg*` and `Call`.
+    argv: Vec<View>,
+    /// Reusable subscript buffer.
+    idx_scratch: Vec<i64>,
+    /// WRITE line under construction.
+    line: String,
+    line_items: usize,
+    /// Reusable chunk arena for inline (no-spawn) threaded execution.
+    scratch: Option<Memory>,
+}
+
+/// Immutable run context (shared by chunk workers).
+#[derive(Clone, Copy)]
+struct Vx<'a> {
+    prog: &'a CompiledProgram,
+    opts: &'a ExecOptions,
+}
+
+enum Flow {
+    Normal,
+    Return,
+    Stop(String),
+}
+
+/// One live loop on a frame's loop stack.
+struct LoopRec {
+    meta: u32,
+    cur: i64,
+    step: i64,
+    n: u64,
+    done: u64,
+    var_view: View,
+    /// `Some` when this is the accounting/checking instance of a
+    /// directive loop (sequential path).
+    par: Option<u64>, // ops at loop entry
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+/// Compile and run (the `Engine::Bytecode` entry point of
+/// [`crate::interp::run`]).
+pub fn run_program(p: &Program, opts: &ExecOptions) -> Result<RunResult, RtError> {
+    let prog = compile(p);
+    run_compiled(&prog, opts)
+}
+
+/// Run an already-lowered program.
+pub fn run_compiled(prog: &CompiledProgram, opts: &ExecOptions) -> Result<RunResult, RtError> {
+    let cx = Vx { prog, opts };
+    let mut st = VmState::default();
+    for (block, name, ty, len) in &prog.commons {
+        st.mem.common(block, name, *ty, *len);
+    }
+    let main = prog.main.ok_or_else(|| RtError::new("no PROGRAM unit"))?;
+    let frame = build_frame(cx, &mut st, main, &[])?;
+    let flow = run_frame(cx, &mut st, main, &frame, 0, None)?;
+    let stopped = match flow {
+        Flow::Stop(m) => Some(m),
+        _ => None,
+    };
+    Ok(RunResult {
+        io: st.io,
+        stopped,
+        total_ops: st.ops,
+        par_events: st.par_events,
+        races: st.races,
+        memory: st.mem,
+    })
+}
+
+/// Record one shared access in the active directive loop. Two indexings
+/// and a compare in the steady state.
+fn record(st: &mut VmState, slot: usize, off: usize, is_write: bool) {
+    if !st.race.active {
+        return;
+    }
+    if st.race.excluded.binary_search(&slot).is_ok() {
+        return;
+    }
+    if st.race.table.len() <= slot {
+        st.race.table.resize_with(slot + 1, Vec::new);
+    }
+    if st.race.table[slot].len() <= off {
+        let want = st
+            .mem
+            .slots
+            .get(slot)
+            .map(|s| s.data.len())
+            .unwrap_or(0)
+            .max(off + 1);
+        st.race.table[slot].resize(want, EpochEntry::default());
+    }
+    let cur = st.race.cur;
+    let gen = st.race.gen;
+    let e = &mut st.race.table[slot][off];
+    if e.gen == gen {
+        if e.iter != cur && (is_write || e.write) {
+            if st.race.reported.insert(slot) {
+                st.races.push(RaceViolation {
+                    id: LoopId::new("?", 0),
+                    what: format!(
+                        "cross-iteration conflict on slot {slot} offset {off} (iters {} and {cur})",
+                        e.iter
+                    ),
+                });
+            }
+            e.write |= is_write;
+        } else {
+            e.write |= is_write;
+            e.iter = cur;
+        }
+    } else {
+        *e = EpochEntry {
+            gen,
+            iter: cur,
+            write: is_write,
+        };
+    }
+}
+
+/// Arm the race checker for a new directive-loop instance: one generation
+/// bump invalidates the whole table.
+fn activate_race(st: &mut VmState, excluded: Vec<usize>) {
+    st.race.gen = st.race.gen.wrapping_add(1);
+    if st.race.gen == 0 {
+        for lane in &mut st.race.table {
+            lane.clear();
+        }
+        st.race.gen = 1;
+    }
+    st.race.cur = 0;
+    st.race.excluded = excluded;
+    st.race.reported.clear();
+    st.race.active = true;
+}
+
+fn retire_race(st: &mut VmState) {
+    st.race.active = false;
+    st.race.excluded.clear();
+}
+
+/// Memory write with write-logging and race recording (the reference
+/// engine's `store`).
+fn store(st: &mut VmState, view: &View, idx: &[i64], val: Scalar) -> Result<(), RtError> {
+    let off = st
+        .mem
+        .write(view, idx, val)
+        .ok_or_else(|| RtError::new("subscript out of range on store"))?;
+    if let Some(log) = &mut st.write_log {
+        log.push((view.slot, off, st.mem.slots[view.slot].data[off]));
+    }
+    record(st, view.slot, off, true);
+    Ok(())
+}
+
+/// Pop `n` subscripts off the value stack into the scratch buffer,
+/// preserving order.
+fn pop_subs(st: &mut VmState, n: usize) {
+    let base = st.stack.len() - n;
+    st.idx_scratch.clear();
+    for k in base..st.stack.len() {
+        let v = st.stack[k].as_i();
+        st.idx_scratch.push(v);
+    }
+    st.stack.truncate(base);
+}
+
+/// Iteration count of `DO var = lo, hi, step` (the reference engine's
+/// materialized `iters.len()`, computed arithmetically).
+fn trip_count(lo: i64, hi: i64, step: i64) -> u64 {
+    if step > 0 {
+        if lo > hi {
+            0
+        } else {
+            ((hi as i128 - lo as i128) / step as i128 + 1) as u64
+        }
+    } else if lo < hi {
+        0
+    } else {
+        ((lo as i128 - hi as i128) / (-(step as i128)) + 1) as u64
+    }
+}
+
+/// Pop every live loop record, retiring directive instances exactly as the
+/// reference engine does when a `Stop`/`Return` unwinds out of them.
+fn unwind_loops(st: &mut VmState, unit: &UnitCode, loops: &mut Vec<LoopRec>) {
+    while let Some(rec) = loops.pop() {
+        if let Some(ops_before) = rec.par {
+            if st.race.active {
+                retire_race(st);
+            }
+            st.par_depth -= 1;
+            st.par_events.push(ParLoopEvent {
+                id: unit.loops[rec.meta as usize].id.clone(),
+                ops: st.ops - ops_before,
+                iters: rec.n,
+            });
+        }
+    }
+}
+
+/// Execute a value-producing instruction (shared by the main loop and
+/// frame-build extent evaluation). `budget` is the op ceiling `Tick`
+/// enforces.
+#[inline]
+fn exec_value(
+    st: &mut VmState,
+    unit: &UnitCode,
+    frame: &[Option<View>],
+    insn: &Insn,
+    budget: u64,
+) -> Result<(), RtError> {
+    match insn {
+        Insn::Tick(n) => {
+            st.ops += n;
+            if st.ops > budget {
+                return Err(RtError::new("op budget exhausted (possible runaway loop)"));
+            }
+        }
+        Insn::PushI(v) => st.stack.push(Scalar::I(*v)),
+        Insn::PushF(x) => st.stack.push(Scalar::F(*x)),
+        Insn::PushB(b) => st.stack.push(Scalar::B(*b)),
+        Insn::Load(l) => {
+            let Some(view) = frame[*l as usize].as_ref() else {
+                return Err(RtError::new(format!(
+                    "undefined variable {}",
+                    unit.names[*l as usize]
+                )));
+            };
+            if !view.is_scalar() {
+                // Whole-array read in scalar context: first element.
+                let v = View::scalar(view.slot, view.offset);
+                let val = st
+                    .mem
+                    .read(&v, &[])
+                    .ok_or_else(|| RtError::new("bad read"))?;
+                record(st, view.slot, view.offset, false);
+                st.stack.push(val);
+            } else {
+                let val = st.mem.read(view, &[]).ok_or_else(|| {
+                    RtError::new(format!("bad read of {}", unit.names[*l as usize]))
+                })?;
+                record(st, view.slot, view.offset, false);
+                st.stack.push(val);
+            }
+        }
+        Insn::LoadElem(l, n) => {
+            let Some(view) = frame[*l as usize].as_ref() else {
+                return Err(RtError::new(format!(
+                    "undefined array {}",
+                    unit.names[*l as usize]
+                )));
+            };
+            pop_subs(st, *n as usize);
+            let slot_len = st.mem.slots[view.slot].data.len();
+            let Some(off) = view.flat(&st.idx_scratch, slot_len) else {
+                return Err(RtError::new(format!(
+                    "subscript out of range for {}{:?}",
+                    unit.names[*l as usize], st.idx_scratch
+                )));
+            };
+            record(st, view.slot, off, false);
+            let val = st.mem.slots[view.slot].get(off);
+            st.stack.push(val);
+        }
+        Insn::Bin(op) => {
+            let b = st.stack.pop().expect("rhs operand");
+            let a = st.stack.pop().expect("lhs operand");
+            st.stack.push(eval_bin(*op, a, b)?);
+        }
+        Insn::Neg => {
+            let v = match st.stack.pop().expect("neg operand") {
+                Scalar::I(v) => Scalar::I(-v),
+                Scalar::F(v) => Scalar::F(-v),
+                Scalar::B(_) => return Err(RtError::new("negation of logical")),
+            };
+            st.stack.push(v);
+        }
+        Insn::Not => {
+            let v = st.stack.pop().expect("not operand").as_b();
+            st.stack.push(Scalar::B(!v));
+        }
+        Insn::Intr(i, n) => {
+            let base = st.stack.len() - *n as usize;
+            let r = eval_intrinsic(*i, &st.stack[base..])?;
+            st.stack.truncate(base);
+            st.stack.push(r);
+        }
+        Insn::UnknownOp(id, n) => {
+            let base = st.stack.len() - *n as usize;
+            let mut h = 0x9E3779B97F4A7C15u64 ^ (*id as u64);
+            for v in &st.stack[base..] {
+                h = h
+                    .wrapping_mul(0x100000001B3)
+                    .wrapping_add(v.as_f().to_bits());
+            }
+            st.stack.truncate(base);
+            st.stack
+                .push(Scalar::F((h % 1_000_000) as f64 / 1_000_000.0));
+        }
+        Insn::UniqueOp(id, n) => {
+            let base = st.stack.len() - *n as usize;
+            let mut h = 0xDEADBEEFu64 ^ (*id as u64);
+            for v in &st.stack[base..] {
+                h = h.wrapping_mul(31).wrapping_add(v.as_i() as u64);
+            }
+            st.stack.truncate(base);
+            st.stack.push(Scalar::I((h % (1 << 31)) as i64));
+        }
+        Insn::Bad(m) => {
+            return Err(RtError::new(unit.strs[*m as usize].clone()));
+        }
+        other => unreachable!("non-value instruction in value context: {other:?}"),
+    }
+    Ok(())
+}
+
+/// Evaluate a frame-build extent snippet against the frame under
+/// construction. Runs under the *default* op budget — the reference
+/// engine's `resolve_dims` uses a throwaway default-option interpreter.
+fn eval_extent(
+    st: &mut VmState,
+    unit: &UnitCode,
+    frame: &[Option<View>],
+    code: &[Insn],
+) -> Result<Scalar, RtError> {
+    for insn in code {
+        exec_value(st, unit, frame, insn, DEFAULT_MAX_OPS)?;
+    }
+    Ok(st.stack.pop().expect("extent value"))
+}
+
+fn resolve_dims(
+    st: &mut VmState,
+    unit: &UnitCode,
+    frame: &[Option<View>],
+    dims: &[DimPlan],
+    name: &str,
+) -> Result<Vec<usize>, RtError> {
+    let mut out = Vec::with_capacity(dims.len());
+    for d in dims {
+        match d {
+            DimPlan::Assumed => out.push(0),
+            DimPlan::Extent(code) => {
+                let v = eval_extent(st, unit, frame, code).map_err(|err| {
+                    RtError::new(format!("bad extent for {name}: {}", err.message))
+                })?;
+                let n = v.as_i();
+                if n < 0 {
+                    return Err(RtError::new(format!("negative extent for {name}")));
+                }
+                out.push(n as usize);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Build a call frame: same four phases, same allocation order, as the
+/// reference engine's `build_frame` — slot indices must match exactly.
+fn build_frame(
+    cx: Vx<'_>,
+    st: &mut VmState,
+    u: usize,
+    args: &[View],
+) -> Result<Vec<Option<View>>, RtError> {
+    let unit = &cx.prog.units[u];
+    let plan = &unit.plan;
+    let mut views: Vec<Option<View>> = vec![None; plan.nlocals];
+
+    // Phase 1: formals.
+    for (i, &l) in plan.formals.iter().enumerate() {
+        let v = args
+            .get(i)
+            .cloned()
+            .ok_or_else(|| RtError::new(format!("missing argument {i} to {}", unit.name)))?;
+        views[l as usize] = Some(v);
+    }
+
+    // Phase 2: PARAMETER constants.
+    for c in &plan.consts {
+        let val = c.val.ok_or_else(|| {
+            RtError::new(format!(
+                "non-constant PARAMETER {}",
+                unit.names[c.local as usize]
+            ))
+        })?;
+        let slot = st.mem.alloc(c.ty, 1);
+        st.mem.slots[slot].set(0, Scalar::I(val));
+        views[c.local as usize] = Some(View::scalar(slot, 0));
+    }
+
+    // Phase 3: COMMON members and locals, sorted by name; extents may
+    // reference anything already bound.
+    for lp in &plan.locals {
+        let name = &unit.names[lp.local as usize];
+        let dims = resolve_dims(st, unit, &views, &lp.dims, name)?;
+        let len: usize = dims.iter().map(|&d| d.max(1)).product::<usize>().max(1);
+        let slot = match &lp.block {
+            Some(block) => st.mem.common(block, name, lp.ty, len),
+            None => st.mem.alloc(lp.ty, len),
+        };
+        views[lp.local as usize] = Some(View {
+            slot,
+            offset: 0,
+            dims,
+        });
+    }
+
+    // Phase 4: formal array shapes against the full frame.
+    for (l, dims) in &plan.formal_dims {
+        let name = &unit.names[*l as usize];
+        let dims = resolve_dims(st, unit, &views, dims, name)?;
+        if let Some(v) = views[*l as usize].as_mut() {
+            v.dims = dims;
+        }
+    }
+
+    Ok(views)
+}
+
+/// Execute a unit's code from `entry`. `chunk_of` marks chunk mode: the
+/// body of directive loop `m` runs as one iteration, and reaching that
+/// loop's `DoNext` with no live loop record ends the iteration.
+fn run_frame(
+    cx: Vx<'_>,
+    st: &mut VmState,
+    u: usize,
+    frame: &[Option<View>],
+    entry: usize,
+    chunk_of: Option<u32>,
+) -> Result<Flow, RtError> {
+    let unit = &cx.prog.units[u];
+    let code = &unit.code;
+    let max_ops = cx.opts.max_ops;
+    let mut loops: Vec<LoopRec> = Vec::new();
+    let mut pc = entry;
+    loop {
+        let insn = &code[pc];
+        pc += 1;
+        match insn {
+            Insn::Jump(t) => pc = *t as usize,
+            Insn::JumpIfFalse(t) => {
+                if !st.stack.pop().expect("condition").as_b() {
+                    pc = *t as usize;
+                }
+            }
+            Insn::StoreVar(l) => {
+                let Some(view) = frame[*l as usize].as_ref() else {
+                    return Err(RtError::new(format!(
+                        "assignment to undeclared {}",
+                        unit.names[*l as usize]
+                    )));
+                };
+                let val = st.stack.pop().expect("store value");
+                if view.is_scalar() {
+                    store(st, view, &[], val)?;
+                } else {
+                    // Whole-array assignment (annotation collective form).
+                    let len = view.len(st.mem.slots[view.slot].data.len());
+                    for k in 0..len {
+                        let v2 = View::scalar(view.slot, view.offset + k);
+                        store(st, &v2, &[], val)?;
+                    }
+                }
+            }
+            Insn::StoreElem(l, n) => {
+                let Some(view) = frame[*l as usize].as_ref() else {
+                    return Err(RtError::new(format!(
+                        "undefined array {}",
+                        unit.names[*l as usize]
+                    )));
+                };
+                pop_subs(st, *n as usize);
+                let val = st.stack.pop().expect("store value");
+                let idx = std::mem::take(&mut st.idx_scratch);
+                let r = store(st, view, &idx, val);
+                st.idx_scratch = idx;
+                r?;
+            }
+            Insn::StoreSection(l, sidx) => {
+                let Some(view) = frame[*l as usize].as_ref() else {
+                    return Err(RtError::new(format!(
+                        "undefined array {}",
+                        unit.names[*l as usize]
+                    )));
+                };
+                let plan = &unit.secs[*sidx as usize];
+                let mut bounds = vec![(0i64, 0i64); plan.len()];
+                for k in (0..plan.len()).rev() {
+                    let extent = view.dims.get(k).copied().unwrap_or(1).max(1) as i64;
+                    bounds[k] = match plan[k] {
+                        SecDimPlan::Full => (1, extent),
+                        SecDimPlan::At => {
+                            let v = st.stack.pop().expect("section bound").as_i();
+                            (v, v)
+                        }
+                        SecDimPlan::Range { has_lo, has_hi } => {
+                            let h = if has_hi {
+                                st.stack.pop().expect("section hi").as_i()
+                            } else {
+                                extent
+                            };
+                            let l = if has_lo {
+                                st.stack.pop().expect("section lo").as_i()
+                            } else {
+                                1
+                            };
+                            (l, h)
+                        }
+                    };
+                }
+                let val = st.stack.pop().expect("section value");
+                let slot_len = st.mem.slots[view.slot].data.len();
+                let mut idx: Vec<i64> = bounds.iter().map(|&(l, _)| l).collect();
+                'fill: loop {
+                    if view.flat(&idx, slot_len).is_some() {
+                        store(st, view, &idx, val)?;
+                    }
+                    // Odometer increment, one tick per advance.
+                    let mut k = 0;
+                    loop {
+                        if k == idx.len() {
+                            break 'fill;
+                        }
+                        idx[k] += 1;
+                        if idx[k] <= bounds[k].1 {
+                            break;
+                        }
+                        idx[k] = bounds[k].0;
+                        k += 1;
+                    }
+                    st.ops += 1;
+                    if st.ops > max_ops {
+                        return Err(RtError::new("op budget exhausted (possible runaway loop)"));
+                    }
+                }
+            }
+            Insn::WriteBegin => {
+                st.line.clear();
+                st.line_items = 0;
+            }
+            Insn::WriteStr(m) => {
+                if st.line_items > 0 {
+                    st.line.push(' ');
+                }
+                st.line.push_str(&unit.strs[*m as usize]);
+                st.line_items += 1;
+            }
+            Insn::WriteVal => {
+                let v = st.stack.pop().expect("write value");
+                if st.line_items > 0 {
+                    st.line.push(' ');
+                }
+                match v {
+                    Scalar::I(i) => {
+                        use std::fmt::Write as _;
+                        let _ = write!(st.line, "{i}");
+                    }
+                    Scalar::F(x) => {
+                        use std::fmt::Write as _;
+                        let _ = write!(st.line, "{x:.9E}");
+                    }
+                    Scalar::B(b) => st.line.push_str(if b { "T" } else { "F" }),
+                }
+                st.line_items += 1;
+            }
+            Insn::WriteEnd => {
+                let line = st.line.clone();
+                st.io.push(line);
+            }
+            Insn::Stop(m) => {
+                unwind_loops(st, unit, &mut loops);
+                return Ok(Flow::Stop(unit.strs[*m as usize].clone()));
+            }
+            Insn::Ret => {
+                unwind_loops(st, unit, &mut loops);
+                return Ok(Flow::Return);
+            }
+            Insn::EndUnit => return Ok(Flow::Normal),
+            Insn::ArgVar(l) => match frame[*l as usize].as_ref() {
+                Some(v) => st.argv.push(v.clone()),
+                None => {
+                    // Unbound name: fresh implicit scalar.
+                    let ty = Type::implicit_for(&unit.names[*l as usize]);
+                    let slot = st.mem.alloc(ty, 1);
+                    st.argv.push(View::scalar(slot, 0));
+                }
+            },
+            Insn::ArgElem(l, n) => {
+                let Some(view) = frame[*l as usize].as_ref() else {
+                    return Err(RtError::new(format!(
+                        "undefined array {}",
+                        unit.names[*l as usize]
+                    )));
+                };
+                pop_subs(st, *n as usize);
+                let slot_len = st.mem.slots[view.slot].data.len();
+                let Some(off) = view.flat(&st.idx_scratch, slot_len) else {
+                    return Err(RtError::new(format!(
+                        "subscript out of range for {}",
+                        unit.names[*l as usize]
+                    )));
+                };
+                st.argv.push(View {
+                    slot: view.slot,
+                    offset: off,
+                    dims: vec![0],
+                });
+            }
+            Insn::ArgVal => {
+                let v = st.stack.pop().expect("arg value");
+                let ty = match v {
+                    Scalar::I(_) => Type::Integer,
+                    Scalar::F(_) => Type::Double,
+                    Scalar::B(_) => Type::Logical,
+                };
+                let slot = st.mem.alloc(ty, 1);
+                st.mem.slots[slot].set(0, v);
+                st.argv.push(View::scalar(slot, 0));
+            }
+            Insn::Call(target, nargs) => {
+                let views = st.argv.split_off(st.argv.len() - *nargs as usize);
+                let mark = st.mem.mark();
+                let callee = build_frame(cx, st, *target as usize, &views)?;
+                let flow = run_frame(cx, st, *target as usize, &callee, 0, None)?;
+                st.mem.release(mark);
+                if let Flow::Stop(m) = flow {
+                    unwind_loops(st, unit, &mut loops);
+                    return Ok(Flow::Stop(m));
+                }
+            }
+            Insn::CallUnknown(m) => {
+                return Err(RtError::new(unit.strs[*m as usize].clone()));
+            }
+            Insn::DoInit(mi) => {
+                let meta = &unit.loops[*mi as usize];
+                let step = if meta.has_step {
+                    st.stack.pop().expect("do step").as_i()
+                } else {
+                    1
+                };
+                let hi = st.stack.pop().expect("do hi").as_i();
+                let lo = st.stack.pop().expect("do lo").as_i();
+                if step == 0 {
+                    return Err(RtError::new("zero DO step"));
+                }
+                let var_view = frame[meta.var as usize].clone().ok_or_else(|| {
+                    RtError::new(format!(
+                        "unbound loop variable {}",
+                        unit.names[meta.var as usize]
+                    ))
+                })?;
+                let n = trip_count(lo, hi, step);
+                let is_outer_parallel = meta.dir.is_some() && st.par_depth == 0;
+                if !is_outer_parallel {
+                    if n == 0 {
+                        pc = meta.exit_pc as usize;
+                        continue;
+                    }
+                    st.mem.write(&var_view, &[], Scalar::I(lo));
+                    loops.push(LoopRec {
+                        meta: *mi,
+                        cur: lo,
+                        step,
+                        n,
+                        done: 0,
+                        var_view,
+                        par: None,
+                    });
+                    continue; // pc already at body_pc
+                }
+
+                // Outermost directive loop.
+                let dir = meta.dir.as_ref().expect("directive present");
+                let ops_before = st.ops;
+                let mut excluded = vec![var_view.slot];
+                for &l in &dir.privates {
+                    if let Some(v) = frame[l as usize].as_ref() {
+                        excluded.push(v.slot);
+                    }
+                }
+                for &(_, l) in &dir.reductions {
+                    if let Some(v) = frame[l as usize].as_ref() {
+                        excluded.push(v.slot);
+                    }
+                }
+                excluded.sort_unstable();
+
+                if cx.opts.threads > 1 && n > 1 {
+                    let flow =
+                        exec_parallel(cx, st, u, frame, *mi, &var_view, lo, step, n, &excluded)?;
+                    st.par_events.push(ParLoopEvent {
+                        id: meta.id.clone(),
+                        ops: st.ops - ops_before,
+                        iters: n,
+                    });
+                    if let Flow::Stop(m) = flow {
+                        unwind_loops(st, unit, &mut loops);
+                        return Ok(Flow::Stop(m));
+                    }
+                    pc = meta.exit_pc as usize;
+                } else {
+                    st.par_depth += 1;
+                    if cx.opts.check_races {
+                        activate_race(st, excluded);
+                    }
+                    if n == 0 {
+                        if st.race.active {
+                            retire_race(st);
+                        }
+                        st.par_depth -= 1;
+                        st.par_events.push(ParLoopEvent {
+                            id: meta.id.clone(),
+                            ops: st.ops - ops_before,
+                            iters: 0,
+                        });
+                        pc = meta.exit_pc as usize;
+                    } else {
+                        st.mem.write(&var_view, &[], Scalar::I(lo));
+                        loops.push(LoopRec {
+                            meta: *mi,
+                            cur: lo,
+                            step,
+                            n,
+                            done: 0,
+                            var_view,
+                            par: Some(ops_before),
+                        });
+                    }
+                }
+            }
+            Insn::DoNext(mi) => {
+                let Some(rec) = loops.last_mut() else {
+                    // Chunk mode: the controlled loop's body completed one
+                    // iteration.
+                    debug_assert_eq!(chunk_of, Some(*mi));
+                    return Ok(Flow::Normal);
+                };
+                rec.done += 1;
+                if rec.done < rec.n {
+                    rec.cur = rec.cur.wrapping_add(rec.step);
+                    if rec.par.is_some() && st.race.active {
+                        st.race.cur = rec.done as i64;
+                    }
+                    st.mem.write(&rec.var_view, &[], Scalar::I(rec.cur));
+                    pc = unit.loops[rec.meta as usize].body_pc as usize;
+                } else {
+                    let rec = loops.pop().expect("live loop");
+                    if let Some(ops_before) = rec.par {
+                        if st.race.active {
+                            retire_race(st);
+                        }
+                        st.par_depth -= 1;
+                        st.par_events.push(ParLoopEvent {
+                            id: unit.loops[rec.meta as usize].id.clone(),
+                            ops: st.ops - ops_before,
+                            iters: rec.n,
+                        });
+                    }
+                    // pc already at exit_pc.
+                }
+            }
+            other => exec_value(st, unit, frame, other, max_ops)?,
+        }
+    }
+}
+
+/// What one chunk of a threaded directive loop produced.
+struct ChunkOut {
+    log: Vec<(usize, usize, f64)>,
+    io: Vec<String>,
+    ops: u64,
+    red_finals: Vec<f64>,
+    flow_stop: Option<String>,
+    err: Option<RtError>,
+}
+
+/// Execute one contiguous chunk (`start..start+len` of the iteration
+/// space) on its own arena. Mirrors the reference engine's `exec_chunk`:
+/// same write-log, same reduction identities, `Return` breaks the chunk
+/// silently.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk(
+    cx: Vx<'_>,
+    mem: Memory,
+    red_init: &[(RedOp, View)],
+    var_view: &View,
+    frame: &[Option<View>],
+    u: usize,
+    mi: u32,
+    lo: i64,
+    step: i64,
+    start: usize,
+    len: usize,
+) -> (ChunkOut, Memory) {
+    let mut st = VmState {
+        mem,
+        write_log: Some(Vec::new()),
+        par_depth: 1,
+        ..Default::default()
+    };
+    for (op, v) in red_init {
+        let id = match op {
+            RedOp::Add => 0.0,
+            RedOp::Mul => 1.0,
+            RedOp::Min => f64::INFINITY,
+            RedOp::Max => f64::NEG_INFINITY,
+        };
+        st.mem.write(v, &[], Scalar::F(id));
+    }
+    let body_pc = cx.prog.units[u].loops[mi as usize].body_pc as usize;
+    let mut flow_stop = None;
+    let mut err = None;
+    for k in 0..len {
+        let i = lo.wrapping_add(((start + k) as i64).wrapping_mul(step));
+        st.mem.write(var_view, &[], Scalar::I(i));
+        match run_frame(cx, &mut st, u, frame, body_pc, Some(mi)) {
+            Ok(Flow::Normal) => {}
+            Ok(Flow::Stop(m)) => {
+                flow_stop = Some(m);
+                break;
+            }
+            Ok(Flow::Return) => break,
+            Err(e) => {
+                err = Some(e);
+                break;
+            }
+        }
+    }
+    let red_finals = red_init
+        .iter()
+        .map(|(_, v)| st.mem.read(v, &[]).map(|s| s.as_f()).unwrap_or(0.0))
+        .collect();
+    (
+        ChunkOut {
+            log: st.write_log.unwrap_or_default(),
+            io: st.io,
+            ops: st.ops,
+            red_finals,
+            flow_stop,
+            err,
+        },
+        st.mem,
+    )
+}
+
+/// Threaded execution of a directive loop: contiguous chunks, write logs
+/// merged in iteration order, reductions folded associatively — the
+/// reference engine's `exec_parallel` on arithmetic chunk ranges.
+#[allow(clippy::too_many_arguments)]
+fn exec_parallel(
+    cx: Vx<'_>,
+    st: &mut VmState,
+    u: usize,
+    frame: &[Option<View>],
+    mi: u32,
+    var_view: &View,
+    lo: i64,
+    step: i64,
+    n: u64,
+    excluded: &[usize],
+) -> Result<Flow, RtError> {
+    let meta = &cx.prog.units[u].loops[mi as usize];
+    let dir = meta.dir.as_ref().expect("directive present");
+    let threads = cx.opts.threads.min(n as usize).max(1);
+    let base = n as usize / threads;
+    let extra = n as usize % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    for k in 0..threads {
+        let len = base + usize::from(k < extra);
+        ranges.push((start, len));
+        start += len;
+    }
+
+    // Reduction slots: remember pre-values, identify op.
+    let mut red_slots: Vec<(RedOp, View, f64)> = Vec::new();
+    for &(op, l) in &dir.reductions {
+        if let Some(v) = frame[l as usize].as_ref() {
+            let pre = st.mem.read(v, &[]).map(|s| s.as_f()).unwrap_or(0.0);
+            red_slots.push((op, v.clone(), pre));
+        }
+    }
+    let red_init: Vec<(RedOp, View)> = red_slots
+        .iter()
+        .map(|(op, v, _)| (*op, v.clone()))
+        .collect();
+
+    let spawn = cx.opts.spawn_threads.unwrap_or_else(|| host_cpus() > 1);
+    let results: Vec<ChunkOut> = if spawn {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for &(start, len) in &ranges {
+                let base_mem = st.mem.clone();
+                let red_init = red_init.clone();
+                let var_view = var_view.clone();
+                handles.push(scope.spawn(move || {
+                    run_chunk(
+                        cx, base_mem, &red_init, &var_view, frame, u, mi, lo, step, start, len,
+                    )
+                    .0
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    } else {
+        // Single-CPU host: identical chunk semantics, run inline on one
+        // re-seeded scratch arena.
+        let mut scratch = st.scratch.take().unwrap_or_default();
+        let mut outs = Vec::with_capacity(ranges.len());
+        for &(start, len) in &ranges {
+            scratch.clone_from(&st.mem);
+            let (out, mem) = run_chunk(
+                cx,
+                std::mem::take(&mut scratch),
+                &red_init,
+                var_view,
+                frame,
+                u,
+                mi,
+                lo,
+                step,
+                start,
+                len,
+            );
+            scratch = mem;
+            outs.push(out);
+        }
+        st.scratch = Some(scratch);
+        outs
+    };
+
+    // Merge in chunk (iteration) order.
+    let mut flow = Flow::Normal;
+    for out in &results {
+        if let Some(e) = &out.err {
+            return Err(e.clone());
+        }
+        if let Some(m) = &out.flow_stop {
+            flow = Flow::Stop(m.clone());
+        }
+    }
+    for out in &results {
+        for &(slot, off, val) in &out.log {
+            if excluded.binary_search(&slot).is_ok() {
+                continue;
+            }
+            if slot < st.mem.slots.len() && off < st.mem.slots[slot].data.len() {
+                st.mem.slots[slot].data[off] = val;
+            }
+        }
+        st.io.extend(out.io.iter().cloned());
+        st.ops += out.ops;
+    }
+    for (k, (op, v, pre)) in red_slots.iter().enumerate() {
+        let mut acc = *pre;
+        for out in &results {
+            let x = out.red_finals[k];
+            acc = match op {
+                RedOp::Add => acc + x,
+                RedOp::Mul => acc * x,
+                RedOp::Min => acc.min(x),
+                RedOp::Max => acc.max(x),
+            };
+        }
+        st.mem.write(v, &[], Scalar::F(acc));
+    }
+    Ok(flow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        fir::parse(src).expect("test program parses")
+    }
+
+    fn vm_opts(max_ops: u64) -> ExecOptions {
+        ExecOptions {
+            max_ops,
+            engine: crate::interp::Engine::Bytecode,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn giant_trip_count_fails_fast_without_materializing_iterations() {
+        // The tree-walker collects `iters: Vec<i64>` before running a DO
+        // loop — at this trip count that is an 8 GB allocation. The VM
+        // must instead enter the loop immediately and die on the op
+        // budget after a few thousand steps.
+        let p = parse(
+            "      PROGRAM P
+      X = 0.0
+      DO I = 1, 1000000000
+        X = X + 1.0
+      ENDDO
+      END
+",
+        );
+        let started = std::time::Instant::now();
+        let err = crate::interp::run(&p, &vm_opts(10_000)).unwrap_err();
+        assert!(err.message.contains("op budget exhausted"), "{err}");
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "budget bail-out took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn zero_and_negative_trip_counts() {
+        assert_eq!(trip_count(1, 0, 1), 0);
+        assert_eq!(trip_count(1, 1, 1), 1);
+        assert_eq!(trip_count(1, 10, 1), 10);
+        assert_eq!(trip_count(1, 10, 3), 4);
+        assert_eq!(trip_count(10, 1, -1), 10);
+        assert_eq!(trip_count(10, 1, -4), 3);
+        assert_eq!(trip_count(0, 1, -1), 0);
+        // Large spans stay exact through the i128 widening.
+        assert_eq!(trip_count(1, 1_000_000_000, 1), 1_000_000_000);
+        assert_eq!(trip_count(-(1 << 40), 1 << 40, 1), (1u64 << 41) + 1);
+    }
+
+    #[test]
+    fn straight_line_costs_merge_into_one_tick() {
+        // Three assignments of one binary op each: each statement costs
+        // 1 (stmt) + 3 (expr nodes) = 4 ops; the block lowers to a single
+        // leading Tick(12), not three Tick(4)s.
+        let p = parse(
+            "      PROGRAM P
+      X = 1.0 + 2.0
+      Y = 2.0 + 3.0
+      Z = 3.0 + 4.0
+      END
+",
+        );
+        let c = compile(&p);
+        let ticks: Vec<u64> = c.units[0]
+            .code
+            .iter()
+            .filter_map(|i| match i {
+                Insn::Tick(n) => Some(*n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ticks, vec![12]);
+        // And the total still matches the tree-walker's per-node count.
+        let r = crate::interp::run(&p, &vm_opts(DEFAULT_MAX_OPS)).unwrap();
+        let t = crate::interp::run(
+            &p,
+            &ExecOptions {
+                engine: crate::interp::Engine::TreeWalk,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.total_ops, t.total_ops);
+        assert_eq!(r.total_ops, 12);
+    }
+
+    #[test]
+    fn epoch_race_table_recycles_across_loops() {
+        // Two directive loops back to back: the second must start with a
+        // clean view of the table (generation bump), so the clean loop
+        // reports nothing even though the racy one populated entries.
+        let p = parse(
+            "      PROGRAM P
+      COMMON /B/ A(16), S
+      DO I = 1, 16
+        A(I) = I*1.0
+      ENDDO
+      S = 0.0
+      DO I = 2, 16
+        S = S + A(I-1)
+      ENDDO
+      DO I = 1, 16
+        A(I) = A(I)*2.0
+      ENDDO
+      END
+",
+        );
+        let mut p = p;
+        let mut k = 0;
+        fir::visit::walk_loops_mut(&mut p.units[0].body, &mut |d| {
+            if k > 0 {
+                d.directive = Some(OmpDirective::default());
+            }
+            k += 1;
+        });
+        let r = crate::interp::run(
+            &p,
+            &ExecOptions {
+                check_races: true,
+                engine: crate::interp::Engine::Bytecode,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // The scalar-reduction loop races on S (no reduction clause); the
+        // disjoint A loop is clean. One slot, one report.
+        assert_eq!(r.races.len(), 1, "{:?}", r.races);
+        assert!(r.races[0].what.contains("slot"), "{:?}", r.races);
+    }
+
+    #[test]
+    fn compile_is_reusable_across_runs() {
+        let p = parse(
+            "      PROGRAM P
+      S = 0.0
+      DO I = 1, 8
+        S = S + I*1.0
+      ENDDO
+      WRITE(6,*) S
+      END
+",
+        );
+        let c = compile(&p);
+        let a = run_compiled(&c, &ExecOptions::default()).unwrap();
+        let b = run_compiled(&c, &ExecOptions::default()).unwrap();
+        assert_eq!(a.io, b.io);
+        assert_eq!(a.total_ops, b.total_ops);
+    }
+}

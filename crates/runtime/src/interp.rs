@@ -27,6 +27,26 @@ use fir::ast::*;
 use fir::symbol::{Storage, SymbolTable};
 use std::collections::HashMap;
 
+/// Which engine executes the program.
+///
+/// Both engines produce byte-identical observable state — io, op counts,
+/// par events, races, final memory — asserted by the engine-differential
+/// tests. The tree-walker is the semantic reference; the bytecode VM is
+/// the fast path `verify` runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Reference tree-walking interpreter.
+    TreeWalk,
+    /// Slot-resolved bytecode VM (`fruntime::bytecode`).
+    #[default]
+    Bytecode,
+}
+
+/// Default op budget (also the budget frame-build extent evaluation runs
+/// under, matching the throwaway default-option interpreter the reference
+/// engine uses in `resolve_dims`).
+pub(crate) const DEFAULT_MAX_OPS: u64 = 2_000_000_000;
+
 /// Execution options.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
@@ -40,6 +60,8 @@ pub struct ExecOptions {
     /// only when the host has more than one CPU; the chunked write-log
     /// semantics — and therefore the results — are identical either way.
     pub spawn_threads: Option<bool>,
+    /// Which engine to run on.
+    pub engine: Engine,
 }
 
 impl Default for ExecOptions {
@@ -47,14 +69,15 @@ impl Default for ExecOptions {
         ExecOptions {
             threads: 1,
             check_races: false,
-            max_ops: 2_000_000_000,
+            max_ops: DEFAULT_MAX_OPS,
             spawn_threads: None,
+            engine: Engine::default(),
         }
     }
 }
 
 /// Host CPU count, sampled once per process.
-fn host_cpus() -> usize {
+pub(crate) fn host_cpus() -> usize {
     static CPUS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *CPUS.get_or_init(|| {
         std::thread::available_parallelism()
@@ -140,7 +163,7 @@ pub struct RtError {
 }
 
 impl RtError {
-    fn new(m: impl Into<String>) -> RtError {
+    pub(crate) fn new(m: impl Into<String>) -> RtError {
         RtError { message: m.into() }
     }
 }
@@ -174,8 +197,17 @@ impl std::fmt::Display for RtError {
 }
 impl std::error::Error for RtError {}
 
-/// Run a program from its `PROGRAM` unit.
+/// Run a program from its `PROGRAM` unit on the engine
+/// [`ExecOptions::engine`] selects.
 pub fn run(p: &Program, opts: &ExecOptions) -> Result<RunResult, RtError> {
+    match opts.engine {
+        Engine::Bytecode => crate::bytecode::run_program(p, opts),
+        Engine::TreeWalk => run_tree(p, opts),
+    }
+}
+
+/// The tree-walking reference engine.
+fn run_tree(p: &Program, opts: &ExecOptions) -> Result<RunResult, RtError> {
     let ctx = Ctx::new(p)?;
     let mut st = State::default();
     preallocate_commons(&ctx, &mut st);
@@ -227,7 +259,7 @@ impl<'a> Ctx<'a> {
 
 /// Resolve an extent expression without a frame: constants and PARAMETER
 /// references only (what F77 allows in COMMON declarations).
-fn const_extent(e: &Expr, table: &SymbolTable) -> Option<i64> {
+pub(crate) fn const_extent(e: &Expr, table: &SymbolTable) -> Option<i64> {
     if let Some(v) = e.as_int_const() {
         return Some(v);
     }
@@ -298,10 +330,48 @@ struct State {
     race_map: Option<(AccessMap, i64)>,
     /// Retired access recorder, kept to reuse its table allocation.
     race_scratch: Option<AccessMap>,
-    /// Slots excluded from logging/race checks (privates, reductions).
+    /// Slots excluded from logging/race checks (privates, reductions),
+    /// kept sorted for binary-search membership tests.
     excluded: Vec<usize>,
+    /// Slots already reported as conflicting in the current directive
+    /// loop (one violation per slot per loop instance).
+    race_reported: SlotSet,
     /// Reusable chunk arena for inline (no-spawn) threaded execution.
     scratch: Option<Memory>,
+}
+
+/// A reusable set of slot indices: a grow-only bitset plus the list of
+/// touched words, so `clear` costs O(touched) instead of O(capacity).
+#[derive(Default, Clone, Debug)]
+pub(crate) struct SlotSet {
+    words: Vec<u64>,
+    touched: Vec<usize>,
+}
+
+impl SlotSet {
+    /// Insert `slot`; returns true when it was not yet present.
+    pub(crate) fn insert(&mut self, slot: usize) -> bool {
+        let (w, b) = (slot / 64, slot % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        if self.words[w] & (1 << b) != 0 {
+            return false;
+        }
+        if self.words[w] == 0 {
+            self.touched.push(w);
+        }
+        self.words[w] |= 1 << b;
+        true
+    }
+
+    /// Empty the set without shrinking its capacity.
+    pub(crate) fn clear(&mut self) {
+        for &w in &self.touched {
+            self.words[w] = 0;
+        }
+        self.touched.clear();
+    }
 }
 
 /// Multiply-rotate hasher for the race map's `(slot, offset)` keys — the
@@ -589,6 +659,7 @@ impl<'a> Interp<'a> {
                 excluded.push(v.slot);
             }
         }
+        excluded.sort_unstable();
 
         let flow = if self.opts.threads > 1 && iters.len() > 1 {
             self.exec_parallel(d, dir, &iters, &var_view, &excluded, frame, unit)?
@@ -600,6 +671,7 @@ impl<'a> Interp<'a> {
                 map.clear();
                 self.st.race_map = Some((map, 0));
                 self.st.excluded = std::mem::take(&mut excluded);
+                self.st.race_reported.clear();
             }
             let mut out = Flow::Normal;
             for (k, &i) in iters.iter().enumerate() {
@@ -725,7 +797,7 @@ impl<'a> Interp<'a> {
         }
         for out in &results {
             for &(slot, off, val) in &out.log {
-                if excluded.contains(&slot) {
+                if excluded.binary_search(&slot).is_ok() {
                     continue;
                 }
                 if slot < self.st.mem.slots.len() && off < self.st.mem.slots[slot].data.len() {
@@ -924,8 +996,7 @@ impl<'a> Interp<'a> {
     }
 
     fn record_access(&mut self, slot: usize, off: usize, is_write: bool) {
-        let excluded = &self.st.excluded;
-        if excluded.contains(&slot) {
+        if self.st.excluded.binary_search(&slot).is_ok() {
             return;
         }
         let Some((map, cur)) = &mut self.st.race_map else {
@@ -935,13 +1006,8 @@ impl<'a> Interp<'a> {
         match map.get_mut(&(slot, off)) {
             Some((iter, had_write)) => {
                 if *iter != cur && (is_write || *had_write) {
-                    // Record the violation once per loop (avoid floods).
-                    let already = self
-                        .st
-                        .races
-                        .iter()
-                        .any(|r| r.what.contains(&format!("slot {slot}")));
-                    if !already {
+                    // Record the violation once per slot per loop instance.
+                    if self.st.race_reported.insert(slot) {
                         self.st.races.push(RaceViolation {
                             id: LoopId::new("?", 0),
                             what: format!(
@@ -1048,7 +1114,7 @@ impl<'a> Interp<'a> {
     }
 }
 
-fn eval_bin(op: BinOp, a: Scalar, b: Scalar) -> Result<Scalar, RtError> {
+pub(crate) fn eval_bin(op: BinOp, a: Scalar, b: Scalar) -> Result<Scalar, RtError> {
     use BinOp::*;
     let both_int = matches!(a, Scalar::I(_)) && matches!(b, Scalar::I(_));
     match op {
@@ -1106,7 +1172,7 @@ fn eval_bin(op: BinOp, a: Scalar, b: Scalar) -> Result<Scalar, RtError> {
     }
 }
 
-fn eval_intrinsic(i: Intrinsic, args: &[Scalar]) -> Result<Scalar, RtError> {
+pub(crate) fn eval_intrinsic(i: Intrinsic, args: &[Scalar]) -> Result<Scalar, RtError> {
     let need = |n: usize| {
         if args.len() < n {
             Err(RtError::new(format!("intrinsic {i:?} needs {n} args")))

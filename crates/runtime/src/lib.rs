@@ -7,6 +7,11 @@
 //!   sequence-association semantics, plus a threaded executor (std
 //!   scoped threads, per-thread write logs merged in iteration order) and a
 //!   runtime race checker — the paper's "runtime testers" (§III-D).
+//! * [`bytecode`] — the default engine: each unit is lowered once into a
+//!   flat, slot-resolved instruction stream (compile-then-execute), with
+//!   an allocation-free epoch-vector race checker. Byte-identical
+//!   observable behaviour to [`interp`], which stays as the reference
+//!   engine behind [`interp::Engine`].
 //! * [`memory`] — flat column-major storage with COMMON sharing and
 //!   view-based aliasing.
 //! * [`cost`] — a deterministic machine model (profiles for the paper's two
@@ -14,10 +19,12 @@
 //!   simulated speedups of Figure 20, including the §IV-B empirical-tuning
 //!   step that disables unprofitable loops.
 
+pub mod bytecode;
 pub mod cost;
 pub mod interp;
 pub mod memory;
 
+pub use bytecode::{compile, run_compiled, CompiledProgram};
 pub use cost::{simulate, tune, Machine, SimResult};
-pub use interp::{run, ExecOptions, ParLoopEvent, RaceViolation, RtError, RunResult};
+pub use interp::{run, Engine, ExecOptions, ParLoopEvent, RaceViolation, RtError, RunResult};
 pub use memory::{Memory, Scalar, Slot, View};

@@ -19,7 +19,7 @@ use fdep::refs::{ArrayAccess, Sub};
 use finline::annot::AnnotRegistry;
 use finline::{annot_inline, reverse};
 use fir::ast::{BinOp, Expr, OmpDirective, StmtKind};
-use fruntime::{run, ExecOptions};
+use fruntime::{run, Engine, ExecOptions};
 
 /// Deterministic xorshift64* generator: same cases on every run.
 struct Rng(u64);
@@ -223,6 +223,117 @@ fn threaded_equals_sequential_for_disjoint_writes() {
         let scale = rng.range(1, 9);
         let threads = rng.range(2, 6) as usize;
         check_threaded_equals_sequential(n, scale, threads);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine differential: bytecode VM ≡ reference tree-walker
+// ---------------------------------------------------------------------------
+
+/// Generate a small program exercising the constructs both engines lower:
+/// COMMON + locals, nested DO loops (some with directives and reductions),
+/// subscripted and scalar assignments, IFs, a subroutine call with an
+/// element actual, and WRITE.
+fn generated_program(rng: &mut Rng) -> fir::ast::Program {
+    let n = rng.range(3, 24);
+    let trip1 = rng.range(1, 20);
+    let trip2 = rng.range(1, 10);
+    let step = if rng.range(0, 1) == 1 { ", 2" } else { "" };
+    let c = rng.range(1, 9);
+    let off = rng.range(1, n);
+    let src = format!(
+        "      PROGRAM G
+      COMMON /B/ A({n}), S
+      DIMENSION W({n})
+      DO I = 1, {n}
+        A(I) = I*{c}.0
+        W(I) = 0.0
+      ENDDO
+      DO I = 1, {trip1}{step}
+        IF (A(1) .GT. 0.0) THEN
+          W(1) = W(1) + A(1)
+        ELSE
+          W(1) = W(1) - 1.0
+        ENDIF
+      ENDDO
+      S = 0.0
+      DO I = 1, {n}
+        S = S + A(I)*W(1)
+      ENDDO
+      DO J = 1, {trip2}
+        CALL BUMP(A({off}), S)
+      ENDDO
+      WRITE(6,*) S, A({off}), W(1)
+      END
+      SUBROUTINE BUMP(X, T)
+      X = X + 1.0
+      T = T + X*0.5
+      END
+"
+    );
+    let mut p = fir::parse(&src).unwrap();
+    // Randomly mark some loops parallel — including (sometimes) illegal
+    // ones, so the race checker and write-log merge paths are compared
+    // too, not just clean execution.
+    let mark = rng.range(0, 7) as u64;
+    let red = rng.range(0, 1) == 1;
+    let mut k = 0;
+    fir::visit::walk_loops_mut(&mut p.units[0].body, &mut |d| {
+        if mark & (1 << k) != 0 {
+            d.directive = Some(if red && k == 2 {
+                OmpDirective {
+                    reductions: vec![(fir::ast::RedOp::Add, "S".into())],
+                    ..Default::default()
+                }
+            } else {
+                OmpDirective::default()
+            });
+        }
+        k += 1;
+    });
+    p
+}
+
+#[test]
+fn bytecode_engine_matches_tree_walker_on_generated_programs() {
+    let mut rng = Rng::new(0xB17EC0DE);
+    for case in 0..64 {
+        let p = generated_program(&mut rng);
+        let threads = rng.range(1, 4) as usize;
+        let check_races = rng.range(0, 1) == 1;
+        let opts = ExecOptions {
+            threads,
+            check_races,
+            ..Default::default()
+        };
+        let t = run(
+            &p,
+            &ExecOptions {
+                engine: Engine::TreeWalk,
+                ..opts.clone()
+            },
+        )
+        .unwrap();
+        let v = run(
+            &p,
+            &ExecOptions {
+                engine: Engine::Bytecode,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(t.io, v.io, "case {case}: io");
+        assert_eq!(t.stopped, v.stopped, "case {case}: stop");
+        assert_eq!(t.total_ops, v.total_ops, "case {case}: ops");
+        assert_eq!(t.par_events, v.par_events, "case {case}: events");
+        assert_eq!(t.races, v.races, "case {case}: races");
+        assert_eq!(t.memory.slots.len(), v.memory.slots.len(), "case {case}");
+        for (s, (x, y)) in t.memory.slots.iter().zip(&v.memory.slots).enumerate() {
+            assert_eq!(x.ty, y.ty, "case {case} slot {s}: type");
+            let xb: Vec<u64> = x.data.iter().map(|f| f.to_bits()).collect();
+            let yb: Vec<u64> = y.data.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(xb, yb, "case {case} slot {s}: data");
+        }
     }
 }
 

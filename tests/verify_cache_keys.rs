@@ -1,0 +1,53 @@
+//! The driver's verify-dedup cache keys on a 128-bit hash of the emitted
+//! source instead of retaining the whole string. Collisions would silently
+//! reuse another configuration's verification verdict, so pin that every
+//! distinct source the suite actually emits gets a distinct key.
+
+use ipp_core::{compile, source_key, InlineMode, PipelineOptions};
+use std::collections::HashMap;
+
+#[test]
+fn suite_corpus_sources_get_distinct_keys() {
+    let mut seen: HashMap<u128, String> = HashMap::new();
+    let mut distinct = 0usize;
+    for app in perfect::all() {
+        let p = app.program();
+        let reg = app.registry();
+        for mode in [
+            InlineMode::None,
+            InlineMode::Conventional,
+            InlineMode::Annotation,
+        ] {
+            let r = compile(&p, &reg, &PipelineOptions::for_mode(mode));
+            let key = source_key(&r.source);
+            match seen.get(&key) {
+                Some(prev) if prev != &r.source => {
+                    panic!(
+                        "collision: {} [{:?}] shares key {key:#034x} with a different source",
+                        app.name, mode
+                    );
+                }
+                Some(_) => {} // identical source, identical key: the dedup case
+                None => {
+                    seen.insert(key, r.source.clone());
+                    distinct += 1;
+                }
+            }
+        }
+    }
+    // Sanity: the corpus actually exercised the map (3 modes rarely all
+    // emit identical text, so well over 12 distinct sources).
+    assert!(distinct >= 12, "only {distinct} distinct sources");
+}
+
+#[test]
+fn source_key_is_fnv1a_128() {
+    // Pinned reference values so the hash can't drift silently (the
+    // committed artifact format and any future on-disk cache depend on it).
+    assert_eq!(source_key(""), 0x6C62272E07BB014262B821756295C58D);
+    // FNV-1a of "a": (offset ^ 0x61) * prime.
+    let expected = (0x6C62272E07BB014262B821756295C58Du128 ^ 0x61)
+        .wrapping_mul(0x0000000001000000000000000000013B);
+    assert_eq!(source_key("a"), expected);
+    assert_ne!(source_key("PROGRAM A"), source_key("PROGRAM B"));
+}
