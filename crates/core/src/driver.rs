@@ -1,4 +1,4 @@
-//! Concurrent, cached evaluation driver.
+//! Concurrent, cached, fault-isolated evaluation driver.
 //!
 //! The paper's evaluation (Table II, Figure 20) is a matrix of
 //! applications × three inlining configurations, each cell verified by the
@@ -16,7 +16,12 @@
 //!   source (conventional inlining that found nothing to inline, an empty
 //!   annotation registry) share one verification, saving two more runs;
 //! * **observability** — per-phase wall-clock, per-loop blocker counts,
-//!   and cache statistics are aggregated into a [`SuiteMetrics`] report.
+//!   and cache statistics are aggregated into a [`SuiteMetrics`] report;
+//! * **fault isolation** — a cell that fails (malformed input, a runtime
+//!   tester rejection, an op-budget deadline, even a residual panic) is
+//!   recorded as a [`PipelineError`] and the suite keeps going; every
+//!   shared lock recovers from poisoning, so one bad cell can never take
+//!   down its neighbours. See DESIGN.md's "Failure model".
 //!
 //! Concurrency never changes results: every cell is a pure function of its
 //! (program, registry, mode) inputs, the threaded verification run merges
@@ -24,16 +29,18 @@
 //! driver's output is byte-identical across worker counts (asserted by the
 //! `driver_determinism` integration tests).
 
-use crate::phase::{blocker_counts, CellMetrics, Phase, PhaseTimings, SuiteMetrics};
+use crate::error::{panic_message, FailCause, FailStage, PipelineError};
+use crate::phase::{blocker_counts, CellMetrics, FailureRecord, Phase, PhaseTimings, SuiteMetrics};
 use crate::pipeline::{compile_timed, InlineMode, PipelineOptions, PipelineResult};
 use crate::report::{table2_rows, Fig20Point, Table2Row};
-use crate::verify::{baseline_run, verify_with_baseline, VerifyResult};
+use crate::verify::{baseline_run_with, verify_with_baseline_using, VerifyResult};
 use finline::annot::AnnotRegistry;
 use fir::ast::Program;
-use fruntime::{simulate, tune, Machine, RunResult};
+use fruntime::{simulate, tune, ExecOptions, Machine, RunResult};
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// One application to evaluate: parsed program + annotation registry.
 #[derive(Debug, Clone)]
@@ -51,7 +58,8 @@ pub struct SuiteJob {
 pub struct DriverOptions {
     /// Worker threads (0 = one per available core).
     pub workers: usize,
-    /// Threads for the correctness-checking parallel runs.
+    /// Threads for the correctness-checking parallel runs (0 is clamped
+    /// to 1 — see [`DriverOptions::effective_verify_threads`]).
     pub verify_threads: usize,
     /// Machines simulated for Figure 20.
     pub machines: Vec<Machine>,
@@ -59,6 +67,16 @@ pub struct DriverOptions {
     pub baseline_memo: bool,
     /// Share verification across cells emitting byte-identical source.
     pub verify_cache: bool,
+    /// Per-interpreter-run op budget: the cell's deadline. A verification
+    /// that burns through this much work is degraded to a reported
+    /// [`FailCause::Timeout`] instead of running away with a worker.
+    pub verify_max_ops: u64,
+    /// Chaos seam: cells of applications named here panic deliberately at
+    /// the start of evaluation, to exercise the driver's `catch_unwind`
+    /// isolation boundary (used by the fault-isolation tests and the
+    /// chaos harness; empty in production).
+    #[doc(hidden)]
+    pub inject_panic: Vec<String>,
 }
 
 impl Default for DriverOptions {
@@ -69,6 +87,8 @@ impl Default for DriverOptions {
             machines: Vec::new(),
             baseline_memo: true,
             verify_cache: true,
+            verify_max_ops: ExecOptions::default().max_ops,
+            inject_panic: Vec::new(),
         }
     }
 }
@@ -84,6 +104,13 @@ impl DriverOptions {
                 .unwrap_or(1)
         }
     }
+
+    /// Resolved verification thread count: `verify_threads = 0` is a
+    /// configuration mistake, not a request for zero-thread execution —
+    /// clamp it to 1 rather than handing the executor an empty pool.
+    pub fn effective_verify_threads(&self) -> usize {
+        self.verify_threads.max(1)
+    }
 }
 
 /// Everything the driver produced for one application.
@@ -92,13 +119,25 @@ pub struct AppReport {
     /// Application name.
     pub name: String,
     /// The three Table II rows (no-inline / conventional / annotation).
+    /// Empty when any configuration failed — the rows compare the three
+    /// configurations against each other, so a missing cell makes the
+    /// whole comparison meaningless.
     pub rows: Vec<Table2Row>,
-    /// Figure 20 points (configurations × machines).
+    /// Figure 20 points (successful configurations × machines).
     pub fig20: Vec<Fig20Point>,
-    /// Verification results per configuration.
+    /// Verification results for the configurations that completed.
     pub verify: Vec<(InlineMode, VerifyResult)>,
-    /// The three pipeline results, for deeper inspection.
+    /// Pipeline results for the configurations that completed.
     pub results: Vec<(InlineMode, PipelineResult)>,
+    /// Structured failures for the configurations that did not.
+    pub failures: Vec<PipelineError>,
+}
+
+impl AppReport {
+    /// True when every configuration completed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
 }
 
 /// Driver output: per-app reports in suite order, plus suite metrics.
@@ -111,7 +150,14 @@ pub struct SuiteOutcome {
 }
 
 /// One finished matrix cell, parked until assembly.
-struct CellOutcome {
+enum CellOutcome {
+    /// The cell completed; payload boxed to keep the queue slot small.
+    Done(Box<CellDone>),
+    /// The cell failed; the suite degrades instead of dying.
+    Failed(PipelineError),
+}
+
+struct CellDone {
     result: PipelineResult,
     verify: VerifyResult,
     fig20: Vec<Fig20Point>,
@@ -121,8 +167,10 @@ struct CellOutcome {
 /// (application index, emitted-source hash) keying a shared verification
 /// slot. The 128-bit key replaces retained whole-source strings; at that
 /// width accidental collision over a suite corpus is not a practical
-/// concern ([`source_key`]).
-type VerifyCache = HashMap<(usize, u128), Arc<OnceLock<Arc<VerifyResult>>>>;
+/// concern ([`source_key`]). Failed verifications are shared exactly like
+/// successful ones: byte-identical source fails identically.
+type VerifySlot = OnceLock<Result<Arc<VerifyResult>, FailCause>>;
+type VerifyCache = HashMap<(usize, u128), Arc<VerifySlot>>;
 
 /// 128-bit FNV-1a over the emitted source, the verify-dedup cache key.
 pub fn source_key(source: &str) -> u128 {
@@ -136,13 +184,26 @@ pub fn source_key(source: &str) -> u128 {
     h
 }
 
+/// Lock acquisition that survives poisoning. A worker that panicked while
+/// holding one of the driver's locks already had its cell degraded by the
+/// `catch_unwind` boundary; the data under the lock is a plain value
+/// (queue entry / finished cell / cache slot) that is either intact or
+/// about to be overwritten, so recovery is safe — and losing the whole
+/// suite to a poisoned mutex is exactly the failure mode this driver
+/// exists to prevent.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Shared across workers for the duration of one suite run.
 struct Shared<'a> {
     jobs: &'a [SuiteJob],
     opts: &'a DriverOptions,
     queue: Mutex<VecDeque<(usize, usize)>>,
-    /// Per-app memoized baseline run of the original program.
-    baselines: Vec<OnceLock<Arc<RunResult>>>,
+    /// Per-app memoized baseline run of the original program. Failures
+    /// are memoized too: a baseline that cannot run fails all three of
+    /// the app's cells with the same diagnostic, paying for one run.
+    baselines: Vec<OnceLock<Arc<Result<RunResult, FailCause>>>>,
     /// (app, emitted source) → shared verification outcome.
     vcache: Mutex<VerifyCache>,
     /// Finished cells, indexed `app * 3 + mode`.
@@ -192,91 +253,149 @@ pub fn run_suite(jobs: &[SuiteJob], opts: &DriverOptions) -> SuiteOutcome {
 /// Evaluate a single application (a one-job suite).
 pub fn run_app(job: &SuiteJob, opts: &DriverOptions) -> (AppReport, SuiteMetrics) {
     let mut out = run_suite(std::slice::from_ref(job), opts);
-    (
-        out.apps.pop().expect("one job in, one report out"),
-        out.metrics,
-    )
+    let report = out.apps.pop().unwrap_or_else(|| {
+        // Structurally unreachable (assemble emits one report per job),
+        // but a missing report must degrade like any other fault instead
+        // of compounding into a second panic.
+        AppReport {
+            name: job.name.clone(),
+            rows: Vec::new(),
+            fig20: Vec::new(),
+            verify: Vec::new(),
+            results: Vec::new(),
+            failures: vec![PipelineError::pre_pipeline(
+                job.name.clone(),
+                FailStage::Driver,
+                FailCause::Panic("driver produced no report for the job".into()),
+            )],
+        }
+    });
+    (report, out.metrics)
 }
 
 fn worker_loop(shared: &Shared<'_>) {
     loop {
-        let cell = shared.queue.lock().expect("queue poisoned").pop_front();
+        let cell = lock_clean(&shared.queue).pop_front();
         let Some((app_idx, mode_idx)) = cell else {
             return;
         };
-        let outcome = evaluate_cell(shared, app_idx, InlineMode::all()[mode_idx]);
-        *shared.cells[app_idx * 3 + mode_idx]
-            .lock()
-            .expect("cell poisoned") = Some(outcome);
+        let mode = InlineMode::all()[mode_idx];
+        // Last-resort isolation boundary: `evaluate_cell` is panic-free
+        // for every fault we know how to classify; anything that still
+        // unwinds costs this one cell, not the worker or the suite.
+        let outcome = catch_unwind(AssertUnwindSafe(|| evaluate_cell(shared, app_idx, mode)))
+            .unwrap_or_else(|payload| {
+                CellOutcome::Failed(PipelineError::in_cell(
+                    shared.jobs[app_idx].name.clone(),
+                    mode,
+                    FailStage::Driver,
+                    FailCause::Panic(panic_message(&*payload)),
+                ))
+            });
+        *lock_clean(&shared.cells[app_idx * 3 + mode_idx]) = Some(outcome);
     }
 }
 
 fn evaluate_cell(shared: &Shared<'_>, app_idx: usize, mode: InlineMode) -> CellOutcome {
+    match evaluate_cell_inner(shared, app_idx, mode) {
+        Ok(done) => CellOutcome::Done(done),
+        Err(e) => CellOutcome::Failed(e),
+    }
+}
+
+fn evaluate_cell_inner(
+    shared: &Shared<'_>,
+    app_idx: usize,
+    mode: InlineMode,
+) -> Result<Box<CellDone>, PipelineError> {
     let job = &shared.jobs[app_idx];
     let opts = shared.opts;
     let mut timings = PhaseTimings::default();
+
+    if opts.inject_panic.iter().any(|n| n == &job.name) {
+        panic!("injected fault for {}", job.name);
+    }
 
     let result = compile_timed(
         &job.program,
         &job.registry,
         &PipelineOptions::for_mode(mode),
         &mut timings,
-    );
+    )
+    .map_err(|d| PipelineError::in_cell(&job.name, mode, FailStage::Compile, FailCause::Diag(d)))?;
+
+    let max_ops = opts.verify_max_ops;
+    let base_opts = ExecOptions {
+        max_ops,
+        ..Default::default()
+    };
+    let par_opts = ExecOptions {
+        threads: opts.effective_verify_threads(),
+        max_ops,
+        ..Default::default()
+    };
 
     let mut cell_runs = 0u64;
     let mut verify_cached = false;
-    let verify = timings.time(Phase::Verify, || {
+    let verify: Result<Arc<VerifyResult>, PipelineError> = timings.time(Phase::Verify, || {
         // Gate 1 baseline: the original program's run, memoized per app.
-        let base: Arc<RunResult> = if opts.baseline_memo {
+        // The run is guarded: an `Err` or a panic is memoized as the
+        // app-wide baseline failure, never a poisoned `OnceLock`.
+        let run_baseline = |runs: &mut u64| -> Arc<Result<RunResult, FailCause>> {
+            shared.interp_runs.fetch_add(1, Ordering::Relaxed);
+            *runs += 1;
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                baseline_run_with(&job.program, &base_opts)
+            }));
+            Arc::new(match out {
+                Ok(Ok(r)) => Ok(r),
+                Ok(Err(e)) if e.is_budget() => Err(FailCause::Timeout { max_ops }),
+                Ok(Err(e)) => Err(FailCause::Runtime(e)),
+                Err(payload) => Err(FailCause::Panic(panic_message(&*payload))),
+            })
+        };
+        let base: Arc<Result<RunResult, FailCause>> = if opts.baseline_memo {
             if shared.baselines[app_idx].get().is_some() {
                 shared.memo_hits.fetch_add(1, Ordering::Relaxed);
             }
             shared.baselines[app_idx]
-                .get_or_init(|| {
-                    shared.interp_runs.fetch_add(1, Ordering::Relaxed);
-                    cell_runs += 1;
-                    Arc::new(baseline_run(&job.program).unwrap_or_else(|e| {
-                        panic!(
-                            "{} [{}]: runtime tester failed: {e}",
-                            job.name,
-                            mode.label()
-                        )
-                    }))
-                })
+                .get_or_init(|| run_baseline(&mut cell_runs))
                 .clone()
         } else {
-            shared.interp_runs.fetch_add(1, Ordering::Relaxed);
-            cell_runs += 1;
-            Arc::new(baseline_run(&job.program).unwrap_or_else(|e| {
-                panic!(
-                    "{} [{}]: runtime tester failed: {e}",
-                    job.name,
-                    mode.label()
-                )
-            }))
+            run_baseline(&mut cell_runs)
+        };
+        let base = match &*base {
+            Ok(r) => r,
+            Err(cause) => {
+                return Err(PipelineError::in_cell(
+                    &job.name,
+                    mode,
+                    FailStage::Baseline,
+                    cause.clone(),
+                ))
+            }
         };
 
-        let run_verify = |runs: &mut u64| -> Arc<VerifyResult> {
+        let run_verify = |runs: &mut u64| -> Result<Arc<VerifyResult>, FailCause> {
             shared.interp_runs.fetch_add(2, Ordering::Relaxed);
             *runs += 2;
-            Arc::new(
-                verify_with_baseline(&base, &result.program, opts.verify_threads).unwrap_or_else(
-                    |e| {
-                        panic!(
-                            "{} [{}]: runtime tester failed: {e}",
-                            job.name,
-                            mode.label()
-                        )
-                    },
-                ),
-            )
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                verify_with_baseline_using(base, &result.program, &par_opts)
+            }));
+            match out {
+                Ok(Ok(v)) => Ok(Arc::new(v)),
+                Ok(Err(e)) if e.is_budget() => Err(FailCause::Timeout { max_ops }),
+                Ok(Err(e)) => Err(FailCause::Runtime(e)),
+                Err(payload) => Err(FailCause::Panic(panic_message(&*payload))),
+            }
         };
 
-        if opts.verify_cache {
+        let verified = if opts.verify_cache {
             // Byte-identical emitted source ⇒ identical verification (the
-            // baseline is fixed per app, the interpreter deterministic).
+            // baseline is fixed per app, the interpreter deterministic) —
+            // identical failures included.
             let slot = {
-                let mut map = shared.vcache.lock().expect("vcache poisoned");
+                let mut map = lock_clean(&shared.vcache);
                 map.entry((app_idx, source_key(&result.source)))
                     .or_insert_with(|| Arc::new(OnceLock::new()))
                     .clone()
@@ -295,8 +414,10 @@ fn evaluate_cell(shared: &Shared<'_>, app_idx: usize, mode: InlineMode) -> CellO
             v
         } else {
             run_verify(&mut cell_runs)
-        }
+        };
+        verified.map_err(|cause| PipelineError::in_cell(&job.name, mode, FailStage::Verify, cause))
     });
+    let verify = verify?;
 
     // Figure 20: simulate each machine with empirical tuning, from the
     // verification's sequential run (no extra interpreter run).
@@ -324,12 +445,12 @@ fn evaluate_cell(shared: &Shared<'_>, app_idx: usize, mode: InlineMode) -> CellO
         phases: timings,
     };
 
-    CellOutcome {
+    Ok(Box::new(CellDone {
         result,
         verify: (*verify).clone(),
         fig20,
         metrics,
-    }
+    }))
 }
 
 fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> SuiteOutcome {
@@ -344,31 +465,59 @@ fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> Su
 
     let mut apps = Vec::with_capacity(shared.jobs.len());
     let mut cells = shared.cells.into_iter();
-    for (app_idx, job) in shared.jobs.iter().enumerate() {
-        let _ = app_idx;
+    for job in shared.jobs.iter() {
         let mut results = Vec::with_capacity(3);
         let mut verifies = Vec::with_capacity(3);
         let mut fig20 = Vec::new();
+        let mut failures = Vec::new();
         for mode in InlineMode::all() {
-            let cell = cells
+            // A missing or never-written cell (a worker died outside the
+            // isolation boundary) degrades to a recorded failure — it must
+            // not compound into a second panic at assembly.
+            let outcome = cells
                 .next()
-                .expect("cell per (app, mode)")
-                .into_inner()
-                .expect("cell poisoned")
-                .expect("worker finished every queued cell");
-            metrics.phases.merge(&cell.metrics.phases);
-            metrics.cells.push(cell.metrics);
-            fig20.extend(cell.fig20);
-            verifies.push((mode, cell.verify));
-            results.push((mode, cell.result));
+                .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+                .and_then(|slot| slot)
+                .unwrap_or_else(|| {
+                    CellOutcome::Failed(PipelineError::in_cell(
+                        job.name.clone(),
+                        mode,
+                        FailStage::Driver,
+                        FailCause::Panic("worker died before completing this cell".into()),
+                    ))
+                });
+            match outcome {
+                CellOutcome::Done(done) => {
+                    metrics.phases.merge(&done.metrics.phases);
+                    metrics.cells.push(done.metrics);
+                    fig20.extend(done.fig20);
+                    verifies.push((mode, done.verify));
+                    results.push((mode, done.result));
+                }
+                CellOutcome::Failed(e) => {
+                    metrics.failed_cells += 1;
+                    if e.is_timeout() {
+                        metrics.timed_out_cells += 1;
+                    }
+                    metrics.failures.push(FailureRecord::from_error(&e));
+                    failures.push(e);
+                }
+            }
         }
-        let rows = table2_rows(&job.name, &results[0].1, &results[1].1, &results[2].1);
+        // Table II rows compare the three configurations; they only exist
+        // when all three cells completed.
+        let rows = if failures.is_empty() && results.len() == 3 {
+            table2_rows(&job.name, &results[0].1, &results[1].1, &results[2].1)
+        } else {
+            Vec::new()
+        };
         apps.push(AppReport {
             name: job.name.clone(),
             rows,
             fig20,
             verify: verifies,
             results,
+            failures,
         });
     }
 
@@ -452,10 +601,12 @@ mod tests {
         let out = run_suite(&[j], &opts);
         assert_eq!(out.apps.len(), 1);
         let app = &out.apps[0];
+        assert!(app.ok());
         assert_eq!(app.rows.len(), 3);
         assert_eq!(app.fig20.len(), 3); // 3 configs × 1 machine
         assert!(app.verify.iter().all(|(_, v)| v.ok()));
         assert_eq!(out.metrics.cells.len(), 3);
+        assert_eq!(out.metrics.failed_cells, 0);
         // Every phase was exercised at least once across the cells.
         for p in Phase::ALL {
             assert!(out.metrics.phases.count_of(p) > 0, "{p:?} never recorded");
@@ -489,5 +640,65 @@ mod tests {
                 assert_eq!(x.source, y.source);
             }
         }
+    }
+
+    #[test]
+    fn verify_threads_zero_is_clamped() {
+        let opts = DriverOptions {
+            verify_threads: 0,
+            ..Default::default()
+        };
+        assert_eq!(opts.effective_verify_threads(), 1);
+        // And the whole cell still evaluates.
+        let j = job("T", SRC, "");
+        let (report, _) = run_app(
+            &j,
+            &DriverOptions {
+                workers: 1,
+                verify_threads: 0,
+                ..Default::default()
+            },
+        );
+        assert!(report.ok(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn injected_panic_degrades_one_app_not_the_suite() {
+        let jobs = vec![job("GOOD", SRC, ""), job("BAD", SRC, "")];
+        let opts = DriverOptions {
+            workers: 2,
+            inject_panic: vec!["BAD".into()],
+            ..Default::default()
+        };
+        let out = run_suite(&jobs, &opts);
+        assert_eq!(out.apps.len(), 2);
+        assert!(out.apps[0].ok());
+        assert_eq!(out.apps[0].rows.len(), 3);
+        let bad = &out.apps[1];
+        assert!(!bad.ok());
+        assert_eq!(bad.failures.len(), 3);
+        assert!(bad.rows.is_empty());
+        for f in &bad.failures {
+            assert_eq!(f.stage, FailStage::Driver);
+            assert!(matches!(&f.cause, FailCause::Panic(m) if m.contains("injected")));
+        }
+        assert_eq!(out.metrics.failed_cells, 3);
+        assert_eq!(out.metrics.failures.len(), 3);
+    }
+
+    #[test]
+    fn runaway_verification_times_out_instead_of_hanging() {
+        // A deadline so small even this tiny program exceeds it.
+        let j = job("T", SRC, "");
+        let opts = DriverOptions {
+            workers: 1,
+            verify_max_ops: 10,
+            ..Default::default()
+        };
+        let (report, metrics) = run_app(&j, &opts);
+        assert!(!report.ok());
+        assert!(report.failures.iter().all(|f| f.is_timeout()), "{report:?}");
+        assert_eq!(metrics.failed_cells, 3);
+        assert_eq!(metrics.timed_out_cells, 3);
     }
 }

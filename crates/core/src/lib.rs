@@ -41,6 +41,7 @@
 //! ```
 
 pub mod driver;
+pub mod error;
 pub mod phase;
 pub mod pipeline;
 pub mod report;
@@ -49,12 +50,14 @@ pub mod verify;
 pub use driver::{
     run_app, run_suite, source_key, AppReport, DriverOptions, SuiteJob, SuiteOutcome,
 };
-pub use phase::{blocker_counts, CellMetrics, Phase, PhaseTimings, SuiteMetrics};
+pub use error::{FailCause, FailStage, PipelineError};
+pub use phase::{blocker_counts, CellMetrics, FailureRecord, Phase, PhaseTimings, SuiteMetrics};
 pub use pipeline::{compile, compile_timed, InlineMode, PipelineOptions, PipelineResult};
 pub use report::{
     extra_loops, lost_loops, render_fig20, render_table2, table2_rows, totals_for, Fig20Point,
     Table2Row, Table2Totals,
 };
 pub use verify::{
-    baseline_run, verify, verify_with_baseline, verify_with_baseline_using, VerifyResult,
+    baseline_run, baseline_run_with, verify, verify_with_baseline, verify_with_baseline_using,
+    VerifyResult,
 };

@@ -186,6 +186,46 @@ impl CellMetrics {
     }
 }
 
+/// One failed cell, flattened for reporting (the structured original is
+/// [`crate::error::PipelineError`] on the owning [`crate::driver::AppReport`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureRecord {
+    /// Application name.
+    pub app: String,
+    /// Configuration label, or `"-"` for mode-independent failures.
+    pub config: String,
+    /// Failed stage label (`parse` / `compile` / `baseline` / ...).
+    pub stage: String,
+    /// True when the cell hit its op-budget deadline rather than erroring.
+    pub timeout: bool,
+    /// One-line cause description.
+    pub message: String,
+}
+
+impl FailureRecord {
+    /// Flatten a structured pipeline error.
+    pub fn from_error(e: &crate::error::PipelineError) -> Self {
+        FailureRecord {
+            app: e.app.clone(),
+            config: e.mode.map(|m| m.label()).unwrap_or("-").to_string(),
+            stage: e.stage.label().to_string(),
+            timeout: e.is_timeout(),
+            message: e.cause_message(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"app\":{},\"config\":{},\"stage\":{},\"timeout\":{},\"message\":{}}}",
+            quote(&self.app),
+            quote(&self.config),
+            quote(&self.stage),
+            self.timeout,
+            quote(&self.message)
+        )
+    }
+}
+
 /// Whole-suite metrics: what the driver measured while evaluating.
 #[derive(Debug, Clone, Default)]
 pub struct SuiteMetrics {
@@ -199,25 +239,35 @@ pub struct SuiteMetrics {
     pub baseline_memo_hits: u64,
     /// Verifications served from the emitted-source dedup cache.
     pub verify_cache_hits: u64,
+    /// Cells that failed (any cause, timeouts included).
+    pub failed_cells: u64,
+    /// The subset of failed cells that hit the op-budget deadline.
+    pub timed_out_cells: u64,
     /// Aggregate per-phase wall-clock across every cell.
     pub phases: PhaseTimings,
     /// One entry per (application × configuration) cell, suite order.
     pub cells: Vec<CellMetrics>,
+    /// One entry per failed cell, suite order.
+    pub failures: Vec<FailureRecord>,
 }
 
 impl SuiteMetrics {
     /// Serialize the full report as a JSON object.
     pub fn to_json(&self) -> String {
         let cells: Vec<String> = self.cells.iter().map(|c| c.to_json()).collect();
+        let failures: Vec<String> = self.failures.iter().map(|f| f.to_json()).collect();
         format!(
-            "{{\"workers\":{},\"wall_ns\":{},\"interp_runs\":{},\"baseline_memo_hits\":{},\"verify_cache_hits\":{},\"phases\":{},\"cells\":[{}]}}",
+            "{{\"workers\":{},\"wall_ns\":{},\"interp_runs\":{},\"baseline_memo_hits\":{},\"verify_cache_hits\":{},\"failed_cells\":{},\"timed_out_cells\":{},\"phases\":{},\"cells\":[{}],\"failures\":[{}]}}",
             self.workers,
             self.wall_nanos,
             self.interp_runs,
             self.baseline_memo_hits,
             self.verify_cache_hits,
+            self.failed_cells,
+            self.timed_out_cells,
             self.phases.to_json(),
-            cells.join(",")
+            cells.join(","),
+            failures.join(",")
         )
     }
 
@@ -293,11 +343,21 @@ mod tests {
             interp_runs: 3,
             verify_cached: false,
         });
+        m.failed_cells = 1;
+        m.failures.push(FailureRecord {
+            app: "QCD".into(),
+            config: "annotation".into(),
+            stage: "verify".into(),
+            timeout: true,
+            message: "verification exceeded the op-budget deadline".into(),
+        });
         let j = m.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"workers\":4"));
         assert!(j.contains("\"app\":\"ADM\""));
         assert!(j.contains("\"call\":3"));
+        assert!(j.contains("\"failed_cells\":1"));
+        assert!(j.contains("\"timeout\":true"));
         // Balanced braces/brackets (cheap well-formedness check).
         let open = j.matches('{').count();
         let close = j.matches('}').count();

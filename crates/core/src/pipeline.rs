@@ -128,6 +128,11 @@ impl PipelineResult {
 
 /// Run the full pipeline on `input` under `opts`, using `annotations` when
 /// the mode calls for them.
+///
+/// This is the trusted-input entry point: a stage failure (which only a
+/// malformed program can provoke) panics with the underlying diagnostic.
+/// Fault-isolated callers — the suite driver, the chaos harness — use
+/// [`compile_timed`] and handle the `Err` instead.
 pub fn compile(
     input: &Program,
     annotations: &AnnotRegistry,
@@ -139,49 +144,79 @@ pub fn compile(
         opts,
         &mut crate::phase::PhaseTimings::default(),
     )
+    .unwrap_or_else(|e| panic!("pipeline failed: {e}"))
+}
+
+/// Run `f` as one pipeline stage: a panic inside the stage is caught and
+/// converted into a located-as-well-as-possible transform diagnostic, so
+/// malformed input degrades to an `Err` instead of unwinding through the
+/// driver. The half-mutated program is discarded with the error.
+fn stage<T>(
+    phase: crate::phase::Phase,
+    f: impl FnOnce() -> T,
+) -> std::result::Result<T, fir::diag::Error> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        fir::diag::Error::transform(format!(
+            "{} stage panicked: {}",
+            phase.label(),
+            crate::error::panic_message(&*payload)
+        ))
+    })
 }
 
 /// [`compile`], with each stage's wall-clock attributed to its
 /// [`Phase`](crate::phase::Phase) in `timings` (the driver's
-/// observability layer). `compile` itself is this with a discarded
-/// recorder — the instrumentation is a few `Instant::now` calls per
-/// compile, far below measurement noise.
+/// observability layer), and every stage fault — panics included —
+/// surfaced as a structured diagnostic instead of unwinding. `compile`
+/// itself is this with a discarded recorder and a panicking error path —
+/// the instrumentation is a few `Instant::now` calls per compile, far
+/// below measurement noise.
 pub fn compile_timed(
     input: &Program,
     annotations: &AnnotRegistry,
     opts: &PipelineOptions,
     timings: &mut crate::phase::PhaseTimings,
-) -> PipelineResult {
+) -> std::result::Result<PipelineResult, fir::diag::Error> {
     use crate::phase::Phase;
 
     let mut p = input.clone();
-    timings.time(Phase::Normalize, || normalize_program(&mut p));
+    timings.time(Phase::Normalize, || {
+        stage(Phase::Normalize, || normalize_program(&mut p))
+    })?;
 
     let mut conv_report = None;
     let mut annot_report = None;
-    timings.time(Phase::Inline, || match opts.mode {
-        InlineMode::None => {}
-        InlineMode::Conventional => {
-            conv_report = Some(conventional::inline_program(&mut p, &opts.heuristics));
-        }
-        InlineMode::Annotation => {
-            annot_report = Some(annot_inline::apply(&mut p, annotations));
-        }
-    });
+    timings.time(Phase::Inline, || {
+        stage(Phase::Inline, || match opts.mode {
+            InlineMode::None => {}
+            InlineMode::Conventional => {
+                conv_report = Some(conventional::inline_program(&mut p, &opts.heuristics));
+            }
+            InlineMode::Annotation => {
+                annot_report = Some(annot_inline::apply(&mut p, annotations));
+            }
+        })
+    })?;
 
-    let par_report = timings.time(Phase::Parallelize, || parallelize(&mut p, &opts.par));
+    let par_report = timings.time(Phase::Parallelize, || {
+        stage(Phase::Parallelize, || parallelize(&mut p, &opts.par))
+    })?;
 
-    let reverse_report = timings.time(Phase::ReverseInline, || match opts.mode {
-        InlineMode::Annotation => Some(reverse::apply(&mut p, annotations)),
-        _ => None,
-    });
+    let reverse_report = timings.time(Phase::ReverseInline, || {
+        stage(Phase::ReverseInline, || match opts.mode {
+            InlineMode::Annotation => Some(reverse::apply(&mut p, annotations)),
+            _ => None,
+        })
+    })?;
 
     let (source, loc) = timings.time(Phase::Print, || {
-        let source = fir::print_program(&p);
-        let loc = fir::count_loc(&source);
-        (source, loc)
-    });
-    PipelineResult {
+        stage(Phase::Print, || {
+            let source = fir::print_program(&p);
+            let loc = fir::count_loc(&source);
+            (source, loc)
+        })
+    })?;
+    Ok(PipelineResult {
         program: p,
         par_report,
         conv_report,
@@ -189,7 +224,7 @@ pub fn compile_timed(
         reverse_report,
         source,
         loc,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -46,7 +46,17 @@ impl VerifyResult {
 /// so the driver memoizes this per application and shares it across the
 /// three inlining configurations ([`verify_with_baseline`]).
 pub fn baseline_run(original: &Program) -> Result<fruntime::RunResult, RtError> {
-    run(original, &ExecOptions::default())
+    baseline_run_with(original, &ExecOptions::default())
+}
+
+/// [`baseline_run`] with explicit executor options — the driver passes a
+/// reduced `max_ops` so a runaway original program hits the per-cell
+/// deadline instead of hanging a worker.
+pub fn baseline_run_with(
+    original: &Program,
+    opts: &ExecOptions,
+) -> Result<fruntime::RunResult, RtError> {
+    run(original, opts)
 }
 
 /// Verify `optimized` against an already-computed baseline run of the
@@ -80,6 +90,9 @@ pub fn verify_with_baseline_using(
     let seq_opts = ExecOptions {
         check_races: true,
         engine: par_opts.engine,
+        // The caller's op budget is the cell's deadline; it must bound the
+        // sequential gate run too, not just the threaded one.
+        max_ops: par_opts.max_ops,
         ..Default::default()
     };
     let (seq, par) = match par_opts.engine {

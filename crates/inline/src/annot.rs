@@ -73,6 +73,7 @@ impl AnnotRegistry {
         let mut p = P {
             toks,
             pos: 0,
+            last_span: Span::SYNTH,
             op_counter: 0,
             loop_counter: 0,
             sub: String::new(),
@@ -132,10 +133,12 @@ enum T {
     Eof,
 }
 
-fn lex(src: &str) -> Result<Vec<T>> {
+/// Tokens are paired with their source [`Span`] so every parser
+/// diagnostic can point at the offending annotation line.
+fn lex(src: &str) -> Result<Vec<(T, Span)>> {
     let b = src.as_bytes();
     let mut i = 0;
-    let mut out = Vec::new();
+    let mut out: Vec<(T, Span)> = Vec::new();
     let mut line = 1u32;
     while i < b.len() {
         let c = b[i];
@@ -160,10 +163,13 @@ fn lex(src: &str) -> Result<Vec<T>> {
                 while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
-                out.push(T::Id(
-                    std::str::from_utf8(&b[start..i])
-                        .unwrap()
-                        .to_ascii_uppercase(),
+                out.push((
+                    T::Id(
+                        std::str::from_utf8(&b[start..i])
+                            .unwrap()
+                            .to_ascii_uppercase(),
+                    ),
+                    Span::new(start as u32, i as u32, line),
                 ));
             }
             b'0'..=b'9' => {
@@ -198,21 +204,24 @@ fn lex(src: &str) -> Result<Vec<T>> {
                     }
                 }
                 let text = std::str::from_utf8(&b[start..i]).unwrap();
+                let span = Span::new(start as u32, i as u32, line);
                 if is_real {
                     let norm = text.replace(['D', 'd'], "E");
-                    out.push(T::Real(norm.parse().map_err(|_| {
-                        Error::lex(
-                            format!("bad number '{text}'"),
-                            Span::new(start as u32, i as u32, line),
-                        )
-                    })?));
+                    out.push((
+                        T::Real(
+                            norm.parse()
+                                .map_err(|_| Error::lex(format!("bad number '{text}'"), span))?,
+                        ),
+                        span,
+                    ));
                 } else {
-                    out.push(T::Int(text.parse().map_err(|_| {
-                        Error::lex(
-                            format!("bad number '{text}'"),
-                            Span::new(start as u32, i as u32, line),
-                        )
-                    })?));
+                    out.push((
+                        T::Int(
+                            text.parse()
+                                .map_err(|_| Error::lex(format!("bad number '{text}'"), span))?,
+                        ),
+                        span,
+                    ));
                 }
             }
             _ => {
@@ -255,12 +264,13 @@ fn lex(src: &str) -> Result<Vec<T>> {
                                 i += 1;
                             }
                             let text = std::str::from_utf8(&b[start..i]).unwrap();
-                            out.push(T::Real(text.parse().map_err(|_| {
-                                Error::lex(
-                                    format!("bad number '{text}'"),
-                                    Span::new(start as u32, i as u32, line),
-                                )
-                            })?));
+                            let span = Span::new(start as u32, i as u32, line);
+                            out.push((
+                                T::Real(text.parse().map_err(|_| {
+                                    Error::lex(format!("bad number '{text}'"), span)
+                                })?),
+                                span,
+                            ));
                             continue;
                         }
                         _ => {
@@ -271,12 +281,12 @@ fn lex(src: &str) -> Result<Vec<T>> {
                         }
                     },
                 };
-                out.push(tok);
+                out.push((tok, Span::new(i as u32, (i + n) as u32, line)));
                 i += n;
             }
         }
     }
-    out.push(T::Eof);
+    out.push((T::Eof, Span::new(b.len() as u32, b.len() as u32, line)));
     Ok(out)
 }
 
@@ -285,8 +295,11 @@ fn lex(src: &str) -> Result<Vec<T>> {
 // ---------------------------------------------------------------------------
 
 struct P {
-    toks: Vec<T>,
+    toks: Vec<(T, Span)>,
     pos: usize,
+    /// Span of the most recently consumed token (error anchor for
+    /// diagnostics raised after a `bump`).
+    last_span: Span,
     /// Allocator for unknown/unique operator ids, per subroutine.
     op_counter: u32,
     /// Allocator for annotation loop ids, per subroutine.
@@ -296,7 +309,11 @@ struct P {
 
 impl P {
     fn peek(&self) -> &T {
-        &self.toks[self.pos.min(self.toks.len() - 1)]
+        &self.toks[self.pos.min(self.toks.len() - 1)].0
+    }
+
+    fn peek_span(&self) -> Span {
+        self.toks[self.pos.min(self.toks.len() - 1)].1
     }
 
     fn at(&self, t: &T) -> bool {
@@ -304,7 +321,8 @@ impl P {
     }
 
     fn bump(&mut self) -> T {
-        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        let (t, span) = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        self.last_span = span;
         if self.pos < self.toks.len() {
             self.pos += 1;
         }
@@ -327,7 +345,7 @@ impl P {
         } else {
             Err(Error::parse(
                 format!("annotation: expected {t:?}, found {:?}", self.peek()),
-                Span::SYNTH,
+                self.peek_span(),
             ))
         }
     }
@@ -337,7 +355,7 @@ impl P {
             T::Id(s) => Ok(s),
             other => Err(Error::parse(
                 format!("annotation: expected identifier, found {other:?}"),
-                Span::SYNTH,
+                self.last_span,
             )),
         }
     }
@@ -348,7 +366,7 @@ impl P {
             other => {
                 return Err(Error::parse(
                     format!("annotation: expected 'subroutine', found {other:?}"),
-                    Span::SYNTH,
+                    self.last_span,
                 ))
             }
         }
@@ -690,6 +708,7 @@ impl P {
                 Ok(e)
             }
             T::Id(name) => {
+                let name_span = self.last_span;
                 if self.eat(&T::LBrack) {
                     let secs = self.sections()?;
                     self.expect(T::RBrack)?;
@@ -720,7 +739,7 @@ impl P {
                             None => {
                                 return Err(Error::parse(
                                     format!("annotation: unknown function '{name}'"),
-                                    Span::SYNTH,
+                                    name_span,
                                 ))
                             }
                         },
@@ -730,7 +749,7 @@ impl P {
             }
             other => Err(Error::parse(
                 format!("annotation: unexpected {other:?}"),
-                Span::SYNTH,
+                self.last_span,
             )),
         }
     }
@@ -917,6 +936,22 @@ subroutine M(A) { # trailing style
     #[test]
     fn unknown_function_is_error() {
         assert!(AnnotRegistry::parse("subroutine N(A) { A[1] = frobnicate(2); }").is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let err =
+            AnnotRegistry::parse("subroutine N(A) {\n  A[1] = frobnicate(2);\n}").unwrap_err();
+        assert!(!err.span.is_synthetic());
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let err = AnnotRegistry::parse("subroutine P(A) {\n  A[1] = ;\n}").unwrap_err();
+        assert!(!err.span.is_synthetic());
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let err = AnnotRegistry::parse("subroutine Q(A) {\n  A[1 = 0.0;\n}").unwrap_err();
+        assert!(!err.span.is_synthetic());
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

@@ -35,12 +35,16 @@ pub struct AppEvaluation {
     pub verify: Vec<(InlineMode, VerifyResult)>,
     /// The three pipeline results, for deeper inspection.
     pub results: Vec<(InlineMode, PipelineResult)>,
+    /// Structured failures for configurations that did not complete
+    /// (empty on the healthy path).
+    pub failures: Vec<ipp_core::PipelineError>,
 }
 
 impl AppEvaluation {
-    /// True when every configuration passed both runtime-tester gates.
+    /// True when every configuration completed and passed both
+    /// runtime-tester gates.
     pub fn all_verified(&self) -> bool {
-        self.verify.iter().all(|(_, v)| v.ok())
+        self.failures.is_empty() && self.verify.iter().all(|(_, v)| v.ok())
     }
 }
 
@@ -77,6 +81,7 @@ fn from_report(app: &App, report: AppReport) -> AppEvaluation {
         fig20: report.fig20,
         verify: report.verify,
         results: report.results,
+        failures: report.failures,
     }
 }
 
@@ -175,6 +180,7 @@ pub fn evaluate_app_serial(app: &App, machines: &[Machine]) -> AppEvaluation {
         fig20,
         verify: verifies,
         results,
+        failures: Vec::new(),
     }
 }
 

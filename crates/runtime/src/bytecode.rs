@@ -984,7 +984,7 @@ fn exec_value(
         Insn::Tick(n) => {
             st.ops += n;
             if st.ops > budget {
-                return Err(RtError::new("op budget exhausted (possible runaway loop)"));
+                return Err(RtError::budget());
             }
         }
         Insn::PushI(v) => st.stack.push(Scalar::I(*v)),
@@ -1302,7 +1302,7 @@ fn run_frame(
                     }
                     st.ops += 1;
                     if st.ops > max_ops {
-                        return Err(RtError::new("op budget exhausted (possible runaway loop)"));
+                        return Err(RtError::budget());
                     }
                 }
             }

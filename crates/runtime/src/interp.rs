@@ -155,16 +155,44 @@ impl RunResult {
     }
 }
 
+/// What class of runtime failure an [`RtError`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtErrorKind {
+    /// Semantic failure (bad extent, undefined unit, subscript range...).
+    General,
+    /// The [`ExecOptions::max_ops`] fuel ran out — the run was cut off,
+    /// not proven wrong. Callers treat this as a deadline/timeout.
+    Budget,
+}
+
 /// Runtime error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RtError {
     /// What happened.
     pub message: String,
+    /// Failure class (semantic error vs. exhausted op budget).
+    pub kind: RtErrorKind,
 }
 
 impl RtError {
     pub(crate) fn new(m: impl Into<String>) -> RtError {
-        RtError { message: m.into() }
+        RtError {
+            message: m.into(),
+            kind: RtErrorKind::General,
+        }
+    }
+
+    pub(crate) fn budget() -> RtError {
+        RtError {
+            message: "op budget exhausted (possible runaway loop)".into(),
+            kind: RtErrorKind::Budget,
+        }
+    }
+
+    /// True when the run was aborted by the op-budget fuel rather than a
+    /// semantic error.
+    pub fn is_budget(&self) -> bool {
+        self.kind == RtErrorKind::Budget
     }
 }
 
@@ -535,7 +563,7 @@ impl<'a> Interp<'a> {
     fn tick(&mut self, n: u64) -> Result<(), RtError> {
         self.st.ops += n;
         if self.st.ops > self.opts.max_ops {
-            return Err(RtError::new("op budget exhausted (possible runaway loop)"));
+            return Err(RtError::budget());
         }
         Ok(())
     }

@@ -26,5 +26,7 @@ pub mod memory;
 
 pub use bytecode::{compile, run_compiled, CompiledProgram};
 pub use cost::{simulate, tune, Machine, SimResult};
-pub use interp::{run, Engine, ExecOptions, ParLoopEvent, RaceViolation, RtError, RunResult};
+pub use interp::{
+    run, Engine, ExecOptions, ParLoopEvent, RaceViolation, RtError, RtErrorKind, RunResult,
+};
 pub use memory::{Memory, Scalar, Slot, View};

@@ -1,0 +1,55 @@
+//! Bounded fault-injection smoke: a fixed-seed slice of the chaos
+//! campaign runs inside the tier-1 suite, so "bad input degrades, never
+//! detonates" is checked on every push, not just when someone remembers
+//! to run the full harness. The big campaigns (thousands of mutants,
+//! release build) live in the `chaos` binary and the CI chaos job.
+
+use chaos::{run_campaign, CampaignOptions};
+
+#[test]
+fn fixed_seed_campaign_has_no_panics_and_located_rejections() {
+    let opts = CampaignOptions {
+        seed: 0x1CB2011,
+        mutants: 150,
+        threads: 0,
+        // Debug-build interpreter: keep the per-run deadline tight so
+        // runaway mutants die in milliseconds.
+        max_ops: 300_000,
+    };
+    let stats = run_campaign(&opts);
+    assert_eq!(stats.mutants, 150);
+    assert!(
+        stats.passed(),
+        "panics: {:?}\nunlocated: {:?}",
+        stats.panics,
+        stats.unlocated
+    );
+    // The campaign must actually exercise both sides of the pipeline:
+    // some mutants rejected at parse, some surviving into the driver.
+    assert!(stats.rejected > 0, "{stats:?}");
+    assert!(
+        stats.accepted_clean + stats.accepted_degraded > 0,
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn campaign_is_deterministic_across_thread_counts() {
+    let base = CampaignOptions {
+        seed: 7,
+        mutants: 60,
+        threads: 1,
+        max_ops: 200_000,
+    };
+    let a = run_campaign(&base);
+    let b = run_campaign(&CampaignOptions {
+        threads: 4,
+        ..base.clone()
+    });
+    assert_eq!(a.mutants, b.mutants);
+    assert_eq!(a.accepted_clean, b.accepted_clean);
+    assert_eq!(a.accepted_degraded, b.accepted_degraded);
+    assert_eq!(a.rejected, b.rejected);
+    assert_eq!(a.timeouts, b.timeouts);
+    assert_eq!(a.per_mutation, b.per_mutation);
+}

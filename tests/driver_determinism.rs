@@ -83,3 +83,64 @@ fn concurrent_driver_is_byte_identical_to_single_worker() {
         assert_eq!(metrics.workers, workers);
     }
 }
+
+#[test]
+fn poisoned_job_degrades_alone_at_every_worker_count() {
+    // Fault isolation: one job whose cells panic (injected through the
+    // driver's chaos seam) must cost exactly that job. The other eleven
+    // applications' reports stay byte-identical to a healthy-only run,
+    // whatever the worker count.
+    let machines = [Machine::intel8()];
+    let healthy_opts = DriverOptions {
+        workers: 1,
+        ..driver_options(&machines)
+    };
+    let (healthy, healthy_metrics) = evaluate_suite_with_metrics(&machines, &healthy_opts);
+    assert_eq!(healthy_metrics.failed_cells, 0);
+
+    for workers in [1, 2, 8] {
+        let opts = DriverOptions {
+            workers,
+            inject_panic: vec!["QCD".into()],
+            ..driver_options(&machines)
+        };
+        let (evals, metrics) = evaluate_suite_with_metrics(&machines, &opts);
+        assert_eq!(evals.len(), 12);
+        assert_eq!(metrics.failed_cells, 3, "{workers} workers");
+        assert_eq!(metrics.failures.len(), 3, "{workers} workers");
+        assert!(metrics.failures.iter().all(|f| f.app == "QCD"));
+
+        for (h, e) in healthy.iter().zip(&evals) {
+            if h.name == "QCD" {
+                assert!(!e.all_verified());
+                assert_eq!(e.failures.len(), 3);
+                assert!(e.rows.is_empty(), "no Table II rows for a failed app");
+                for f in &e.failures {
+                    assert!(
+                        matches!(&f.cause, ipp_core::FailCause::Panic(m) if m.contains("injected")),
+                        "{f}"
+                    );
+                }
+            } else {
+                assert!(
+                    e.failures.is_empty(),
+                    "{}: healthy app degraded at {workers} workers: {:?}",
+                    h.name,
+                    e.failures
+                );
+                assert_eq!(h.rows, e.rows, "{}: rows differ", h.name);
+                assert_eq!(h.fig20, e.fig20, "{}: fig20 differs", h.name);
+                for ((ma, ra), (mb, rb)) in h.results.iter().zip(&e.results) {
+                    assert_eq!(ma, mb);
+                    assert_eq!(
+                        ra.source,
+                        rb.source,
+                        "{} [{}]: emitted source differs",
+                        h.name,
+                        ma.label()
+                    );
+                }
+            }
+        }
+    }
+}
