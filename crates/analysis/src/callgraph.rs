@@ -87,6 +87,81 @@ impl CallGraph {
         out
     }
 
+    /// Strongly connected components in reverse topological order:
+    /// every component appears after all components it calls into, so a
+    /// bottom-up summarizer can walk the result front to back and always
+    /// find its callees already processed. Singleton components are the
+    /// common case; a component of size > 1 (or a self-loop) is a
+    /// recursion cluster. Iterative Tarjan — the ordering is deterministic
+    /// because both the root iteration and the edge lists follow the
+    /// `BTreeMap` key order.
+    pub fn sccs(&self) -> Vec<Vec<Ident>> {
+        struct St<'a> {
+            index: BTreeMap<&'a str, usize>,
+            low: BTreeMap<&'a str, usize>,
+            on_stack: BTreeSet<&'a str>,
+            stack: Vec<&'a str>,
+            next: usize,
+            out: Vec<Vec<Ident>>,
+        }
+        let mut st = St {
+            index: BTreeMap::new(),
+            low: BTreeMap::new(),
+            on_stack: BTreeSet::new(),
+            stack: Vec::new(),
+            next: 0,
+            out: Vec::new(),
+        };
+        // Explicit work stack: (node, next-edge-to-visit).
+        for root in self.edges.keys() {
+            if st.index.contains_key(root.as_str()) {
+                continue;
+            }
+            let mut work: Vec<(&str, usize)> = vec![(root.as_str(), 0)];
+            while let Some((n, ei)) = work.pop() {
+                if ei == 0 {
+                    st.index.insert(n, st.next);
+                    st.low.insert(n, st.next);
+                    st.next += 1;
+                    st.stack.push(n);
+                    st.on_stack.insert(n);
+                }
+                let callees = self.callees(n);
+                if let Some(c) = callees.get(ei) {
+                    work.push((n, ei + 1));
+                    match st.index.get(c.as_str()) {
+                        None => work.push((c.as_str(), 0)),
+                        Some(&ci) if st.on_stack.contains(c.as_str()) => {
+                            let l = st.low[n].min(ci);
+                            st.low.insert(n, l);
+                        }
+                        Some(_) => {}
+                    }
+                } else {
+                    // All edges done: fold our lowlink into the parent and
+                    // pop a component if we are its root.
+                    if st.low[n] == st.index[n] {
+                        let mut comp = Vec::new();
+                        while let Some(m) = st.stack.pop() {
+                            st.on_stack.remove(m);
+                            comp.push(m.to_string());
+                            if m == n {
+                                break;
+                            }
+                        }
+                        comp.sort();
+                        st.out.push(comp);
+                    }
+                    if let Some(&(parent, _)) = work.last() {
+                        let l = st.low[parent].min(st.low[n]);
+                        st.low.insert(parent, l);
+                    }
+                }
+            }
+        }
+        st.out
+    }
+
     /// Units in bottom-up (callee-before-caller) order; cycles broken
     /// arbitrarily.
     pub fn bottom_up(&self) -> Vec<Ident> {
@@ -187,6 +262,60 @@ mod tests {
         assert!(r.contains("MAIN"));
         assert!(r.contains("A"));
         assert!(!r.contains("DEAD"));
+    }
+
+    #[test]
+    fn sccs_are_reverse_topological() {
+        let g = graph(
+            "      PROGRAM MAIN
+      CALL A
+      CALL D
+      END
+      SUBROUTINE A
+      CALL B
+      END
+      SUBROUTINE B
+      CALL A
+      CALL C
+      END
+      SUBROUTINE C
+      RETURN
+      END
+      SUBROUTINE D
+      CALL C
+      END
+",
+        );
+        let comps = g.sccs();
+        // Every unit appears exactly once.
+        let mut all: Vec<&str> = comps.iter().flatten().map(|s| s.as_str()).collect();
+        all.sort();
+        assert_eq!(all, vec!["A", "B", "C", "D", "MAIN"]);
+        // The A↔B cycle is one component.
+        assert!(comps.contains(&vec!["A".to_string(), "B".to_string()]));
+        let pos = |n: &str| comps.iter().position(|c| c.iter().any(|x| x == n)).unwrap();
+        // Callee components come first.
+        assert!(pos("C") < pos("A"));
+        assert!(pos("C") < pos("D"));
+        assert!(pos("A") < pos("MAIN"));
+        assert!(pos("D") < pos("MAIN"));
+    }
+
+    #[test]
+    fn sccs_self_loop_is_its_own_component() {
+        let g = graph(
+            "      PROGRAM MAIN
+      CALL R
+      END
+      SUBROUTINE R
+      CALL R
+      END
+",
+        );
+        let comps = g.sccs();
+        assert!(comps.contains(&vec!["R".to_string()]));
+        // A self-loop is detected as recursion even in a singleton SCC.
+        assert!(g.is_recursive("R"));
     }
 
     #[test]

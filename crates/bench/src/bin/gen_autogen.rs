@@ -1,0 +1,10 @@
+//! Print the auto-annot coverage table as GitHub-flavored markdown, for
+//! the CI job summary: per application, how many call sites the
+//! chain-aware autogen summarized, how many fell back to a manual
+//! annotation, how many were refused, and how many subroutine summaries
+//! were derived (chain-derived counted separately).
+fn main() {
+    let (_, metrics) = bench::full_evaluation_with_metrics();
+    println!("### Annotation autogen coverage\n");
+    print!("{}", metrics.render_autogen_markdown());
+}

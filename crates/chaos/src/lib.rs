@@ -6,9 +6,10 @@
 //! panic, never a hang. This crate earns that promise empirically. It
 //! takes the twelve PERFECT sources and their annotation registries,
 //! applies seeded mutations (token deletion, truncation, corrupted
-//! annotation clauses, dimension perturbations, COMMON-line reshapes...),
-//! and drives every mutant through the full parse → annotate → compile →
-//! verify pipeline, recording how each one died.
+//! annotation clauses, dimension perturbations, COMMON-line reshapes,
+//! call-graph rewiring that manufactures recursion and multi-level call
+//! chains...), and drives every mutant through the full parse → annotate
+//! → compile → verify pipeline, recording how each one died.
 //!
 //! The campaign is deterministic: mutant `i` of a run is a pure function
 //! of `(seed, i)`, so a failure reported by CI reproduces locally with the
@@ -78,6 +79,7 @@ pub const MUTATIONS: &[(&str, Mutator)] = &[
     ("reshape-decl", reshape_decl),
     ("drop-delimiter", drop_delimiter),
     ("insert-unicode", insert_unicode),
+    ("rewire-call", rewire_call),
 ];
 
 fn tokens(text: &str) -> Vec<(usize, usize)> {
@@ -283,6 +285,54 @@ fn reshape_decl(rng: &mut Rng, text: &str) -> Option<String> {
     let mut out: Vec<&str> = lines.clone();
     out[target] = &mutated;
     Some(out.join("\n") + "\n")
+}
+
+/// Retarget a `CALL` at a different subroutine defined in the same file.
+/// This perturbs the *call graph* rather than the text around it: a
+/// rewired call can create direct or mutual recursion (a cycle the
+/// chain-aware autogen pass must refuse with a located diagnostic),
+/// deepen a call chain so summaries substitute through extra levels, or
+/// hand a callee the wrong actuals entirely. Every outcome must still
+/// degrade structurally — never panic — in all four configurations.
+fn rewire_call(rng: &mut Rng, text: &str) -> Option<String> {
+    fn name_end(text: &str, start: usize) -> usize {
+        start
+            + text[start..]
+                .bytes()
+                .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_')
+                .count()
+    }
+    let mut calls: Vec<(usize, usize)> = Vec::new();
+    let mut from = 0;
+    while let Some(off) = text[from..].find("CALL ") {
+        let start = from + off + 5;
+        let end = name_end(text, start);
+        if end > start {
+            calls.push((start, end));
+        }
+        from = start;
+    }
+    let mut subs: Vec<&str> = Vec::new();
+    let mut from = 0;
+    while let Some(off) = text[from..].find("SUBROUTINE ") {
+        let start = from + off + 11;
+        let end = name_end(text, start);
+        if end > start {
+            subs.push(&text[start..end]);
+        }
+        from = start;
+    }
+    if calls.is_empty() {
+        return None;
+    }
+    let (s, e) = calls[rng.below(calls.len())];
+    let current = &text[s..e];
+    let targets: Vec<&str> = subs.into_iter().filter(|n| *n != current).collect();
+    if targets.is_empty() {
+        return None;
+    }
+    let target = targets[rng.below(targets.len())];
+    Some(format!("{}{}{}", &text[..s], target, &text[e..]))
 }
 
 fn drop_delimiter(rng: &mut Rng, text: &str) -> Option<String> {
@@ -678,12 +728,30 @@ mod tests {
 
     #[test]
     fn every_mutator_applies_to_realistic_text() {
-        let text = "      PROGRAM MAIN\n      COMMON /C/ A(64)\n      DIMENSION B(8)\n      DO I = 1, 8\n        B(I) = 0.0\n      ENDDO\n      END\n";
+        let text = "      PROGRAM MAIN\n      COMMON /C/ A(64)\n      DIMENSION B(8)\n      CALL INIT\n      DO I = 1, 8\n        B(I) = 0.0\n      ENDDO\n      END\n\n      SUBROUTINE INIT\n      RETURN\n      END\n\n      SUBROUTINE STEP\n      RETURN\n      END\n";
         for (name, f) in MUTATIONS {
             let mut rng = Rng::new(7);
             let m = f(&mut rng, text);
             assert!(m.is_some(), "{name} did not apply");
             assert_ne!(m.as_deref(), Some(text), "{name} was a no-op");
+        }
+    }
+
+    #[test]
+    fn rewired_recursive_chain_degrades_without_panicking() {
+        // Force the call-graph mutation into a self-cycle: MDG's UPDATE is
+        // itself reached through a chain, so retargeting calls at
+        // arbitrary defined subroutines manufactures both recursion and
+        // deeper chains. Every such mutant must come back structurally.
+        let app = perfect::suite::by_name("MDG").unwrap();
+        let mut rng = Rng::new(0xC411);
+        for _ in 0..8 {
+            let mutated = rewire_call(&mut rng, app.source).expect("MDG has calls to rewire");
+            let outcome = evaluate_mutant("MDG", &mutated, app.annotations, 200_000);
+            assert!(
+                !matches!(outcome, Outcome::Panicked(_)),
+                "rewired chain panicked: {outcome:?}"
+            );
         }
     }
 

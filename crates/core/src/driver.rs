@@ -1,17 +1,17 @@
 //! Concurrent, cached, fault-isolated evaluation driver.
 //!
 //! The paper's evaluation (Table II, Figure 20) is a matrix of
-//! applications × three inlining configurations, each cell verified by the
-//! §III-D runtime testers. Run naively that costs nine interpreter runs
-//! per application — three per configuration — a third of which re-execute
-//! the *unchanged original program*. This driver makes the matrix a
-//! first-class workload:
+//! applications × inlining configurations — the paper's three, plus the
+//! derived-annotation mode [`InlineMode::AutoAnnot`] — each cell verified
+//! by the §III-D runtime testers. Run naively that costs three interpreter
+//! runs per cell, a third of which re-execute the *unchanged original
+//! program*. This driver makes the matrix a first-class workload:
 //!
 //! * **fan-out** — the cells go through a worker pool (std scoped threads
 //!   pulling from a shared queue), [`DriverOptions::workers`] wide;
 //! * **baseline memo** — the original program is interpreted once per
-//!   application and shared across its three configurations, cutting
-//!   verification runs per app from 9 to 7;
+//!   application and shared across all of its configurations, cutting
+//!   verification runs per app from 12 to 9;
 //! * **verify dedup** — configurations that emit byte-identical optimized
 //!   source (conventional inlining that found nothing to inline, an empty
 //!   annotation registry) share one verification, saving two more runs;
@@ -119,9 +119,11 @@ pub struct AppReport {
     /// Application name.
     pub name: String,
     /// The three Table II rows (no-inline / conventional / annotation).
-    /// Empty when any configuration failed — the rows compare the three
-    /// configurations against each other, so a missing cell makes the
-    /// whole comparison meaningless.
+    /// Empty when any of those three *classic* configurations failed —
+    /// the rows compare them against each other, so a missing cell makes
+    /// the whole comparison meaningless. The auto-annot cell does not
+    /// gate them: it is reported through `results` and the autogen
+    /// coverage counters instead.
     pub rows: Vec<Table2Row>,
     /// Figure 20 points (successful configurations × machines).
     pub fig20: Vec<Fig20Point>,
@@ -201,22 +203,24 @@ struct Shared<'a> {
     opts: &'a DriverOptions,
     queue: Mutex<VecDeque<(usize, usize)>>,
     /// Per-app memoized baseline run of the original program. Failures
-    /// are memoized too: a baseline that cannot run fails all three of
-    /// the app's cells with the same diagnostic, paying for one run.
+    /// are memoized too: a baseline that cannot run fails all of the
+    /// app's cells with the same diagnostic, paying for one run.
     baselines: Vec<OnceLock<Arc<Result<RunResult, FailCause>>>>,
     /// (app, emitted source) → shared verification outcome.
     vcache: Mutex<VerifyCache>,
-    /// Finished cells, indexed `app * 3 + mode`.
+    /// Finished cells, indexed `app * n_modes + mode`.
     cells: Vec<Mutex<Option<CellOutcome>>>,
     interp_runs: AtomicU64,
     memo_hits: AtomicU64,
     cache_hits: AtomicU64,
 }
 
-/// Evaluate every job across the three inlining configurations.
+/// Evaluate every job across all inlining configurations
+/// ([`InlineMode::all`]).
 pub fn run_suite(jobs: &[SuiteJob], opts: &DriverOptions) -> SuiteOutcome {
     let t0 = std::time::Instant::now();
-    let n_cells = jobs.len() * 3;
+    let n_modes = InlineMode::all().len();
+    let n_cells = jobs.len() * n_modes;
     let shared = Shared {
         jobs,
         opts,
@@ -224,7 +228,7 @@ pub fn run_suite(jobs: &[SuiteJob], opts: &DriverOptions) -> SuiteOutcome {
         // so they never serialize on the same baseline memo, and by the
         // time an app's second mode is dequeued its baseline is a hit.
         queue: Mutex::new(
-            (0..3)
+            (0..n_modes)
                 .flat_map(|m| (0..jobs.len()).map(move |a| (a, m)))
                 .collect(),
         ),
@@ -292,7 +296,7 @@ fn worker_loop(shared: &Shared<'_>) {
                     FailCause::Panic(panic_message(&*payload)),
                 ))
             });
-        *lock_clean(&shared.cells[app_idx * 3 + mode_idx]) = Some(outcome);
+        *lock_clean(&shared.cells[app_idx * InlineMode::all().len() + mode_idx]) = Some(outcome);
     }
 }
 
@@ -442,6 +446,17 @@ fn evaluate_cell_inner(
         loops_parallel: result.parallel_loops().len(),
         interp_runs: cell_runs,
         verify_cached,
+        autogen: result
+            .autogen
+            .as_ref()
+            .map(|r| crate::phase::AutogenCoverage {
+                auto_sites: r.auto_sites() as u64,
+                manual_sites: r.manual_sites() as u64,
+                refused_sites: r.refused_sites() as u64,
+                derived_subs: r.derived.len() as u64,
+                chain_derived_subs: r.chain_derived.len() as u64,
+                refused_subs: r.refusals.len() as u64,
+            }),
         phases: timings,
     };
 
@@ -463,11 +478,12 @@ fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> Su
         ..Default::default()
     };
 
+    let n_modes = InlineMode::all().len();
     let mut apps = Vec::with_capacity(shared.jobs.len());
     let mut cells = shared.cells.into_iter();
     for job in shared.jobs.iter() {
-        let mut results = Vec::with_capacity(3);
-        let mut verifies = Vec::with_capacity(3);
+        let mut results = Vec::with_capacity(n_modes);
+        let mut verifies = Vec::with_capacity(n_modes);
         let mut fig20 = Vec::new();
         let mut failures = Vec::new();
         for mode in InlineMode::all() {
@@ -504,10 +520,15 @@ fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> Su
                 }
             }
         }
-        // Table II rows compare the three configurations; they only exist
-        // when all three cells completed.
-        let rows = if failures.is_empty() && results.len() == 3 {
-            table2_rows(&job.name, &results[0].1, &results[1].1, &results[2].1)
+        // Table II rows compare the paper's three configurations; they
+        // only exist when all three classic cells completed (the derived
+        // auto-annot cell reports coverage, not a Table II column).
+        let classic: Vec<&PipelineResult> = InlineMode::classic()
+            .iter()
+            .filter_map(|m| results.iter().find(|(rm, _)| rm == m).map(|(_, r)| r))
+            .collect();
+        let rows = if let [none, conv, annot] = classic[..] {
+            table2_rows(&job.name, none, conv, annot)
         } else {
             Vec::new()
         };
@@ -559,24 +580,24 @@ mod tests {
 ";
 
     #[test]
-    fn baseline_memo_counts_runs_seven_not_nine() {
+    fn baseline_memo_counts_runs_nine_not_twelve() {
         let j = job("T", SRC, "");
         let memo = DriverOptions {
             workers: 1,
             ..Default::default()
         };
         let (_, m) = run_app(&j, &memo);
-        // 1 baseline + 3 × (seq + par)… minus verify-cache dedup: all three
+        // 1 baseline + 4 × (seq + par)… minus verify-cache dedup: all four
         // modes of this program emit identical source, so runs collapse
-        // further. Disable the cache to see the memo's 7 alone.
+        // further. Disable the cache to see the memo's 9 alone.
         let memo_only = DriverOptions {
             workers: 1,
             verify_cache: false,
             ..Default::default()
         };
         let (_, m2) = run_app(&j, &memo_only);
-        assert_eq!(m2.interp_runs, 7, "{m2:?}");
-        assert_eq!(m2.baseline_memo_hits, 2);
+        assert_eq!(m2.interp_runs, 9, "{m2:?}");
+        assert_eq!(m2.baseline_memo_hits, 3);
         assert!(m.interp_runs <= m2.interp_runs);
 
         let serial = DriverOptions {
@@ -586,7 +607,7 @@ mod tests {
             ..Default::default()
         };
         let (_, m3) = run_app(&j, &serial);
-        assert_eq!(m3.interp_runs, 9, "{m3:?}");
+        assert_eq!(m3.interp_runs, 12, "{m3:?}");
         assert_eq!(m3.baseline_memo_hits, 0);
     }
 
@@ -603,10 +624,25 @@ mod tests {
         let app = &out.apps[0];
         assert!(app.ok());
         assert_eq!(app.rows.len(), 3);
-        assert_eq!(app.fig20.len(), 3); // 3 configs × 1 machine
+        assert_eq!(app.fig20.len(), 4); // 4 configs × 1 machine
         assert!(app.verify.iter().all(|(_, v)| v.ok()));
-        assert_eq!(out.metrics.cells.len(), 3);
+        assert_eq!(out.metrics.cells.len(), 4);
         assert_eq!(out.metrics.failed_cells, 0);
+        // The auto-annot cell reports coverage counters; the classic
+        // cells do not.
+        let auto = out
+            .metrics
+            .cells
+            .iter()
+            .find(|c| c.config == "auto-annot")
+            .unwrap();
+        assert!(auto.autogen.is_some());
+        assert!(out
+            .metrics
+            .cells
+            .iter()
+            .filter(|c| c.config != "auto-annot")
+            .all(|c| c.autogen.is_none()));
         // Every phase was exercised at least once across the cells.
         for p in Phase::ALL {
             assert!(out.metrics.phases.count_of(p) > 0, "{p:?} never recorded");
@@ -676,14 +712,14 @@ mod tests {
         assert_eq!(out.apps[0].rows.len(), 3);
         let bad = &out.apps[1];
         assert!(!bad.ok());
-        assert_eq!(bad.failures.len(), 3);
+        assert_eq!(bad.failures.len(), 4);
         assert!(bad.rows.is_empty());
         for f in &bad.failures {
             assert_eq!(f.stage, FailStage::Driver);
             assert!(matches!(&f.cause, FailCause::Panic(m) if m.contains("injected")));
         }
-        assert_eq!(out.metrics.failed_cells, 3);
-        assert_eq!(out.metrics.failures.len(), 3);
+        assert_eq!(out.metrics.failed_cells, 4);
+        assert_eq!(out.metrics.failures.len(), 4);
     }
 
     #[test]
@@ -698,7 +734,7 @@ mod tests {
         let (report, metrics) = run_app(&j, &opts);
         assert!(!report.ok());
         assert!(report.failures.iter().all(|f| f.is_timeout()), "{report:?}");
-        assert_eq!(metrics.failed_cells, 3);
-        assert_eq!(metrics.timed_out_cells, 3);
+        assert_eq!(metrics.failed_cells, 4);
+        assert_eq!(metrics.timed_out_cells, 4);
     }
 }

@@ -5,19 +5,20 @@
 //! 2011). This crate wires the substrates together into the Fig. 15
 //! pipeline and provides the evaluation machinery:
 //!
-//! * [`pipeline::compile`] — run a MiniF77 program through one of the three
+//! * [`pipeline::compile`] — run a MiniF77 program through one of the four
 //!   inlining configurations (none / conventional / annotation-based with
-//!   reverse inlining) followed by Polaris-style auto-parallelization;
+//!   reverse inlining / auto-annot, which derives its registry over the
+//!   call graph) followed by Polaris-style auto-parallelization;
 //! * [`report`] — Table II rows (`#par-loops`, `#par-loss`, `#par-extra`,
 //!   code size) and Figure 20 speedup points, with the paper's accounting
 //!   rules;
-//! * [`verify`] — the runtime testers: original ≡ optimized, sequential ≡
-//!   threaded, and no cross-iteration races;
+//! * [`verify`](mod@verify) — the runtime testers: original ≡ optimized,
+//!   sequential ≡ threaded, and no cross-iteration races;
 //! * [`driver`] — the concurrent, cached evaluation driver: a worker pool
 //!   over the application × configuration matrix, a per-app baseline-run
-//!   memo (9 → 7 verification runs per app), a verify-dedup cache, and
-//!   per-phase observability ([`phase`]) rolled into a
-//!   [`phase::SuiteMetrics`] JSON report.
+//!   memo (one reference run shared by all four configurations), a
+//!   verify-dedup cache, and per-phase observability ([`phase`]) rolled
+//!   into a [`phase::SuiteMetrics`] JSON report.
 //!
 //! ## Quick example
 //!
@@ -39,6 +40,8 @@
 //! assert_eq!(result.parallel_loops().len(), 1);
 //! assert!(result.source.contains("!$OMP PARALLEL DO"));
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod driver;
 pub mod error;

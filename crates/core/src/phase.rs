@@ -144,12 +144,47 @@ pub fn blocker_counts(r: &PipelineResult) -> BTreeMap<&'static str, usize> {
     out
 }
 
+/// Call-site coverage counters from one auto-annot cell: how much of the
+/// application chain autogen could summarize on its own.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AutogenCoverage {
+    /// Call sites whose callee has a derived summary.
+    pub auto_sites: u64,
+    /// Call sites served only by a hand-written annotation (derivation
+    /// refused the callee).
+    pub manual_sites: u64,
+    /// Call sites left opaque (no summary of either kind).
+    pub refused_sites: u64,
+    /// Subroutines with a derived summary.
+    pub derived_subs: u64,
+    /// The subset of `derived_subs` that themselves make calls (chain
+    /// composition, not the leaf path).
+    pub chain_derived_subs: u64,
+    /// Subroutines chain autogen refused.
+    pub refused_subs: u64,
+}
+
+impl AutogenCoverage {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"auto_sites\":{},\"manual_sites\":{},\"refused_sites\":{},\"derived_subs\":{},\"chain_derived_subs\":{},\"refused_subs\":{}}}",
+            self.auto_sites,
+            self.manual_sites,
+            self.refused_sites,
+            self.derived_subs,
+            self.chain_derived_subs,
+            self.refused_subs
+        )
+    }
+}
+
 /// Metrics for one (application × configuration) cell.
 #[derive(Debug, Clone)]
 pub struct CellMetrics {
     /// Application name.
     pub app: String,
-    /// Configuration label (`no-inline` / `conventional` / `annotation`).
+    /// Configuration label (`no-inline` / `conventional` / `annotation` /
+    /// `auto-annot`).
     pub config: String,
     /// Per-phase wall-clock for this cell.
     pub phases: PhaseTimings,
@@ -163,6 +198,8 @@ pub struct CellMetrics {
     pub interp_runs: u64,
     /// True when the verification result came from the dedup cache.
     pub verify_cached: bool,
+    /// Autogen coverage counters; present only on `auto-annot` cells.
+    pub autogen: Option<AutogenCoverage>,
 }
 
 impl CellMetrics {
@@ -172,8 +209,12 @@ impl CellMetrics {
             .iter()
             .map(|(k, v)| format!("{}:{}", quote(k), v))
             .collect();
+        let autogen = match &self.autogen {
+            Some(a) => format!(",\"autogen\":{}", a.to_json()),
+            None => String::new(),
+        };
         format!(
-            "{{\"app\":{},\"config\":{},\"phases\":{},\"blockers\":{{{}}},\"loops_total\":{},\"loops_parallel\":{},\"interp_runs\":{},\"verify_cached\":{}}}",
+            "{{\"app\":{},\"config\":{},\"phases\":{},\"blockers\":{{{}}},\"loops_total\":{},\"loops_parallel\":{},\"interp_runs\":{},\"verify_cached\":{}{}}}",
             quote(&self.app),
             quote(&self.config),
             self.phases.to_json(),
@@ -181,7 +222,8 @@ impl CellMetrics {
             self.loops_total,
             self.loops_parallel,
             self.interp_runs,
-            self.verify_cached
+            self.verify_cached,
+            autogen
         )
     }
 }
@@ -271,6 +313,54 @@ impl SuiteMetrics {
         )
     }
 
+    /// GitHub-flavored markdown table of the per-app autogen coverage
+    /// counters (auto / manual / refused call sites), for CI job
+    /// summaries. Empty string when no cell carried coverage (the suite
+    /// ran without the auto-annot mode).
+    pub fn render_autogen_markdown(&self) -> String {
+        let covered: Vec<(&str, &AutogenCoverage)> = self
+            .cells
+            .iter()
+            .filter_map(|c| c.autogen.as_ref().map(|a| (c.app.as_str(), a)))
+            .collect();
+        if covered.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from(
+            "| app | auto sites | manual sites | refused sites | derived subs | chain-derived | refused subs |\n\
+             |-----|-----------:|-------------:|--------------:|-------------:|--------------:|-------------:|\n",
+        );
+        let mut tot = AutogenCoverage::default();
+        for (app, a) in &covered {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} |\n",
+                app,
+                a.auto_sites,
+                a.manual_sites,
+                a.refused_sites,
+                a.derived_subs,
+                a.chain_derived_subs,
+                a.refused_subs
+            ));
+            tot.auto_sites += a.auto_sites;
+            tot.manual_sites += a.manual_sites;
+            tot.refused_sites += a.refused_sites;
+            tot.derived_subs += a.derived_subs;
+            tot.chain_derived_subs += a.chain_derived_subs;
+            tot.refused_subs += a.refused_subs;
+        }
+        out.push_str(&format!(
+            "| **total** | **{}** | **{}** | **{}** | **{}** | **{}** | **{}** |\n",
+            tot.auto_sites,
+            tot.manual_sites,
+            tot.refused_sites,
+            tot.derived_subs,
+            tot.chain_derived_subs,
+            tot.refused_subs
+        ));
+        out
+    }
+
     /// Aligned-text rendering of the per-phase totals.
     pub fn render_phases(&self) -> String {
         let mut out = String::new();
@@ -342,6 +432,14 @@ mod tests {
             loops_parallel: 4,
             interp_runs: 3,
             verify_cached: false,
+            autogen: Some(AutogenCoverage {
+                auto_sites: 5,
+                manual_sites: 1,
+                refused_sites: 2,
+                derived_subs: 4,
+                chain_derived_subs: 1,
+                refused_subs: 2,
+            }),
         });
         m.failed_cells = 1;
         m.failures.push(FailureRecord {
@@ -358,6 +456,11 @@ mod tests {
         assert!(j.contains("\"call\":3"));
         assert!(j.contains("\"failed_cells\":1"));
         assert!(j.contains("\"timeout\":true"));
+        assert!(j.contains("\"autogen\":{\"auto_sites\":5"));
+        // The coverage markdown renders one row plus the total.
+        let md = m.render_autogen_markdown();
+        assert!(md.contains("| ADM | 5 | 1 | 2 | 4 | 1 | 2 |"), "{md}");
+        assert!(md.contains("**total**"), "{md}");
         // Balanced braces/brackets (cheap well-formedness check).
         let open = j.matches('{').count();
         let close = j.matches('}').count();

@@ -18,13 +18,17 @@
 //!                parallelized source
 //! ```
 //!
-//! [`compile`] runs the whole pipeline under one of three
-//! [`InlineMode`]s — the three configurations compared in the paper's
-//! Table II.
+//! [`compile`] runs the whole pipeline under one of four
+//! [`InlineMode`]s: the three configurations compared in the paper's
+//! Table II, plus [`InlineMode::AutoAnnot`] — annotation-based inlining
+//! where the annotations themselves are *derived* over the call graph
+//! ([`finline::chain`], the paper's §III-D future-work direction) with
+//! the hand-written registry kept only as fallback for refused
+//! subroutines.
 
 use fdep::analyze::Blocker;
 use finline::annot::AnnotRegistry;
-use finline::{annot_inline, conventional, reverse, Heuristics};
+use finline::{annot_inline, chain, conventional, reverse, AutoGenOptions, Heuristics};
 use fir::ast::{LoopId, Program};
 use fir::fold::normalize_program;
 use fpar::{parallelize, ParOptions, ParReport};
@@ -38,8 +42,12 @@ pub enum InlineMode {
     /// Polaris-default conventional inlining (paper §II).
     Conventional,
     /// The paper's contribution: annotation-based inlining + reverse
-    /// inlining (§III).
+    /// inlining (§III), with hand-written annotations.
     Annotation,
+    /// Annotation-based inlining driven by *derived* summaries: chain
+    /// autogen over the call graph supplies the registry, hand-written
+    /// annotations serve only as fallback where derivation refused.
+    AutoAnnot,
 }
 
 impl InlineMode {
@@ -49,11 +57,23 @@ impl InlineMode {
             InlineMode::None => "no-inline",
             InlineMode::Conventional => "conventional",
             InlineMode::Annotation => "annotation",
+            InlineMode::AutoAnnot => "auto-annot",
         }
     }
 
-    /// All three configurations, in the paper's column order.
-    pub fn all() -> [InlineMode; 3] {
+    /// Every evaluated configuration: the paper's three Table II columns,
+    /// then the derived-annotation mode.
+    pub fn all() -> [InlineMode; 4] {
+        [
+            InlineMode::None,
+            InlineMode::Conventional,
+            InlineMode::Annotation,
+            InlineMode::AutoAnnot,
+        ]
+    }
+
+    /// The paper's three Table II configurations, in column order.
+    pub fn classic() -> [InlineMode; 3] {
         [
             InlineMode::None,
             InlineMode::Conventional,
@@ -97,6 +117,9 @@ pub struct PipelineResult {
     pub annot_report: Option<annot_inline::AnnotInlineReport>,
     /// Reverse-inlining report, when that mode ran.
     pub reverse_report: Option<reverse::ReverseReport>,
+    /// Chain-autogen report (derived registry, refusals, per-call-site
+    /// coverage), when [`InlineMode::AutoAnnot`] ran.
+    pub autogen: Option<chain::ChainReport>,
     /// Emitted source text.
     pub source: String,
     /// Code size: non-comment source lines (the paper's metric).
@@ -186,6 +209,7 @@ pub fn compile_timed(
 
     let mut conv_report = None;
     let mut annot_report = None;
+    let mut autogen = None;
     timings.time(Phase::Inline, || {
         stage(Phase::Inline, || match opts.mode {
             InlineMode::None => {}
@@ -194,6 +218,14 @@ pub fn compile_timed(
             }
             InlineMode::Annotation => {
                 annot_report = Some(annot_inline::apply(&mut p, annotations));
+            }
+            InlineMode::AutoAnnot => {
+                // Derive summaries bottom-up over the call graph, then
+                // inline with the derived registry (manual annotations
+                // inside it only where derivation refused).
+                let rep = chain::generate_with_chains(&p, annotations, &AutoGenOptions::default());
+                annot_report = Some(annot_inline::apply(&mut p, &rep.registry));
+                autogen = Some(rep);
             }
         })
     })?;
@@ -205,6 +237,11 @@ pub fn compile_timed(
     let reverse_report = timings.time(Phase::ReverseInline, || {
         stage(Phase::ReverseInline, || match opts.mode {
             InlineMode::Annotation => Some(reverse::apply(&mut p, annotations)),
+            InlineMode::AutoAnnot => {
+                // Reverse against the same registry that drove inlining.
+                let reg = autogen.as_ref().map(|r| &r.registry).unwrap_or(annotations);
+                Some(reverse::apply(&mut p, reg))
+            }
             _ => None,
         })
     })?;
@@ -222,6 +259,7 @@ pub fn compile_timed(
         conv_report,
         annot_report,
         reverse_report,
+        autogen,
         source,
         loc,
     })
@@ -402,6 +440,84 @@ subroutine FSMP(ID, IDE) {
         assert!(rev.failed.is_empty(), "{:?}", rev.failed);
         assert!(r.source.contains("CALL FSMP(ID, IDE)"), "{}", r.source);
         assert!(r.source.contains("!$OMP PARALLEL DO"), "{}", r.source);
+    }
+
+    #[test]
+    fn auto_annot_falls_back_to_manual_fsmp_and_matches_its_decisions() {
+        // FSMP's chain derivation refuses (the IDEDON guard is a real data
+        // conditional → GuardedCall), so auto-annot mode substitutes the
+        // manual FSMP annotation — and must reach the same parallelization
+        // of MAIN's K loop as pure annotation mode.
+        let manual = compile_mode(FSMP_PROGRAM, FSMP_ANNOT, InlineMode::Annotation);
+        let auto = compile_mode(FSMP_PROGRAM, FSMP_ANNOT, InlineMode::AutoAnnot);
+        assert!(auto.parallel_loops().contains(&LoopId::new("MAIN", 2)));
+        assert_eq!(manual.parallel_loops(), auto.parallel_loops());
+        let rep = auto.autogen.as_ref().unwrap();
+        // GETCR and FORMF are derivable leaves; FSMP fell back to manual.
+        assert!(rep.derived.iter().any(|n| n == "GETCR"), "{rep:?}");
+        assert!(rep.derived.iter().any(|n| n == "FORMF"), "{rep:?}");
+        assert!(rep.manual_fallback.iter().any(|n| n == "FSMP"), "{rep:?}");
+        assert!(
+            rep.refusals
+                .iter()
+                .any(|(n, r)| n == "FSMP"
+                    && matches!(r, finline::AutoGenRefusal::GuardedCall { .. })),
+            "{:?}",
+            rep.refusals
+        );
+        // Coverage classifies MAIN→FSMP as manual, FSMP→GETCR/FORMF as auto.
+        assert_eq!(rep.manual_sites(), 1, "{:?}", rep.sites);
+        assert_eq!(rep.auto_sites(), 2, "{:?}", rep.sites);
+    }
+
+    #[test]
+    fn auto_annot_derives_a_call_chain_without_manual_annotations() {
+        // A BONDFC-shaped chain: no hand-written annotations at all, yet
+        // the MB loop parallelizes because the caller's summary is derived
+        // by substituting its callees' summaries.
+        let src = "      PROGRAM MAIN
+      COMMON /WRK/ TWORK(16)
+      COMMON /EN/ EBOND(128)
+      DO MB = 1, 128
+        CALL BONDFC(MB)
+      ENDDO
+      WRITE(6,*) EBOND(1)
+      END
+      SUBROUTINE BONDFC(MB)
+      COMMON /WRK/ TWORK(16)
+      COMMON /EN/ EBOND(128)
+      CALL STRETC(MB)
+      CALL BENDC(MB)
+      END
+      SUBROUTINE STRETC(MB)
+      COMMON /WRK/ TWORK(16)
+      DO K = 1, 16
+        TWORK(K) = MB*0.5 + K
+      ENDDO
+      END
+      SUBROUTINE BENDC(MB)
+      COMMON /WRK/ TWORK(16)
+      COMMON /EN/ EBOND(128)
+      E = 0.0
+      DO K = 1, 16
+        E = E + TWORK(K)
+      ENDDO
+      EBOND(MB) = E
+      END
+";
+        let none = compile_mode(src, "", InlineMode::None);
+        assert!(!none.parallel_loops().contains(&LoopId::new("MAIN", 1)));
+        let auto = compile_mode(src, "", InlineMode::AutoAnnot);
+        assert!(
+            auto.parallel_loops().contains(&LoopId::new("MAIN", 1)),
+            "{:?}",
+            auto.parallel_loops()
+        );
+        let rep = auto.autogen.as_ref().unwrap();
+        assert!(rep.chain_derived.iter().any(|n| n == "BONDFC"));
+        assert_eq!(rep.refused_sites(), 0, "{:?}", rep.sites);
+        // Reverse inlining restored the original call.
+        assert!(auto.source.contains("CALL BONDFC"), "{}", auto.source);
     }
 
     #[test]

@@ -14,14 +14,19 @@
 //! under-claiming would hide a dependence — so a subroutine is summarized
 //! only when every write region is exactly representable:
 //!
-//! * leaf subroutines only (no further calls — summarizing FSMP-class
-//!   chains needs the callees' summaries, which is the manual use case);
 //! * every write unguarded, except inside *error-handling* conditionals
 //!   (`IF` whose body is only `WRITE`/`STOP`), which are omitted under the
 //!   §III-B3 relaxation when [`AutoGenOptions::relax_error_handling`] is on;
 //! * every written region loop-invariant per call: a whole array, a fixed
 //!   point, or a dense range swept by an inner loop;
 //! * no early `RETURN`.
+//!
+//! [`generate`] is the *leaf* entry point: it refuses any subroutine that
+//! makes calls. Non-leaf chains are handled by [`crate::chain`], which
+//! walks the call graph bottom-up and substitutes each callee's
+//! already-derived summary in place of the `CALL` — see that module for
+//! the composition rules and the extended refusal taxonomy
+//! ([`AutoGenRefusal::Recursive`], [`AutoGenRefusal::GuardedCall`], ...).
 //!
 //! The `unique` operator is *not* inferred — recognizing injective index
 //! tables is exactly the domain knowledge the paper argues only the
@@ -31,6 +36,8 @@ use crate::annot::AnnotSub;
 use fdep::privatize::{regions_of, DimRegion};
 use fdep::refs::BodyRefs;
 use fir::ast::*;
+use fir::fold::fold_expr;
+use fir::loc::Span;
 use fir::symbol::{Storage, SymbolTable};
 use fir::visit::walk_stmts;
 use std::collections::BTreeMap;
@@ -57,10 +64,17 @@ impl Default for AutoGenOptions {
 }
 
 /// Why a subroutine could not be summarized automatically.
+///
+/// The first six variants are the leaf lattice ([`generate`]); the last
+/// four are emitted only by the chain summarizer ([`crate::chain`]).
+/// Every variant is documented with a concrete MiniF77 example in
+/// `docs/annotation-language.md` ("Derived annotations").
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AutoGenRefusal {
-    /// Calls other subroutines (needs their summaries — manual territory).
-    MakesCalls(Vec<Ident>),
+    /// Calls other subroutines and only leaf summarization was attempted
+    /// (each callee is paired with its call-site location). The chain
+    /// summarizer exists to lift exactly this refusal.
+    MakesCalls(Vec<(Ident, Span)>),
     /// Contains I/O outside an omittable error-handling conditional.
     HasIo,
     /// Contains an early `RETURN`.
@@ -73,12 +87,49 @@ pub enum AutoGenRefusal {
     UnrepresentableRegion(Ident),
     /// The unit is a PROGRAM, not a SUBROUTINE.
     NotASubroutine,
+    /// The unit sits in a recursive call cluster, so bottom-up
+    /// summarization cannot bottom out. `cycle` lists the cluster
+    /// members; `span` locates the first in-cycle call site.
+    Recursive {
+        /// Members of the strongly connected component, sorted.
+        cycle: Vec<Ident>,
+        /// Location of the first call into the cycle.
+        span: Span,
+    },
+    /// A call sits under a non-error conditional: whether the callee's
+    /// side effects happen at all is data-dependent, and stating them
+    /// unconditionally would over-claim the kill set.
+    GuardedCall {
+        /// The conditionally-called subroutine.
+        callee: Ident,
+        /// Location of the guarded call site.
+        span: Span,
+    },
+    /// Calls a subroutine that has no definition in the program and no
+    /// manual annotation to substitute.
+    UnresolvedExternal {
+        /// The undefined callee.
+        callee: Ident,
+        /// Location of the call site.
+        span: Span,
+    },
+    /// Calls a defined subroutine that was itself refused and has no
+    /// manual annotation to fall back on.
+    CalleeUnsummarized {
+        /// The refused callee.
+        callee: Ident,
+        /// Location of the call site.
+        span: Span,
+    },
 }
 
 impl std::fmt::Display for AutoGenRefusal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AutoGenRefusal::MakesCalls(cs) => write!(f, "makes calls: {cs:?}"),
+            AutoGenRefusal::MakesCalls(cs) => {
+                let list: Vec<String> = cs.iter().map(|(n, sp)| format!("{n} ({sp})")).collect();
+                write!(f, "makes calls: {}", list.join(", "))
+            }
             AutoGenRefusal::HasIo => write!(f, "contains non-error I/O"),
             AutoGenRefusal::EarlyReturn => write!(f, "contains an early RETURN"),
             AutoGenRefusal::GuardedWrite(n) => write!(f, "conditional write to {n}"),
@@ -86,11 +137,30 @@ impl std::fmt::Display for AutoGenRefusal {
                 write!(f, "write region of {n} not exactly representable")
             }
             AutoGenRefusal::NotASubroutine => write!(f, "not a subroutine"),
+            AutoGenRefusal::Recursive { cycle, span } => {
+                write!(f, "recursive call cluster {} ({span})", cycle.join(" -> "))
+            }
+            AutoGenRefusal::GuardedCall { callee, span } => {
+                write!(f, "call to {callee} under a non-error conditional ({span})")
+            }
+            AutoGenRefusal::UnresolvedExternal { callee, span } => {
+                write!(
+                    f,
+                    "calls {callee}, which has no definition and no annotation ({span})"
+                )
+            }
+            AutoGenRefusal::CalleeUnsummarized { callee, span } => {
+                write!(
+                    f,
+                    "callee {callee} could not be summarized and has no annotation ({span})"
+                )
+            }
         }
     }
 }
 
-/// Generate an annotation for one subroutine.
+/// Generate an annotation for one *leaf* subroutine. Refuses subroutines
+/// that make calls; use [`crate::chain::generate_with_chains`] for those.
 pub fn generate(unit: &ProcUnit, opts: &AutoGenOptions) -> Result<AnnotSub, AutoGenRefusal> {
     if unit.kind != UnitKind::Subroutine {
         return Err(AutoGenRefusal::NotASubroutine);
@@ -104,34 +174,85 @@ pub fn generate(unit: &ProcUnit, opts: &AutoGenOptions) -> Result<AnnotSub, Auto
     }
 
     // Structural refusals.
-    let mut calls = Vec::new();
-    let mut has_io = false;
-    walk_stmts(&body, &mut |s| match &s.kind {
-        StmtKind::Call { name, .. } => calls.push(name.clone()),
-        StmtKind::Write { .. } | StmtKind::Stop { .. } => has_io = true,
-        _ => {}
-    });
+    let calls = called_sites(&body);
     if !calls.is_empty() {
         return Err(AutoGenRefusal::MakesCalls(calls));
     }
-    if has_io {
-        return Err(AutoGenRefusal::HasIo);
-    }
-    {
-        let probe = ProcUnit {
-            body: body.clone(),
-            ..unit.clone()
-        };
-        if crate::heuristics::has_early_return(&probe) {
-            return Err(AutoGenRefusal::EarlyReturn);
+    check_io_and_return(unit, &body)?;
+
+    let refs = collect_body_refs(&unit.name, &body, &table);
+    let visible = visible_in(&table);
+    let pool = operand_pool(&refs, &visible, opts)?;
+
+    let mut out_body: Block = Vec::new();
+    let mut dims: BTreeMap<Ident, Vec<Dim>> = BTreeMap::new();
+    let mut next_op = 0u32;
+    emit_write_summaries(
+        &refs,
+        &table,
+        &visible,
+        &pool,
+        &mut next_op,
+        &mut out_body,
+        &mut dims,
+    )?;
+
+    // Shapes for formal arrays that are only read also matter.
+    for p in &unit.params {
+        if let Some(sym) = table.get(p) {
+            if sym.is_array() {
+                dims.entry(p.clone()).or_insert_with(|| sym.dims.clone());
+            }
         }
     }
 
-    // Collect accesses by wrapping the body in a synthetic one-trip loop
-    // (the collector works per-loop; the wrapper contributes no index var
-    // that any subscript could mention).
+    Ok(AnnotSub {
+        name: unit.name.clone(),
+        params: unit.params.clone(),
+        dims,
+        types: BTreeMap::new(),
+        body: out_body,
+    })
+}
+
+/// Every `CALL` in `body` with its location, in statement order.
+pub(crate) fn called_sites(body: &Block) -> Vec<(Ident, Span)> {
+    let mut calls = Vec::new();
+    walk_stmts(body, &mut |s| {
+        if let StmtKind::Call { name, .. } = &s.kind {
+            calls.push((name.clone(), s.span));
+        }
+    });
+    calls
+}
+
+/// Refuse on non-error I/O or an early RETURN (shared structural checks).
+pub(crate) fn check_io_and_return(unit: &ProcUnit, body: &Block) -> Result<(), AutoGenRefusal> {
+    let mut has_io = false;
+    walk_stmts(body, &mut |s| {
+        if matches!(&s.kind, StmtKind::Write { .. } | StmtKind::Stop { .. }) {
+            has_io = true;
+        }
+    });
+    if has_io {
+        return Err(AutoGenRefusal::HasIo);
+    }
+    let probe = ProcUnit {
+        body: body.clone(),
+        ..unit.clone()
+    };
+    if crate::heuristics::has_early_return(&probe) {
+        return Err(AutoGenRefusal::EarlyReturn);
+    }
+    Ok(())
+}
+
+/// Collect accesses by wrapping `body` in a synthetic one-trip loop (the
+/// collector works per-loop; the wrapper contributes no index var that any
+/// subscript could mention).
+pub(crate) fn collect_body_refs(unit_name: &str, body: &Block, table: &SymbolTable) -> BodyRefs {
     let wrapper = DoLoop {
-        id: LoopId::new(unit.name.clone(), LoopId::ANNOT_BASE),
+        id: LoopId::new(unit_name, LoopId::ANNOT_BASE),
         var: "__AG".into(),
         lo: Expr::int(1),
         hi: Expr::int(1),
@@ -140,18 +261,27 @@ pub fn generate(unit: &ProcUnit, opts: &AutoGenOptions) -> Result<AnnotSub, Auto
         directive: None,
     };
     let is_array = |n: &str| table.get(n).map(|s| s.is_array()).unwrap_or(false);
-    let refs = BodyRefs::collect(&wrapper, &is_array);
+    BodyRefs::collect(&wrapper, &is_array)
+}
 
-    let visible = |name: &str| -> bool {
+/// Caller-visibility predicate: COMMON members and formal parameters.
+pub(crate) fn visible_in(table: &SymbolTable) -> impl Fn(&str) -> bool + '_ {
+    move |name: &str| {
         matches!(
             table.get(name).map(|s| s.storage.clone()),
             Some(Storage::Common(_)) | Some(Storage::Formal(_))
         )
-    };
+    }
+}
 
-    // Operand pool: every visible thing the unit reads (arrays as
-    // whole-array refs, scalars as plain vars). Completeness is what makes
-    // the generated summary pass the soundness checker.
+/// Operand pool: every visible thing the body reads (arrays as whole-array
+/// refs, scalars as plain vars). Completeness is what makes the generated
+/// summary pass the soundness checker.
+pub(crate) fn operand_pool(
+    refs: &BodyRefs,
+    visible: &impl Fn(&str) -> bool,
+    opts: &AutoGenOptions,
+) -> Result<Vec<Expr>, AutoGenRefusal> {
     let mut operands: Vec<Expr> = Vec::new();
     for a in &refs.arrays {
         if !a.is_write && visible(&a.array) {
@@ -174,16 +304,28 @@ pub fn generate(unit: &ProcUnit, opts: &AutoGenOptions) -> Result<AnnotSub, Auto
             "<operand overflow>".into(),
         ));
     }
+    Ok(operands)
+}
 
-    let mut out_body: Block = Vec::new();
-    let mut op_id = 0u32;
-    let mut fresh_unknown = |ops: &Vec<Expr>| {
-        op_id += 1;
-        Expr::Unknown(op_id, ops.clone())
+/// Emit one summary assignment per visible written scalar (first-write
+/// order, deduplicated) and one per array write access (in order), all
+/// reading `unknown` over `pool`. Shared by the leaf generator (whole-body
+/// call) and the chain summarizer (per-item calls).
+pub(crate) fn emit_write_summaries(
+    refs: &BodyRefs,
+    table: &SymbolTable,
+    visible: &impl Fn(&str) -> bool,
+    pool: &[Expr],
+    next_op: &mut u32,
+    out_body: &mut Block,
+    dims: &mut BTreeMap<Ident, Vec<Dim>>,
+) -> Result<(), AutoGenRefusal> {
+    let fresh_unknown = |next_op: &mut u32| {
+        *next_op += 1;
+        Expr::Unknown(*next_op, pool.to_vec())
     };
 
-    // One summary assignment per visible written scalar, in first-write
-    // order. All writes must be unguarded.
+    // Scalars: all writes must be unguarded.
     let mut summarized_scalars: Vec<Ident> = Vec::new();
     for s in &refs.scalars {
         if !s.is_write || !visible(&s.name) || summarized_scalars.contains(&s.name) {
@@ -193,14 +335,10 @@ pub fn generate(unit: &ProcUnit, opts: &AutoGenOptions) -> Result<AnnotSub, Auto
             return Err(AutoGenRefusal::GuardedWrite(s.name.clone()));
         }
         summarized_scalars.push(s.name.clone());
-        out_body.push(Stmt::assign(
-            Expr::Var(s.name.clone()),
-            fresh_unknown(&operands),
-        ));
+        let rhs = fresh_unknown(next_op);
+        out_body.push(Stmt::assign(Expr::Var(s.name.clone()), rhs));
     }
 
-    // One summary assignment per array write access, in order.
-    let mut dims: BTreeMap<Ident, Vec<Dim>> = BTreeMap::new();
     for a in &refs.arrays {
         if !a.is_write {
             continue;
@@ -213,17 +351,17 @@ pub fn generate(unit: &ProcUnit, opts: &AutoGenOptions) -> Result<AnnotSub, Auto
         if a.guard_depth > 0 {
             return Err(AutoGenRefusal::GuardedWrite(a.array.clone()));
         }
+        let declared: &[Dim] = table
+            .get(&a.array)
+            .map(|s| s.dims.as_slice())
+            .unwrap_or(&[]);
         let regions = regions_of(a);
         let mut secs = Vec::with_capacity(regions.len());
-        for r in regions {
+        for (j, r) in regions.into_iter().enumerate() {
             let sec = match r {
                 DimRegion::Whole => SecRange::Full,
                 DimRegion::Point(e) => SecRange::At(e),
-                DimRegion::Range(lo, hi) => SecRange::Range {
-                    lo: Some(Box::new(lo)),
-                    hi: Some(Box::new(hi)),
-                    step: None,
-                },
+                DimRegion::Range(lo, hi) => normalize_full(lo, hi, declared.get(j)),
                 DimRegion::Unknown => {
                     return Err(AutoGenRefusal::UnrepresentableRegion(a.array.clone()))
                 }
@@ -261,7 +399,8 @@ pub fn generate(unit: &ProcUnit, opts: &AutoGenOptions) -> Result<AnnotSub, Auto
         } else {
             Expr::Section(a.array.clone(), secs)
         };
-        out_body.push(Stmt::assign(lhs, fresh_unknown(&operands)));
+        let rhs = fresh_unknown(next_op);
+        out_body.push(Stmt::assign(lhs, rhs));
         // Record the declared shape so the annotation inliner can map
         // actuals dimension-wise.
         if let Some(sym) = table.get(&a.array) {
@@ -269,27 +408,36 @@ pub fn generate(unit: &ProcUnit, opts: &AutoGenOptions) -> Result<AnnotSub, Auto
                 .or_insert_with(|| sym.dims.clone());
         }
     }
-
-    // Shapes for formal arrays that are only read also matter.
-    for p in &unit.params {
-        if let Some(sym) = table.get(p) {
-            if sym.is_array() {
-                dims.entry(p.clone()).or_insert_with(|| sym.dims.clone());
-            }
-        }
-    }
-
-    Ok(AnnotSub {
-        name: unit.name.clone(),
-        params: unit.params.clone(),
-        dims,
-        types: BTreeMap::new(),
-        body: out_body,
-    })
+    Ok(())
 }
 
-/// Generate annotations for every subroutine in a program that qualifies;
-/// returns the registry and the per-unit refusals.
+/// A `1 : extent` range over a dimension declared with exactly that extent
+/// *is* the full dimension. Normalizing it to `SecRange::Full` matters for
+/// privatization: the kill analysis compares derived regions against
+/// whole-array reads syntactically, and `X` / `X[1:16]` only join when
+/// both sides use the `Full` form (cf. `DimRegion::covers`, which never
+/// treats a range as covering a whole-array access).
+fn normalize_full(lo: Expr, hi: Expr, declared: Option<&Dim>) -> SecRange {
+    if let (Expr::Int(1), Some(Dim::Extent(ext))) = (&lo, declared) {
+        let mut a = hi.clone();
+        let mut b = ext.clone();
+        fold_expr(&mut a);
+        fold_expr(&mut b);
+        if a == b {
+            return SecRange::Full;
+        }
+    }
+    SecRange::Range {
+        lo: Some(Box::new(lo)),
+        hi: Some(Box::new(hi)),
+        step: None,
+    }
+}
+
+/// Generate *leaf* annotations for every subroutine in a program that
+/// qualifies; returns the registry and the per-unit refusals. Chain-aware
+/// generation (which lifts the `MakesCalls` refusals) lives in
+/// [`crate::chain::generate_with_chains`].
 pub fn generate_program(
     p: &Program,
     opts: &AutoGenOptions,
@@ -312,7 +460,7 @@ pub fn generate_program(
 
 /// Remove `IF` statements whose branches contain only error handling
 /// (`WRITE`, `STOP`, `CONTINUE`) — the §III-B3 relaxation.
-fn strip_error_handlers(block: &mut Block) {
+pub(crate) fn strip_error_handlers(block: &mut Block) {
     fn is_error_block(b: &Block) -> bool {
         b.iter().all(|s| match &s.kind {
             StmtKind::Write { .. } | StmtKind::Stop { .. } | StmtKind::Continue => true,
@@ -388,6 +536,32 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn full_extent_ranges_normalize_to_whole_array() {
+        // A write sweeping 1..16 over a dimension declared (16) must come
+        // out as the whole-array form — the privatization analysis only
+        // joins `Full` with whole-array reads, so the range form would
+        // silently lose the kill.
+        let u = unit_of(
+            "      SUBROUTINE STR(MB)
+      COMMON /WRK/ TWORK(16)
+      DO K = 1, 16
+        TWORK(K) = MB*0.5 + K
+      ENDDO
+      END
+",
+            "STR",
+        );
+        let sub = generate(&u, &AutoGenOptions::default()).unwrap();
+        assert_eq!(sub.body.len(), 1);
+        assert!(
+            matches!(&sub.body[0].kind,
+            StmtKind::Assign { lhs: Expr::Var(n), rhs: Expr::Unknown(_, _) } if n == "TWORK"),
+            "{:?}",
+            sub.body[0].kind
+        );
     }
 
     #[test]
@@ -495,6 +669,21 @@ mod tests {
             generate(&u, &AutoGenOptions::default()),
             Err(AutoGenRefusal::MakesCalls(_))
         ));
+    }
+
+    #[test]
+    fn makes_calls_display_is_comma_separated_and_located() {
+        let u = unit_of(
+            "      SUBROUTINE FSMP(ID)
+      CALL GETCR(ID)
+      CALL SHAPE1
+      END
+",
+            "FSMP",
+        );
+        let err = generate(&u, &AutoGenOptions::default()).unwrap_err();
+        let msg = err.to_string();
+        assert_eq!(msg, "makes calls: GETCR (line 2), SHAPE1 (line 3)");
     }
 
     #[test]

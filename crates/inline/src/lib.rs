@@ -15,12 +15,18 @@
 //!
 //! * [`autogen`] — automatic annotation generation for leaf subroutines
 //!   whose side effects are exactly representable;
+//! * [`chain`] — chain-aware generation over the call graph: callee
+//!   summaries are substituted bottom-up so non-leaf subroutines can be
+//!   summarized too (with a documented widening/refusal algebra);
 //! * [`soundness`] — static MOD/REF verification of user-supplied
 //!   annotations against the implementations they summarize.
+
+#![warn(missing_docs)]
 
 pub mod annot;
 pub mod annot_inline;
 pub mod autogen;
+pub mod chain;
 pub mod conventional;
 pub mod heuristics;
 pub mod reverse;
@@ -29,6 +35,7 @@ pub mod soundness;
 pub use annot::{AnnotRegistry, AnnotSub};
 pub use annot_inline::AnnotInlineReport;
 pub use autogen::{generate, generate_program, AutoGenOptions, AutoGenRefusal};
+pub use chain::{generate_with_chains, CallSite, ChainReport, SiteClass};
 pub use conventional::{inline_program, ConvReport};
 pub use heuristics::{Heuristics, SkipReason};
 pub use reverse::ReverseReport;

@@ -33,7 +33,8 @@ pub struct AppEvaluation {
     pub fig20: Vec<Fig20Point>,
     /// Verification results per configuration.
     pub verify: Vec<(InlineMode, VerifyResult)>,
-    /// The three pipeline results, for deeper inspection.
+    /// One pipeline result per configuration (including `auto-annot`),
+    /// for deeper inspection.
     pub results: Vec<(InlineMode, PipelineResult)>,
     /// Structured failures for configurations that did not complete
     /// (empty on the healthy path).
@@ -116,7 +117,8 @@ pub fn evaluate_suite_with_metrics(
 
 /// The pre-driver serial path: per configuration, one three-run `verify`
 /// against the original plus a separate sequential run for the cost model
-/// — 12 interpreter runs per application, no memoization. Kept as the
+/// — 16 interpreter runs per application (4 configurations), no
+/// memoization. Kept as the
 /// measured baseline for the `driver_scaling` benchmark and the
 /// driver-equivalence tests.
 pub fn evaluate_app_serial(app: &App, machines: &[Machine]) -> AppEvaluation {
@@ -206,7 +208,7 @@ mod tests {
         assert_eq!(annot.config, "annotation");
         assert_eq!(annot.par_loss, 0);
         assert!(annot.par_extra >= 1, "{annot:?}");
-        assert_eq!(ev.fig20.len(), 3); // 3 configs × 1 machine
+        assert_eq!(ev.fig20.len(), 4); // 4 configs × 1 machine
     }
 
     #[test]

@@ -8,14 +8,14 @@
 //! tree-walker's observable semantics *exactly* — same io, same total op
 //! count, same `ParLoopEvent`s, same races, same final memory:
 //!
-//! * each [`ProcUnit`] is lowered once into a flat [`Insn`] stream whose
+//! * each [`ProcUnit`] is lowered once into a flat `Insn` stream whose
 //!   operands are frame-local indices resolved at compile time; a frame is
 //!   a dense `Vec<Option<View>>` instead of two hash maps;
-//! * DO loops execute as jump-back instructions ([`Insn::DoInit`] /
-//!   [`Insn::DoNext`]) with an arithmetic trip count — no iteration vector
+//! * DO loops execute as jump-back instructions (`Insn::DoInit` /
+//!   `Insn::DoNext`) with an arithmetic trip count — no iteration vector
 //!   is ever materialized;
 //! * subscript vectors reuse one scratch buffer in the VM state;
-//! * op accounting is amortized to straight-line runs: one [`Insn::Tick`]
+//! * op accounting is amortized to straight-line runs: one `Insn::Tick`
 //!   carries the statically known cost of a maximal block of simple
 //!   statements. Totals stay byte-identical because the reference engine's
 //!   per-node costs are static (its `eval` never short-circuits) and every
@@ -763,6 +763,8 @@ struct VmState {
     par_events: Vec<ParLoopEvent>,
     races: Vec<RaceViolation>,
     par_depth: usize,
+    /// Depth of nested `Call` frames (bounded like the reference engine).
+    call_depth: usize,
     write_log: Option<Vec<(usize, usize, f64)>>,
     race: RaceState,
     /// Value stack, shared by every frame of this VM.
@@ -1390,10 +1392,16 @@ fn run_frame(
                 st.argv.push(View::scalar(slot, 0));
             }
             Insn::Call(target, nargs) => {
+                if st.call_depth >= crate::interp::MAX_CALL_DEPTH {
+                    return Err(RtError::call_depth());
+                }
                 let views = st.argv.split_off(st.argv.len() - *nargs as usize);
                 let mark = st.mem.mark();
                 let callee = build_frame(cx, st, *target as usize, &views)?;
-                let flow = run_frame(cx, st, *target as usize, &callee, 0, None)?;
+                st.call_depth += 1;
+                let flow = run_frame(cx, st, *target as usize, &callee, 0, None);
+                st.call_depth -= 1;
+                let flow = flow?;
                 st.mem.release(mark);
                 if let Flow::Stop(m) = flow {
                     unwind_loops(st, unit, &mut loops);

@@ -47,6 +47,12 @@ pub enum Engine {
 /// engine uses in `resolve_dims`).
 pub(crate) const DEFAULT_MAX_OPS: u64 = 2_000_000_000;
 
+/// Nested `CALL` frames beyond this many abort the run. MiniF77 forbids
+/// recursion, so a deeper chain is a runaway cycle — and each nested call
+/// consumes native stack the op budget cannot see, so the fuel alone
+/// would let a recursive mutant overflow the stack before it ran dry.
+pub(crate) const MAX_CALL_DEPTH: usize = 128;
+
 /// Execution options.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
@@ -185,6 +191,13 @@ impl RtError {
     pub(crate) fn budget() -> RtError {
         RtError {
             message: "op budget exhausted (possible runaway loop)".into(),
+            kind: RtErrorKind::Budget,
+        }
+    }
+
+    pub(crate) fn call_depth() -> RtError {
+        RtError {
+            message: "call depth exceeded (runaway recursion)".into(),
             kind: RtErrorKind::Budget,
         }
     }
@@ -352,6 +365,8 @@ struct State {
     races: Vec<RaceViolation>,
     /// Depth of enclosing directive loops (suppresses nested handling).
     par_depth: usize,
+    /// Depth of nested `CALL` frames (bounded by [`MAX_CALL_DEPTH`]).
+    call_depth: usize,
     /// Active write log (thread-sim mode).
     write_log: Option<Vec<(usize, usize, f64)>>,
     /// Access recorder for race checking: (slot, off) → (iter, was_write).
@@ -868,9 +883,15 @@ impl<'a> Interp<'a> {
             views.push(self.arg_view(a, frame)?);
         }
 
+        if self.st.call_depth >= MAX_CALL_DEPTH {
+            return Err(RtError::call_depth());
+        }
         let mark = self.st.mem.mark();
         let callee_frame = build_frame(self.ctx, &mut self.st, unit_idx, &views, self.opts)?;
-        let flow = self.exec_unit(unit_idx, &callee_frame)?;
+        self.st.call_depth += 1;
+        let flow = self.exec_unit(unit_idx, &callee_frame);
+        self.st.call_depth -= 1;
+        let flow = flow?;
         self.st.mem.release(mark);
         match flow {
             Flow::Stop(m) => Ok(Flow::Stop(m)),
@@ -1466,6 +1487,34 @@ mod tests {
         // The COMMON is pre-allocated and retains the last call's write.
         let q = many.memory.commons[&("LZ".to_string(), "Q".to_string())];
         assert_eq!(many.memory.slots[q].get(2), Scalar::F(3.0));
+    }
+
+    #[test]
+    fn runaway_recursion_errors_instead_of_overflowing() {
+        // MiniF77 forbids recursion, but mutated inputs (the chaos
+        // harness rewires call graphs) can manufacture cycles. Both
+        // engines must cut the run off with a structured budget-class
+        // error well before the native stack runs out.
+        let src = "      PROGRAM P
+      CALL A(1)
+      END
+      SUBROUTINE A(K)
+      CALL B(K)
+      END
+      SUBROUTINE B(K)
+      CALL A(K)
+      END
+";
+        let p = parse(src).unwrap();
+        for engine in [Engine::TreeWalk, Engine::Bytecode] {
+            let opts = ExecOptions {
+                engine,
+                ..Default::default()
+            };
+            let err = run(&p, &opts).expect_err("recursive program must fail");
+            assert!(err.is_budget(), "{engine:?}: {err:?}");
+            assert!(err.message.contains("call depth"), "{engine:?}: {err:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Acceptance check for chain-aware annotation autogen (`finline::chain`)
+//! on the real suite: several PERFECT members must gain auto-summarized
+//! *non-leaf* call sites, and on the loops containing those sites the
+//! `auto-annot` configuration must reach byte-identical parallelization
+//! decisions to the manual-annotation configuration.
+
+use std::collections::BTreeSet;
+
+use fir::ast::{Block, Ident, LoopId, StmtKind};
+use fir::visit::called_names;
+use ipp_core::{compile, InlineMode, PipelineOptions};
+
+/// Loop ids (from the original, pre-inlining program) whose bodies call —
+/// directly, at any nesting depth — one of `targets`.
+fn loops_calling(body: &Block, targets: &BTreeSet<Ident>, out: &mut BTreeSet<LoopId>) {
+    for s in body {
+        match &s.kind {
+            StmtKind::Do(d) => {
+                if called_names(&d.body).iter().any(|n| targets.contains(n)) {
+                    out.insert(d.id.clone());
+                }
+                loops_calling(&d.body, targets, out);
+            }
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                loops_calling(then_blk, targets, out);
+                loops_calling(else_blk, targets, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn chain_autogen_matches_manual_decisions_on_at_least_three_apps() {
+    let mut chain_apps = Vec::new();
+
+    for app in perfect::all() {
+        let p = app.program();
+        let reg = app.registry();
+        let auto = compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::AutoAnnot));
+        let rep = auto
+            .autogen
+            .as_ref()
+            .expect("auto-annot mode always attaches a chain report");
+
+        // Every chain-derived sub must have at least one auto-classified
+        // call site somewhere in the program.
+        let chained: BTreeSet<Ident> = rep.chain_derived.iter().cloned().collect();
+        for name in &chained {
+            assert!(
+                rep.auto_sites() > 0 && rep.sites.iter().any(|s| &s.callee == name),
+                "{}: chain-derived {name} has no recorded call site",
+                app.name
+            );
+        }
+        if chained.is_empty() {
+            continue;
+        }
+
+        // The loops that drive the chain-derived subroutines must get the
+        // same verdict under manual annotations and under autogen.
+        let manual = compile(&p, &reg, &PipelineOptions::for_mode(InlineMode::Annotation));
+        let mut affected = BTreeSet::new();
+        for unit in &p.units {
+            loops_calling(&unit.body, &chained, &mut affected);
+        }
+        assert!(
+            !affected.is_empty(),
+            "{}: chain-derived subs {chained:?} are never called from a loop",
+            app.name
+        );
+        let auto_par = auto.parallel_loops();
+        let manual_par = manual.parallel_loops();
+        for id in &affected {
+            assert_eq!(
+                auto_par.contains(id),
+                manual_par.contains(id),
+                "{}: loop {id} decided differently (auto={}, manual={})",
+                app.name,
+                auto_par.contains(id),
+                manual_par.contains(id)
+            );
+        }
+        chain_apps.push((app.name, chained, affected));
+    }
+
+    assert!(
+        chain_apps.len() >= 3,
+        "expected >=3 apps with chain-derived non-leaf call sites, got {chain_apps:?}"
+    );
+}

@@ -4,7 +4,8 @@
 //! worker count, the Table II rows, Figure 20 points, and emitted sources
 //! must be byte-identical to the single-worker run. And the caching layer
 //! must actually cut interpreter runs: 12 memoized baselines shared across
-//! 36 cells, 82 total runs instead of the legacy path's 144.
+//! 48 cells (four modes since the auto-annot configuration landed), 90
+//! total runs instead of the naive path's 192.
 
 use fruntime::Machine;
 use ipp_core::driver::DriverOptions;
@@ -26,11 +27,13 @@ fn concurrent_driver_is_byte_identical_to_single_worker() {
     assert_eq!(base.len(), 12);
 
     // Single-worker run accounting is fully deterministic: one baseline
-    // per app (12), two verification runs per cell (72), minus two runs
-    // for the one configuration pair that emits identical source.
-    assert_eq!(base_metrics.interp_runs, 82);
-    assert_eq!(base_metrics.baseline_memo_hits, 24);
-    assert_eq!(base_metrics.verify_cache_hits, 1);
+    // per app (12), two verification runs per cell (96), minus two runs
+    // per configuration pair that emits byte-identical source (nine such
+    // pairs: one annotation/no-op pair from before the auto-annot mode,
+    // plus the apps whose auto-annot output matches another mode's).
+    assert_eq!(base_metrics.interp_runs, 90);
+    assert_eq!(base_metrics.baseline_memo_hits, 36);
+    assert_eq!(base_metrics.verify_cache_hits, 9);
     for phase in ipp_core::Phase::ALL {
         assert!(
             base_metrics.phases.count_of(phase) > 0,
@@ -77,9 +80,9 @@ fn concurrent_driver_is_byte_identical_to_single_worker() {
         // exactly once); the baseline-memo hit counter alone may undercount
         // when a worker arrives while the baseline is still initializing,
         // so it only gets an upper bound here.
-        assert_eq!(metrics.interp_runs, 82, "{workers} workers");
-        assert_eq!(metrics.verify_cache_hits, 1, "{workers} workers");
-        assert!(metrics.baseline_memo_hits <= 24, "{workers} workers");
+        assert_eq!(metrics.interp_runs, 90, "{workers} workers");
+        assert_eq!(metrics.verify_cache_hits, 9, "{workers} workers");
+        assert!(metrics.baseline_memo_hits <= 36, "{workers} workers");
         assert_eq!(metrics.workers, workers);
     }
 }
@@ -106,14 +109,14 @@ fn poisoned_job_degrades_alone_at_every_worker_count() {
         };
         let (evals, metrics) = evaluate_suite_with_metrics(&machines, &opts);
         assert_eq!(evals.len(), 12);
-        assert_eq!(metrics.failed_cells, 3, "{workers} workers");
-        assert_eq!(metrics.failures.len(), 3, "{workers} workers");
+        assert_eq!(metrics.failed_cells, 4, "{workers} workers");
+        assert_eq!(metrics.failures.len(), 4, "{workers} workers");
         assert!(metrics.failures.iter().all(|f| f.app == "QCD"));
 
         for (h, e) in healthy.iter().zip(&evals) {
             if h.name == "QCD" {
                 assert!(!e.all_verified());
-                assert_eq!(e.failures.len(), 3);
+                assert_eq!(e.failures.len(), 4);
                 assert!(e.rows.is_empty(), "no Table II rows for a failed app");
                 for f in &e.failures {
                     assert!(
