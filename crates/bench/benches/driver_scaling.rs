@@ -19,6 +19,7 @@ const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 struct DriverSample {
     workers: usize,
+    effective_workers: usize,
     median: Duration,
     interp_runs: u64,
     memo_hits: u64,
@@ -50,15 +51,17 @@ fn main() {
         });
         let m = last_metrics.expect("at least one sample ran");
         println!(
-            "bench: {:<44} median {:>12}   (interp-runs {}, memo-hits {}, cache-hits {})",
+            "bench: {:<44} median {:>12}   (effective-workers {}, interp-runs {}, memo-hits {}, cache-hits {})",
             format!("driver_scaling/driver-w{workers}"),
             fmt_dur(median),
+            m.workers,
             m.interp_runs,
             m.baseline_memo_hits,
             m.verify_cache_hits
         );
         samples.push(DriverSample {
             workers,
+            effective_workers: m.workers,
             median,
             interp_runs: m.interp_runs,
             memo_hits: m.baseline_memo_hits,
@@ -77,8 +80,9 @@ fn main() {
         .iter()
         .map(|s| {
             format!(
-                "{{\"workers\":{},\"median_ns\":{},\"interp_runs\":{},\"baseline_memo_hits\":{},\"verify_cache_hits\":{}}}",
+                "{{\"workers\":{},\"effective_workers\":{},\"median_ns\":{},\"interp_runs\":{},\"baseline_memo_hits\":{},\"verify_cache_hits\":{}}}",
                 s.workers,
+                s.effective_workers,
                 s.median.as_nanos(),
                 s.interp_runs,
                 s.memo_hits,

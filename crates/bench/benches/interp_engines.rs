@@ -8,13 +8,20 @@
 //! the VM — the driver amortizes the compile over two runs).
 //!
 //! Emits `crates/bench/artifacts/interp_engines.json` with per-engine
-//! medians and the headline speedup. `IPP_BENCH_QUICK=1` runs a reduced
+//! medians, the headline speedup, the VM's execution-counter block, and
+//! the allocation count of one warm VM pass (a counting global allocator
+//! is installed, so the artifact records how much heap traffic the
+//! workload actually causes). `IPP_BENCH_QUICK=1` runs a reduced
 //! workload and skips the artifact write (the CI smoke mode).
 
+use bench::harness::alloc_counter::{self, CountingAlloc};
 use bench::harness::{fmt_dur, median_of};
-use fruntime::{run, Engine, ExecOptions};
+use fruntime::{run, Engine, ExecOptions, VmCounters};
 use ipp_core::{compile, InlineMode, PipelineOptions};
 use std::time::Duration;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn engine_opts(engine: Engine) -> ExecOptions {
     ExecOptions {
@@ -77,19 +84,44 @@ fn main() {
     let speedup = tree.as_secs_f64() / vm.as_secs_f64();
     println!("\ninterp_engines: bytecode VM vs tree-walker = {speedup:.2}x");
 
+    // One extra warm VM pass, metered: aggregate execution counters and
+    // the allocation events the whole workload costs after warmup.
+    let vm_opts = engine_opts(Engine::Bytecode);
+    let ((ctr, _checksum), allocs) = alloc_counter::count(|| {
+        let mut ctr = VmCounters::default();
+        let mut checksum = 0u64;
+        for (name, p) in &programs {
+            let r = run(p, &vm_opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+            ctr.absorb(&r.vm);
+            checksum = checksum.wrapping_add(r.total_ops);
+        }
+        (ctr, checksum)
+    });
+    println!(
+        "vm counters: insns={} calls={} pool_hits={} pool_misses={} peak_depth={} warm_allocs={} (pass allocs={allocs})",
+        ctr.insns_retired, ctr.calls, ctr.pool_hits, ctr.pool_misses, ctr.peak_call_depth, ctr.warm_allocs
+    );
+
     if quick {
         println!("quick mode: skipping artifact write");
         return;
     }
 
     let json = format!(
-        "{{\"bench\":\"interp_engines\",\"samples_per_point\":{},\"workload\":\"race-checked sequential verification run, {} programs ({} apps x 3 inline modes)\",\"tree_walker_median_ns\":{},\"bytecode_vm_median_ns\":{},\"speedup_vm_vs_tree\":{:.4}}}\n",
+        "{{\"bench\":\"interp_engines\",\"samples_per_point\":{},\"workload\":\"race-checked sequential verification run, {} programs ({} apps x 3 inline modes)\",\"tree_walker_median_ns\":{},\"bytecode_vm_median_ns\":{},\"speedup_vm_vs_tree\":{:.4},\"vm_counters\":{{\"insns_retired\":{},\"calls\":{},\"pool_hits\":{},\"pool_misses\":{},\"peak_call_depth\":{},\"warm_allocs\":{}}},\"vm_pass_alloc_events\":{}}}\n",
         samples,
         programs.len(),
         apps.len(),
         tree.as_nanos(),
         vm.as_nanos(),
-        speedup
+        speedup,
+        ctr.insns_retired,
+        ctr.calls,
+        ctr.pool_hits,
+        ctr.pool_misses,
+        ctr.peak_call_depth,
+        ctr.warm_allocs,
+        allocs
     );
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("artifacts");
     std::fs::create_dir_all(&dir).expect("create artifacts dir");

@@ -163,6 +163,62 @@ pub fn fmt_dur(d: Duration) -> String {
     }
 }
 
+/// Heap-allocation metering for the zero-allocation benches and tests.
+///
+/// Install [`alloc_counter::CountingAlloc`] as the binary's
+/// `#[global_allocator]`, then bracket the region of interest with
+/// [`alloc_counter::count`]. The counter is a single relaxed atomic —
+/// cheap enough to leave on for timed runs, precise enough to prove a
+/// hot path steady-states at zero.
+pub mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// `System` allocator wrapper that counts every allocation event
+    /// (`alloc`, `alloc_zeroed`, and growth via `realloc`; frees are not
+    /// counted — the claim under test is about *acquiring* memory).
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    /// Allocation events since process start (0 forever unless
+    /// [`CountingAlloc`] is the installed global allocator).
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Run `f` and return its result plus the number of allocation
+    /// events it performed. Only meaningful on a single-threaded region:
+    /// the counter is process-global.
+    pub fn count<T>(f: impl FnOnce() -> T) -> (T, u64) {
+        let before = allocations();
+        let out = f();
+        let n = allocations() - before;
+        (out, n)
+    }
+}
+
 /// Time a whole closure once (for suite-level scaling benches).
 pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let t = Instant::now();

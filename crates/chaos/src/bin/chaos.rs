@@ -1,7 +1,7 @@
 //! Fault-injection campaign runner.
 //!
 //! ```text
-//! chaos [--mutants N] [--seed S] [--threads T] [--max-ops M] [--json]
+//! chaos [--mutants N] [--seed S] [--threads T] [--max-ops M] [--engine vm|tree] [--json]
 //! ```
 //!
 //! Exit status 0 when the campaign passes (no panics, no unlocated parse
@@ -25,10 +25,20 @@ fn main() {
             "--seed" => opts.seed = num("--seed"),
             "--threads" => opts.threads = num("--threads") as usize,
             "--max-ops" => opts.max_ops = num("--max-ops"),
+            "--engine" => {
+                opts.engine = match args.next().as_deref() {
+                    Some("vm") | Some("bytecode") => fruntime::Engine::Bytecode,
+                    Some("tree") | Some("tree-walk") => fruntime::Engine::TreeWalk,
+                    other => {
+                        eprintln!("chaos: --engine needs vm|tree, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--json" => json = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: chaos [--mutants N] [--seed S] [--threads T] [--max-ops M] [--json]"
+                    "usage: chaos [--mutants N] [--seed S] [--threads T] [--max-ops M] [--engine vm|tree] [--json]"
                 );
                 return;
             }

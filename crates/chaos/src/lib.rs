@@ -410,6 +410,10 @@ pub struct CampaignOptions {
     /// Per-run op budget handed to the driver (the anti-hang deadline;
     /// kept small so runaway mutants die fast).
     pub max_ops: u64,
+    /// Execution engine mutants run under. Campaigns default to the
+    /// bytecode VM (the production engine); a tree-walker slice keeps the
+    /// reference engine under the same fault pressure.
+    pub engine: fruntime::Engine,
 }
 
 impl Default for CampaignOptions {
@@ -419,6 +423,7 @@ impl Default for CampaignOptions {
             mutants: 500,
             threads: 0,
             max_ops: 2_000_000,
+            engine: fruntime::Engine::default(),
         }
     }
 }
@@ -506,6 +511,7 @@ pub fn run_mutant(
     index: usize,
     apps: &[Corpus],
     max_ops: u64,
+    engine: fruntime::Engine,
 ) -> MutantRecord {
     let mut rng = Rng::new(corpus_idx_seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let app = &apps[index % apps.len()];
@@ -541,7 +547,7 @@ pub fn run_mutant(
     };
 
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        evaluate_mutant(&app.name, &source, &annotations, max_ops)
+        evaluate_mutant(&app.name, &source, &annotations, max_ops, engine)
     }))
     .unwrap_or_else(|payload| Outcome::Panicked(ipp_core::error::panic_message(&*payload)));
 
@@ -554,7 +560,13 @@ pub fn run_mutant(
     }
 }
 
-fn evaluate_mutant(name: &str, source: &str, annotations: &str, max_ops: u64) -> Outcome {
+fn evaluate_mutant(
+    name: &str,
+    source: &str,
+    annotations: &str,
+    max_ops: u64,
+    engine: fruntime::Engine,
+) -> Outcome {
     let program = match fir::parse(source) {
         Ok(p) => p,
         Err(e) => {
@@ -589,6 +601,7 @@ fn evaluate_mutant(name: &str, source: &str, annotations: &str, max_ops: u64) ->
         verify_threads: 2,
         machines: Vec::<Machine>::new(),
         verify_max_ops: max_ops,
+        engine,
         ..Default::default()
     };
     let (report, metrics) = run_app(&job, &opts);
@@ -648,7 +661,7 @@ pub fn run_campaign(opts: &CampaignOptions) -> CampaignStats {
                 if i >= opts.mutants {
                     return;
                 }
-                let rec = run_mutant(opts.seed, i, &apps, opts.max_ops);
+                let rec = run_mutant(opts.seed, i, &apps, opts.max_ops, opts.engine);
                 records
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -747,7 +760,13 @@ mod tests {
         let mut rng = Rng::new(0xC411);
         for _ in 0..8 {
             let mutated = rewire_call(&mut rng, app.source).expect("MDG has calls to rewire");
-            let outcome = evaluate_mutant("MDG", &mutated, app.annotations, 200_000);
+            let outcome = evaluate_mutant(
+                "MDG",
+                &mutated,
+                app.annotations,
+                200_000,
+                fruntime::Engine::default(),
+            );
             assert!(
                 !matches!(outcome, Outcome::Panicked(_)),
                 "rewired chain panicked: {outcome:?}"
@@ -766,8 +785,8 @@ mod tests {
                 annotations: a.annotations.to_string(),
             })
             .collect();
-        let a = run_mutant(99, 5, &apps, 100_000);
-        let b = run_mutant(99, 5, &apps, 100_000);
+        let a = run_mutant(99, 5, &apps, 100_000, fruntime::Engine::default());
+        let b = run_mutant(99, 5, &apps, 100_000, fruntime::Engine::default());
         assert_eq!(a.mutation, b.mutation);
         assert_eq!(a.app, b.app);
         assert_eq!(

@@ -71,6 +71,10 @@ pub struct DriverOptions {
     /// that burns through this much work is degraded to a reported
     /// [`FailCause::Timeout`] instead of running away with a worker.
     pub verify_max_ops: u64,
+    /// Execution engine for every interpreter run the driver pays for
+    /// (baseline and verification). Defaults to the bytecode VM; the
+    /// tree-walker stays available as the differential reference.
+    pub engine: fruntime::Engine,
     /// Chaos seam: cells of applications named here panic deliberately at
     /// the start of evaluation, to exercise the driver's `catch_unwind`
     /// isolation boundary (used by the fault-isolation tests and the
@@ -88,20 +92,27 @@ impl Default for DriverOptions {
             baseline_memo: true,
             verify_cache: true,
             verify_max_ops: ExecOptions::default().max_ops,
+            engine: fruntime::Engine::default(),
             inject_panic: Vec::new(),
         }
     }
 }
 
 impl DriverOptions {
-    /// Resolved worker count.
+    /// Resolved worker count, clamped to the host's available
+    /// parallelism. Every cell's verification already runs a threaded
+    /// executor ([`DriverOptions::verify_threads`]), so oversubscribing
+    /// the pool on top of that only adds scheduler churn — a request for
+    /// more workers than cores is capped, and `workers = 0` asks for one
+    /// per available core.
     pub fn effective_workers(&self) -> usize {
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         if self.workers > 0 {
-            self.workers
+            self.workers.min(avail).max(1)
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            avail
         }
     }
 
@@ -331,11 +342,13 @@ fn evaluate_cell_inner(
     let max_ops = opts.verify_max_ops;
     let base_opts = ExecOptions {
         max_ops,
+        engine: opts.engine,
         ..Default::default()
     };
     let par_opts = ExecOptions {
         threads: opts.effective_verify_threads(),
         max_ops,
+        engine: opts.engine,
         ..Default::default()
     };
 
@@ -446,6 +459,13 @@ fn evaluate_cell_inner(
         loops_parallel: result.parallel_loops().len(),
         interp_runs: cell_runs,
         verify_cached,
+        // Cache-served cells report zero counters so the suite aggregate
+        // counts VM work actually executed, not work saved by dedup.
+        vm: if verify_cached {
+            fruntime::VmCounters::default()
+        } else {
+            verify.vm
+        },
         autogen: result
             .autogen
             .as_ref()
@@ -505,6 +525,7 @@ fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> Su
             match outcome {
                 CellOutcome::Done(done) => {
                     metrics.phases.merge(&done.metrics.phases);
+                    metrics.vm.absorb(&done.metrics.vm);
                     metrics.cells.push(done.metrics);
                     fig20.extend(done.fig20);
                     verifies.push((mode, done.verify));

@@ -200,6 +200,18 @@ pub struct CellMetrics {
     pub verify_cached: bool,
     /// Autogen coverage counters; present only on `auto-annot` cells.
     pub autogen: Option<AutogenCoverage>,
+    /// VM execution counters from this cell's verification runs (zeros
+    /// when cache-served, so the suite aggregate counts actual work, and
+    /// on tree-walker runs).
+    pub vm: fruntime::VmCounters,
+}
+
+/// Serialize a [`fruntime::VmCounters`] block.
+fn vm_to_json(c: &fruntime::VmCounters) -> String {
+    format!(
+        "{{\"insns_retired\":{},\"calls\":{},\"pool_hits\":{},\"pool_misses\":{},\"peak_call_depth\":{},\"warm_allocs\":{}}}",
+        c.insns_retired, c.calls, c.pool_hits, c.pool_misses, c.peak_call_depth, c.warm_allocs
+    )
 }
 
 impl CellMetrics {
@@ -214,7 +226,7 @@ impl CellMetrics {
             None => String::new(),
         };
         format!(
-            "{{\"app\":{},\"config\":{},\"phases\":{},\"blockers\":{{{}}},\"loops_total\":{},\"loops_parallel\":{},\"interp_runs\":{},\"verify_cached\":{}{}}}",
+            "{{\"app\":{},\"config\":{},\"phases\":{},\"blockers\":{{{}}},\"loops_total\":{},\"loops_parallel\":{},\"interp_runs\":{},\"verify_cached\":{},\"vm\":{}{}}}",
             quote(&self.app),
             quote(&self.config),
             self.phases.to_json(),
@@ -223,6 +235,7 @@ impl CellMetrics {
             self.loops_parallel,
             self.interp_runs,
             self.verify_cached,
+            vm_to_json(&self.vm),
             autogen
         )
     }
@@ -287,6 +300,9 @@ pub struct SuiteMetrics {
     pub timed_out_cells: u64,
     /// Aggregate per-phase wall-clock across every cell.
     pub phases: PhaseTimings,
+    /// Aggregate VM execution counters across every cell (bytecode-engine
+    /// verification work only; zeros under the tree-walker).
+    pub vm: fruntime::VmCounters,
     /// One entry per (application × configuration) cell, suite order.
     pub cells: Vec<CellMetrics>,
     /// One entry per failed cell, suite order.
@@ -299,7 +315,7 @@ impl SuiteMetrics {
         let cells: Vec<String> = self.cells.iter().map(|c| c.to_json()).collect();
         let failures: Vec<String> = self.failures.iter().map(|f| f.to_json()).collect();
         format!(
-            "{{\"workers\":{},\"wall_ns\":{},\"interp_runs\":{},\"baseline_memo_hits\":{},\"verify_cache_hits\":{},\"failed_cells\":{},\"timed_out_cells\":{},\"phases\":{},\"cells\":[{}],\"failures\":[{}]}}",
+            "{{\"workers\":{},\"wall_ns\":{},\"interp_runs\":{},\"baseline_memo_hits\":{},\"verify_cache_hits\":{},\"failed_cells\":{},\"timed_out_cells\":{},\"phases\":{},\"vm\":{},\"cells\":[{}],\"failures\":[{}]}}",
             self.workers,
             self.wall_nanos,
             self.interp_runs,
@@ -308,6 +324,7 @@ impl SuiteMetrics {
             self.failed_cells,
             self.timed_out_cells,
             self.phases.to_json(),
+            vm_to_json(&self.vm),
             cells.join(","),
             failures.join(",")
         )
@@ -440,6 +457,7 @@ mod tests {
                 chain_derived_subs: 1,
                 refused_subs: 2,
             }),
+            vm: Default::default(),
         });
         m.failed_cells = 1;
         m.failures.push(FailureRecord {
@@ -457,6 +475,7 @@ mod tests {
         assert!(j.contains("\"failed_cells\":1"));
         assert!(j.contains("\"timeout\":true"));
         assert!(j.contains("\"autogen\":{\"auto_sites\":5"));
+        assert!(j.contains("\"vm\":{\"insns_retired\":0"));
         // The coverage markdown renders one row plus the total.
         let md = m.render_autogen_markdown();
         assert!(md.contains("| ADM | 5 | 1 | 2 | 4 | 1 | 2 |"), "{md}");

@@ -32,6 +32,9 @@ pub struct VerifyResult {
     pub total_ops: u64,
     /// Parallel-loop events (for the cost model).
     pub par_events: Vec<fruntime::ParLoopEvent>,
+    /// VM execution counters aggregated over both verification runs
+    /// (all zero when the tree-walker engine verified this cell).
+    pub vm: fruntime::VmCounters,
 }
 
 impl VerifyResult {
@@ -108,12 +111,15 @@ pub fn verify_with_baseline_using(
         Engine::TreeWalk => (run(optimized, &seq_opts)?, run(optimized, par_opts)?),
     };
 
+    let mut vm = seq.vm;
+    vm.absorb(&par.vm);
     Ok(VerifyResult {
         matches_original: base.same_observable(&seq, 1e-12),
         parallel_consistent: seq.same_observable(&par, 1e-9),
         races: seq.races.len(),
         total_ops: seq.total_ops,
         par_events: seq.par_events,
+        vm,
     })
 }
 

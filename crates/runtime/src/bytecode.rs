@@ -10,7 +10,9 @@
 //!
 //! * each [`ProcUnit`] is lowered once into a flat `Insn` stream whose
 //!   operands are frame-local indices resolved at compile time; a frame is
-//!   a dense `Vec<Option<View>>` instead of two hash maps;
+//!   a window of bare `(slot, offset)` registers on one flat register
+//!   stack (shapes live in a side arena), released by truncation so
+//!   steady-state calls allocate nothing;
 //! * DO loops execute as jump-back instructions (`Insn::DoInit` /
 //!   `Insn::DoNext`) with an arithmetic trip count — no iteration vector
 //!   is ever materialized;
@@ -37,9 +39,9 @@
 
 use crate::interp::{
     eval_bin, eval_intrinsic, host_cpus, ExecOptions, ParLoopEvent, RaceViolation, RtError,
-    RunResult, DEFAULT_MAX_OPS,
+    RunResult, VmCounters, DEFAULT_MAX_OPS, MAX_CALL_DEPTH,
 };
-use crate::memory::{Memory, Scalar, View};
+use crate::memory::{flat_view, view_len, Memory, Scalar};
 use fir::ast::*;
 use fir::symbol::{Storage, SymbolTable};
 use std::collections::HashMap;
@@ -47,8 +49,8 @@ use std::collections::HashMap;
 // ---------------------------------------------------------------------------
 // Compiled form
 
-/// One lowered instruction. Locals are indices into the frame's view
-/// vector; string-valued operands index the unit's literal pool.
+/// One lowered instruction. Locals are indices into the frame's register
+/// window; string-valued operands index the program's literal pool.
 #[derive(Debug, Clone)]
 enum Insn {
     /// Add the statically known cost of a straight-line run to the op
@@ -186,7 +188,6 @@ struct UnitCode {
     names: Vec<String>,
     loops: Vec<LoopMeta>,
     secs: Vec<Vec<SecDimPlan>>,
-    strs: Vec<String>,
     plan: FramePlan,
 }
 
@@ -199,6 +200,31 @@ pub struct CompiledProgram {
     /// Pre-resolved COMMON allocations `(block, member, ty, len)` in the
     /// reference engine's preallocation order.
     commons: Vec<(String, String, Type, usize)>,
+    /// Program-wide literal pool: WRITE strings, STOP messages, lowered
+    /// error texts. Instructions and [`Flow::Stop`] carry `u32` indices
+    /// into this pool, so stop/error propagation across unit boundaries
+    /// never clones a string — text materializes once, at the engine
+    /// boundary in [`run_compiled`].
+    strs: Vec<String>,
+}
+
+/// Deduplicating string interner backing [`CompiledProgram::strs`].
+#[derive(Default)]
+struct StrPool {
+    strs: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+impl StrPool {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.map.get(s) {
+            return i;
+        }
+        let i = self.strs.len() as u32;
+        self.strs.push(s.to_string());
+        self.map.insert(s.to_string(), i);
+        i
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -291,14 +317,14 @@ fn is_barrier(s: &Stmt) -> bool {
     )
 }
 
-/// Per-unit lowering state.
+/// Per-unit lowering state. Strings intern into the program-wide pool.
 struct UnitCompiler<'p> {
     names: Vec<String>,
     name_idx: HashMap<String, u32>,
     code: Vec<Insn>,
     loops: Vec<LoopMeta>,
     secs: Vec<Vec<SecDimPlan>>,
-    strs: Vec<String>,
+    strs: &'p mut StrPool,
     unit_by_name: &'p HashMap<&'p str, usize>,
 }
 
@@ -314,11 +340,7 @@ impl<'p> UnitCompiler<'p> {
     }
 
     fn stri(&mut self, s: &str) -> u32 {
-        if let Some(i) = self.strs.iter().position(|x| x == s) {
-            return i as u32;
-        }
-        self.strs.push(s.to_string());
-        (self.strs.len() - 1) as u32
+        self.strs.intern(s)
     }
 
     fn emit(&mut self, i: Insn) -> usize {
@@ -689,40 +711,37 @@ pub fn compile(p: &Program) -> CompiledProgram {
         let _ = u;
     }
 
-    let units = p
-        .units
-        .iter()
-        .zip(&tables)
-        .map(|(u, table)| {
-            let mut c = UnitCompiler {
-                names: Vec::new(),
-                name_idx: HashMap::new(),
-                code: Vec::new(),
-                loops: Vec::new(),
-                secs: Vec::new(),
-                strs: Vec::new(),
-                unit_by_name: &unit_by_name,
-            };
-            let mut plan = c.frame_plan(u, table);
-            c.block(&u.body);
-            c.emit(Insn::EndUnit);
-            plan.nlocals = c.names.len();
-            UnitCode {
-                name: u.name.clone(),
-                code: c.code,
-                names: c.names,
-                loops: c.loops,
-                secs: c.secs,
-                strs: c.strs,
-                plan,
-            }
-        })
-        .collect();
+    let mut pool = StrPool::default();
+    let mut units = Vec::with_capacity(p.units.len());
+    for (u, table) in p.units.iter().zip(&tables) {
+        let mut c = UnitCompiler {
+            names: Vec::new(),
+            name_idx: HashMap::new(),
+            code: Vec::new(),
+            loops: Vec::new(),
+            secs: Vec::new(),
+            strs: &mut pool,
+            unit_by_name: &unit_by_name,
+        };
+        let mut plan = c.frame_plan(u, table);
+        c.block(&u.body);
+        c.emit(Insn::EndUnit);
+        plan.nlocals = c.names.len();
+        units.push(UnitCode {
+            name: u.name.clone(),
+            code: c.code,
+            names: c.names,
+            loops: c.loops,
+            secs: c.secs,
+            plan,
+        });
+    }
 
     CompiledProgram {
         units,
         main,
         commons,
+        strs: pool.strs,
     }
 }
 
@@ -755,6 +774,110 @@ struct RaceState {
     reported: crate::interp::SlotSet,
 }
 
+/// `Reg::slot` sentinel: the local is unbound (no view yet).
+const UNBOUND: usize = usize::MAX;
+/// `Reg::dims_at` sentinel: the shape is the static element-view shape
+/// `[0]` (assumed-size from an `ArgElem`), not a dims-arena window.
+const DIMS_ELEM: usize = usize::MAX;
+/// The one shape every element-argument view shares.
+static ELEM_DIMS: [usize; 1] = [0];
+
+/// What a local denotes at runtime: a bare `(slot, offset)` pair plus a
+/// window into the [`RegStack`] dims arena. `Copy`, 4 words — binding a
+/// formal or passing an argument is a register copy, never a `View`
+/// clone.
+#[derive(Debug, Clone, Copy)]
+struct Reg {
+    /// Arena slot index, or [`UNBOUND`].
+    slot: usize,
+    /// Element offset of the first element.
+    offset: usize,
+    /// Start of the resolved extents in the dims arena ([`DIMS_ELEM`]
+    /// for element views). Meaningless when `dims_len == 0` (scalar).
+    dims_at: usize,
+    /// Number of resolved extents; 0 means scalar.
+    dims_len: usize,
+}
+
+impl Reg {
+    const NONE: Reg = Reg {
+        slot: UNBOUND,
+        offset: 0,
+        dims_at: 0,
+        dims_len: 0,
+    };
+
+    fn scalar(slot: usize, offset: usize) -> Reg {
+        Reg {
+            slot,
+            offset,
+            dims_at: 0,
+            dims_len: 0,
+        }
+    }
+
+    fn elem(slot: usize, offset: usize) -> Reg {
+        Reg {
+            slot,
+            offset,
+            dims_at: DIMS_ELEM,
+            dims_len: 1,
+        }
+    }
+}
+
+/// The register file: a flat stack of [`Reg`]s — each call frame is the
+/// window `[fb, fb + nlocals)`, with argument windows sitting just below
+/// the callee frame — plus the side arena holding every resolved shape.
+/// Frames release by truncation, so steady-state calls reuse capacity and
+/// allocate nothing.
+#[derive(Debug, Default)]
+struct RegStack {
+    regs: Vec<Reg>,
+    dims: Vec<usize>,
+}
+
+impl RegStack {
+    /// The resolved extents of `r` (empty for scalars).
+    #[inline]
+    fn dims_of(&self, r: Reg) -> &[usize] {
+        if r.dims_len == 0 {
+            &[]
+        } else if r.dims_at == DIMS_ELEM {
+            &ELEM_DIMS
+        } else {
+            &self.dims[r.dims_at..r.dims_at + r.dims_len]
+        }
+    }
+}
+
+/// Internal error representation: lowered error texts stay interned
+/// [`CompiledProgram::strs`] indices until the engine boundary, so the
+/// error paths of the hot loop never clone pool strings.
+#[derive(Debug, Clone)]
+enum VmErr {
+    /// An interned lowered message (`Insn::Bad`, `Insn::CallUnknown`).
+    Raise(u32),
+    /// An already-materialized runtime error.
+    Rt(RtError),
+}
+
+impl From<RtError> for VmErr {
+    fn from(e: RtError) -> VmErr {
+        VmErr::Rt(e)
+    }
+}
+
+impl VmErr {
+    /// Materialize against the program string pool.
+    fn into_rt(self, strs: &[String]) -> RtError {
+        match self {
+            VmErr::Raise(i) => RtError::new(strs[i as usize].clone()),
+            VmErr::Rt(e) => e,
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct VmState {
     mem: Memory,
@@ -769,15 +892,22 @@ struct VmState {
     race: RaceState,
     /// Value stack, shared by every frame of this VM.
     stack: Vec<Scalar>,
-    /// Pending argument views between `Arg*` and `Call`.
-    argv: Vec<View>,
+    /// Register file + dims arena, shared by every frame of this VM.
+    regs: RegStack,
+    /// Live DO loops of every frame (each `run_frame` owns a base index).
+    loop_stack: Vec<LoopRec>,
     /// Reusable subscript buffer.
     idx_scratch: Vec<i64>,
+    /// Reusable section-bounds buffers (`StoreSection`).
+    sec_bounds: Vec<(i64, i64)>,
+    sec_idx: Vec<i64>,
     /// WRITE line under construction.
     line: String,
     line_items: usize,
     /// Reusable chunk arena for inline (no-spawn) threaded execution.
     scratch: Option<Memory>,
+    /// Always-on execution counters.
+    ctr: VmCounters,
 }
 
 /// Immutable run context (shared by chunk workers).
@@ -790,17 +920,21 @@ struct Vx<'a> {
 enum Flow {
     Normal,
     Return,
-    Stop(String),
+    /// STOP with an interned message index.
+    Stop(u32),
 }
 
-/// One live loop on a frame's loop stack.
+/// One live loop on the shared loop stack. `Copy` so `DoNext` can pull
+/// the record out by value, advance it, and write it back without
+/// holding a borrow across memory writes.
+#[derive(Debug, Clone, Copy)]
 struct LoopRec {
     meta: u32,
     cur: i64,
     step: i64,
     n: u64,
     done: u64,
-    var_view: View,
+    var: Reg,
     /// `Some` when this is the accounting/checking instance of a
     /// directive loop (sequential path).
     par: Option<u64>, // ops at loop entry
@@ -824,10 +958,10 @@ pub fn run_compiled(prog: &CompiledProgram, opts: &ExecOptions) -> Result<RunRes
         st.mem.common(block, name, *ty, *len);
     }
     let main = prog.main.ok_or_else(|| RtError::new("no PROGRAM unit"))?;
-    let frame = build_frame(cx, &mut st, main, &[])?;
-    let flow = run_frame(cx, &mut st, main, &frame, 0, None)?;
+    let fb = build_frame(cx, &mut st, main, 0, 0).map_err(|e| e.into_rt(&prog.strs))?;
+    let flow = run_frame(cx, &mut st, main, fb, 0, None).map_err(|e| e.into_rt(&prog.strs))?;
     let stopped = match flow {
-        Flow::Stop(m) => Some(m),
+        Flow::Stop(m) => Some(prog.strs[m as usize].clone()),
         _ => None,
     };
     Ok(RunResult {
@@ -837,15 +971,25 @@ pub fn run_compiled(prog: &CompiledProgram, opts: &ExecOptions) -> Result<RunRes
         par_events: st.par_events,
         races: st.races,
         memory: st.mem,
+        vm: st.ctr,
     })
 }
 
-/// Record one shared access in the active directive loop. Two indexings
-/// and a compare in the steady state.
+/// Record one shared access in the active directive loop. Inlined so the
+/// dominant inactive case costs one predictable branch at every Load and
+/// Store site.
+#[inline]
 fn record(st: &mut VmState, slot: usize, off: usize, is_write: bool) {
     if !st.race.active {
         return;
     }
+    record_active(st, slot, off, is_write);
+}
+
+/// The armed-checker tail of [`record`]: two indexings and a compare in
+/// the steady state. Kept out of line so the inactive fast path stays
+/// small at every inlined call site.
+fn record_active(st: &mut VmState, slot: usize, off: usize, is_write: bool) {
     if st.race.excluded.binary_search(&slot).is_ok() {
         return;
     }
@@ -911,22 +1055,45 @@ fn retire_race(st: &mut VmState) {
     st.race.excluded.clear();
 }
 
-/// Memory write with write-logging and race recording (the reference
-/// engine's `store`).
-fn store(st: &mut VmState, view: &View, idx: &[i64], val: Scalar) -> Result<(), RtError> {
-    let off = st
-        .mem
-        .write(view, idx, val)
-        .ok_or_else(|| RtError::new("subscript out of range on store"))?;
+/// Memory write at a resolved `(slot, offset)` with write-logging and
+/// race recording (the reference engine's `store`, minus the subscript
+/// resolution — callers bound-check with [`flat_view`] first).
+#[inline]
+fn store_at(st: &mut VmState, slot: usize, off: usize, val: Scalar) {
+    st.mem.slots[slot].set(off, val);
     if let Some(log) = &mut st.write_log {
-        log.push((view.slot, off, st.mem.slots[view.slot].data[off]));
+        log.push((slot, off, st.mem.slots[slot].data[off]));
     }
-    record(st, view.slot, off, true);
-    Ok(())
+    record(st, slot, off, true);
+}
+
+/// Unlogged, unchecked-by-races scalar write through a register — the
+/// loop-variable write path (`st.mem.write(&var_view, &[], v)` in the old
+/// representation, failures silently ignored).
+#[inline]
+fn write_var(mem: &mut Memory, r: Reg, val: Scalar) {
+    let Some(s) = mem.slots.get_mut(r.slot) else {
+        return;
+    };
+    if r.dims_len == 0 || r.offset < s.data.len() {
+        s.set(r.offset, val);
+    }
+}
+
+/// Scalar read through a register (empty-subscript read in the old
+/// representation: arrays read their first element).
+#[inline]
+fn read_var(mem: &Memory, r: Reg) -> Option<Scalar> {
+    let s = mem.slots.get(r.slot)?;
+    if r.dims_len != 0 && r.offset >= s.data.len() {
+        return None;
+    }
+    Some(s.get(r.offset))
 }
 
 /// Pop `n` subscripts off the value stack into the scratch buffer,
 /// preserving order.
+#[inline]
 fn pop_subs(st: &mut VmState, n: usize) {
     let base = st.stack.len() - n;
     st.idx_scratch.clear();
@@ -953,10 +1120,12 @@ fn trip_count(lo: i64, hi: i64, step: i64) -> u64 {
     }
 }
 
-/// Pop every live loop record, retiring directive instances exactly as the
-/// reference engine does when a `Stop`/`Return` unwinds out of them.
-fn unwind_loops(st: &mut VmState, unit: &UnitCode, loops: &mut Vec<LoopRec>) {
-    while let Some(rec) = loops.pop() {
+/// Pop this frame's live loop records (everything above `lb`), retiring
+/// directive instances exactly as the reference engine does when a
+/// `Stop`/`Return` unwinds out of them.
+fn unwind_loops(st: &mut VmState, unit: &UnitCode, lb: usize) {
+    while st.loop_stack.len() > lb {
+        let rec = st.loop_stack.pop().expect("live loop");
         if let Some(ops_before) = rec.par {
             if st.race.active {
                 retire_race(st);
@@ -971,68 +1140,72 @@ fn unwind_loops(st: &mut VmState, unit: &UnitCode, loops: &mut Vec<LoopRec>) {
     }
 }
 
+/// Fetch the register of local `l` in the frame at `fb`; `None` when the
+/// local is unbound.
+#[inline]
+fn reg(st: &VmState, fb: usize, l: u32) -> Option<Reg> {
+    let r = st.regs.regs[fb + l as usize];
+    if r.slot == UNBOUND {
+        None
+    } else {
+        Some(r)
+    }
+}
+
 /// Execute a value-producing instruction (shared by the main loop and
 /// frame-build extent evaluation). `budget` is the op ceiling `Tick`
-/// enforces.
-#[inline]
+/// enforces. Force-inlined into both callers: in [`run_frame`] the
+/// dispatch then collapses into the outer instruction switch instead of
+/// paying a call plus a second discriminant test per value instruction.
+#[inline(always)]
 fn exec_value(
     st: &mut VmState,
     unit: &UnitCode,
-    frame: &[Option<View>],
+    fb: usize,
     insn: &Insn,
     budget: u64,
-) -> Result<(), RtError> {
+) -> Result<(), VmErr> {
     match insn {
         Insn::Tick(n) => {
             st.ops += n;
             if st.ops > budget {
-                return Err(RtError::budget());
+                return Err(RtError::budget().into());
             }
         }
         Insn::PushI(v) => st.stack.push(Scalar::I(*v)),
         Insn::PushF(x) => st.stack.push(Scalar::F(*x)),
         Insn::PushB(b) => st.stack.push(Scalar::B(*b)),
         Insn::Load(l) => {
-            let Some(view) = frame[*l as usize].as_ref() else {
+            let Some(r) = reg(st, fb, *l) else {
                 return Err(RtError::new(format!(
                     "undefined variable {}",
                     unit.names[*l as usize]
-                )));
+                ))
+                .into());
             };
-            if !view.is_scalar() {
-                // Whole-array read in scalar context: first element.
-                let v = View::scalar(view.slot, view.offset);
-                let val = st
-                    .mem
-                    .read(&v, &[])
-                    .ok_or_else(|| RtError::new("bad read"))?;
-                record(st, view.slot, view.offset, false);
-                st.stack.push(val);
-            } else {
-                let val = st.mem.read(view, &[]).ok_or_else(|| {
-                    RtError::new(format!("bad read of {}", unit.names[*l as usize]))
-                })?;
-                record(st, view.slot, view.offset, false);
-                st.stack.push(val);
-            }
+            // Arrays read their first element (scalar context).
+            let val = st.mem.slots[r.slot].get(r.offset);
+            record(st, r.slot, r.offset, false);
+            st.stack.push(val);
         }
         Insn::LoadElem(l, n) => {
-            let Some(view) = frame[*l as usize].as_ref() else {
-                return Err(RtError::new(format!(
-                    "undefined array {}",
-                    unit.names[*l as usize]
-                )));
+            let Some(r) = reg(st, fb, *l) else {
+                return Err(
+                    RtError::new(format!("undefined array {}", unit.names[*l as usize])).into(),
+                );
             };
             pop_subs(st, *n as usize);
-            let slot_len = st.mem.slots[view.slot].data.len();
-            let Some(off) = view.flat(&st.idx_scratch, slot_len) else {
+            let slot_len = st.mem.slots[r.slot].data.len();
+            let Some(off) = flat_view(r.offset, st.regs.dims_of(r), &st.idx_scratch, slot_len)
+            else {
                 return Err(RtError::new(format!(
                     "subscript out of range for {}{:?}",
                     unit.names[*l as usize], st.idx_scratch
-                )));
+                ))
+                .into());
             };
-            record(st, view.slot, off, false);
-            let val = st.mem.slots[view.slot].get(off);
+            record(st, r.slot, off, false);
+            let val = st.mem.slots[r.slot].get(off);
             st.stack.push(val);
         }
         Insn::Bin(op) => {
@@ -1044,7 +1217,7 @@ fn exec_value(
             let v = match st.stack.pop().expect("neg operand") {
                 Scalar::I(v) => Scalar::I(-v),
                 Scalar::F(v) => Scalar::F(-v),
-                Scalar::B(_) => return Err(RtError::new("negation of logical")),
+                Scalar::B(_) => return Err(RtError::new("negation of logical").into()),
             };
             st.stack.push(v);
         }
@@ -1080,7 +1253,7 @@ fn exec_value(
             st.stack.push(Scalar::I((h % (1 << 31)) as i64));
         }
         Insn::Bad(m) => {
-            return Err(RtError::new(unit.strs[*m as usize].clone()));
+            return Err(VmErr::Raise(*m));
         }
         other => unreachable!("non-value instruction in value context: {other:?}"),
     }
@@ -1093,60 +1266,84 @@ fn exec_value(
 fn eval_extent(
     st: &mut VmState,
     unit: &UnitCode,
-    frame: &[Option<View>],
+    fb: usize,
     code: &[Insn],
-) -> Result<Scalar, RtError> {
+) -> Result<Scalar, VmErr> {
     for insn in code {
-        exec_value(st, unit, frame, insn, DEFAULT_MAX_OPS)?;
+        st.ctr.insns_retired += 1;
+        exec_value(st, unit, fb, insn, DEFAULT_MAX_OPS)?;
     }
     Ok(st.stack.pop().expect("extent value"))
 }
 
+/// Resolve a dims plan into the dims arena; returns the arena window
+/// `(dims_at, dims_len)`.
 fn resolve_dims(
+    cx: Vx<'_>,
     st: &mut VmState,
     unit: &UnitCode,
-    frame: &[Option<View>],
+    fb: usize,
     dims: &[DimPlan],
-    name: &str,
-) -> Result<Vec<usize>, RtError> {
-    let mut out = Vec::with_capacity(dims.len());
+    local: u32,
+) -> Result<(usize, usize), VmErr> {
+    let at = st.regs.dims.len();
     for d in dims {
         match d {
-            DimPlan::Assumed => out.push(0),
+            DimPlan::Assumed => st.regs.dims.push(0),
             DimPlan::Extent(code) => {
-                let v = eval_extent(st, unit, frame, code).map_err(|err| {
-                    RtError::new(format!("bad extent for {name}: {}", err.message))
+                let v = eval_extent(st, unit, fb, code).map_err(|err| {
+                    let name = &unit.names[local as usize];
+                    let inner = err.into_rt(&cx.prog.strs);
+                    VmErr::Rt(RtError::new(format!(
+                        "bad extent for {name}: {}",
+                        inner.message
+                    )))
                 })?;
                 let n = v.as_i();
                 if n < 0 {
-                    return Err(RtError::new(format!("negative extent for {name}")));
+                    let name = &unit.names[local as usize];
+                    return Err(RtError::new(format!("negative extent for {name}")).into());
                 }
-                out.push(n as usize);
+                st.regs.dims.push(n as usize);
             }
         }
     }
-    Ok(out)
+    Ok((at, dims.len()))
 }
 
-/// Build a call frame: same four phases, same allocation order, as the
-/// reference engine's `build_frame` — slot indices must match exactly.
+/// Build a call frame in place on the register stack: same four phases,
+/// same allocation order, as the reference engine's `build_frame` — slot
+/// indices must match exactly. The frame's arguments are the top `nargs`
+/// registers starting at `args_base`; the new frame is the `nlocals`
+/// registers pushed on top of them. Returns the frame base.
 fn build_frame(
     cx: Vx<'_>,
     st: &mut VmState,
     u: usize,
-    args: &[View],
-) -> Result<Vec<Option<View>>, RtError> {
+    args_base: usize,
+    nargs: usize,
+) -> Result<usize, VmErr> {
     let unit = &cx.prog.units[u];
     let plan = &unit.plan;
-    let mut views: Vec<Option<View>> = vec![None; plan.nlocals];
+    let fb = st.regs.regs.len();
+    // Frame-pool accounting: a steady-state push fits in recycled
+    // register capacity; growth is a (cold) pool miss.
+    if st.regs.regs.capacity() - fb >= plan.nlocals {
+        st.ctr.pool_hits += 1;
+    } else {
+        st.ctr.pool_misses += 1;
+        if st.ctr.pool_hits > 0 {
+            st.ctr.warm_allocs += 1;
+        }
+    }
+    st.regs.regs.resize(fb + plan.nlocals, Reg::NONE);
 
-    // Phase 1: formals.
+    // Phase 1: formals (register copies of the argument window).
     for (i, &l) in plan.formals.iter().enumerate() {
-        let v = args
-            .get(i)
-            .cloned()
-            .ok_or_else(|| RtError::new(format!("missing argument {i} to {}", unit.name)))?;
-        views[l as usize] = Some(v);
+        if i >= nargs {
+            return Err(RtError::new(format!("missing argument {i} to {}", unit.name)).into());
+        }
+        st.regs.regs[fb + l as usize] = st.regs.regs[args_base + i];
     }
 
     // Phase 2: PARAMETER constants.
@@ -1159,57 +1356,67 @@ fn build_frame(
         })?;
         let slot = st.mem.alloc(c.ty, 1);
         st.mem.slots[slot].set(0, Scalar::I(val));
-        views[c.local as usize] = Some(View::scalar(slot, 0));
+        st.regs.regs[fb + c.local as usize] = Reg::scalar(slot, 0);
     }
 
     // Phase 3: COMMON members and locals, sorted by name; extents may
     // reference anything already bound.
     for lp in &plan.locals {
-        let name = &unit.names[lp.local as usize];
-        let dims = resolve_dims(st, unit, &views, &lp.dims, name)?;
-        let len: usize = dims.iter().map(|&d| d.max(1)).product::<usize>().max(1);
+        let (dims_at, dims_len) = resolve_dims(cx, st, unit, fb, &lp.dims, lp.local)?;
+        let len: usize = st.regs.dims[dims_at..dims_at + dims_len]
+            .iter()
+            .map(|&d| d.max(1))
+            .product::<usize>()
+            .max(1);
         let slot = match &lp.block {
-            Some(block) => st.mem.common(block, name, lp.ty, len),
+            Some(block) => st
+                .mem
+                .common(block, &unit.names[lp.local as usize], lp.ty, len),
             None => st.mem.alloc(lp.ty, len),
         };
-        views[lp.local as usize] = Some(View {
+        st.regs.regs[fb + lp.local as usize] = Reg {
             slot,
             offset: 0,
-            dims,
-        });
+            dims_at,
+            dims_len,
+        };
     }
 
     // Phase 4: formal array shapes against the full frame.
     for (l, dims) in &plan.formal_dims {
-        let name = &unit.names[*l as usize];
-        let dims = resolve_dims(st, unit, &views, dims, name)?;
-        if let Some(v) = views[*l as usize].as_mut() {
-            v.dims = dims;
+        let (dims_at, dims_len) = resolve_dims(cx, st, unit, fb, dims, *l)?;
+        let r = &mut st.regs.regs[fb + *l as usize];
+        if r.slot != UNBOUND {
+            r.dims_at = dims_at;
+            r.dims_len = dims_len;
         }
     }
 
-    Ok(views)
+    Ok(fb)
 }
 
-/// Execute a unit's code from `entry`. `chunk_of` marks chunk mode: the
-/// body of directive loop `m` runs as one iteration, and reaching that
-/// loop's `DoNext` with no live loop record ends the iteration.
+/// Execute a unit's code from `entry` in the frame at register base `fb`.
+/// `chunk_of` marks chunk mode: the body of directive loop `m` runs as
+/// one iteration, and reaching that loop's `DoNext` with no live loop
+/// record ends the iteration.
 fn run_frame(
     cx: Vx<'_>,
     st: &mut VmState,
     u: usize,
-    frame: &[Option<View>],
+    fb: usize,
     entry: usize,
     chunk_of: Option<u32>,
-) -> Result<Flow, RtError> {
+) -> Result<Flow, VmErr> {
     let unit = &cx.prog.units[u];
     let code = &unit.code;
     let max_ops = cx.opts.max_ops;
-    let mut loops: Vec<LoopRec> = Vec::new();
+    // This frame's loops live above `lb` on the shared loop stack.
+    let lb = st.loop_stack.len();
     let mut pc = entry;
     loop {
         let insn = &code[pc];
         pc += 1;
+        st.ctr.insns_retired += 1;
         match insn {
             Insn::Jump(t) => pc = *t as usize,
             Insn::JumpIfFalse(t) => {
@@ -1218,49 +1425,56 @@ fn run_frame(
                 }
             }
             Insn::StoreVar(l) => {
-                let Some(view) = frame[*l as usize].as_ref() else {
+                let Some(r) = reg(st, fb, *l) else {
                     return Err(RtError::new(format!(
                         "assignment to undeclared {}",
                         unit.names[*l as usize]
-                    )));
+                    ))
+                    .into());
                 };
                 let val = st.stack.pop().expect("store value");
-                if view.is_scalar() {
-                    store(st, view, &[], val)?;
+                if r.dims_len == 0 {
+                    store_at(st, r.slot, r.offset, val);
                 } else {
                     // Whole-array assignment (annotation collective form).
-                    let len = view.len(st.mem.slots[view.slot].data.len());
+                    let slot_len = st.mem.slots[r.slot].data.len();
+                    let len = view_len(r.offset, st.regs.dims_of(r), slot_len);
                     for k in 0..len {
-                        let v2 = View::scalar(view.slot, view.offset + k);
-                        store(st, &v2, &[], val)?;
+                        store_at(st, r.slot, r.offset + k, val);
                     }
                 }
             }
             Insn::StoreElem(l, n) => {
-                let Some(view) = frame[*l as usize].as_ref() else {
+                let Some(r) = reg(st, fb, *l) else {
                     return Err(RtError::new(format!(
                         "undefined array {}",
                         unit.names[*l as usize]
-                    )));
+                    ))
+                    .into());
                 };
                 pop_subs(st, *n as usize);
                 let val = st.stack.pop().expect("store value");
-                let idx = std::mem::take(&mut st.idx_scratch);
-                let r = store(st, view, &idx, val);
-                st.idx_scratch = idx;
-                r?;
+                let slot_len = st.mem.slots[r.slot].data.len();
+                let Some(off) = flat_view(r.offset, st.regs.dims_of(r), &st.idx_scratch, slot_len)
+                else {
+                    return Err(RtError::new("subscript out of range on store").into());
+                };
+                store_at(st, r.slot, off, val);
             }
             Insn::StoreSection(l, sidx) => {
-                let Some(view) = frame[*l as usize].as_ref() else {
+                let Some(r) = reg(st, fb, *l) else {
                     return Err(RtError::new(format!(
                         "undefined array {}",
                         unit.names[*l as usize]
-                    )));
+                    ))
+                    .into());
                 };
                 let plan = &unit.secs[*sidx as usize];
-                let mut bounds = vec![(0i64, 0i64); plan.len()];
+                let mut bounds = std::mem::take(&mut st.sec_bounds);
+                bounds.clear();
+                bounds.resize(plan.len(), (0i64, 0i64));
                 for k in (0..plan.len()).rev() {
-                    let extent = view.dims.get(k).copied().unwrap_or(1).max(1) as i64;
+                    let extent = st.regs.dims_of(r).get(k).copied().unwrap_or(1).max(1) as i64;
                     bounds[k] = match plan[k] {
                         SecDimPlan::Full => (1, extent),
                         SecDimPlan::At => {
@@ -1283,11 +1497,13 @@ fn run_frame(
                     };
                 }
                 let val = st.stack.pop().expect("section value");
-                let slot_len = st.mem.slots[view.slot].data.len();
-                let mut idx: Vec<i64> = bounds.iter().map(|&(l, _)| l).collect();
+                let slot_len = st.mem.slots[r.slot].data.len();
+                let mut idx = std::mem::take(&mut st.sec_idx);
+                idx.clear();
+                idx.extend(bounds.iter().map(|&(l, _)| l));
                 'fill: loop {
-                    if view.flat(&idx, slot_len).is_some() {
-                        store(st, view, &idx, val)?;
+                    if let Some(off) = flat_view(r.offset, st.regs.dims_of(r), &idx, slot_len) {
+                        store_at(st, r.slot, off, val);
                     }
                     // Odometer increment, one tick per advance.
                     let mut k = 0;
@@ -1304,9 +1520,13 @@ fn run_frame(
                     }
                     st.ops += 1;
                     if st.ops > max_ops {
-                        return Err(RtError::budget());
+                        st.sec_bounds = bounds;
+                        st.sec_idx = idx;
+                        return Err(RtError::budget().into());
                     }
                 }
+                st.sec_bounds = bounds;
+                st.sec_idx = idx;
             }
             Insn::WriteBegin => {
                 st.line.clear();
@@ -1316,7 +1536,7 @@ fn run_frame(
                 if st.line_items > 0 {
                     st.line.push(' ');
                 }
-                st.line.push_str(&unit.strs[*m as usize]);
+                st.line.push_str(&cx.prog.strs[*m as usize]);
                 st.line_items += 1;
             }
             Insn::WriteVal => {
@@ -1342,43 +1562,42 @@ fn run_frame(
                 st.io.push(line);
             }
             Insn::Stop(m) => {
-                unwind_loops(st, unit, &mut loops);
-                return Ok(Flow::Stop(unit.strs[*m as usize].clone()));
+                unwind_loops(st, unit, lb);
+                return Ok(Flow::Stop(*m));
             }
             Insn::Ret => {
-                unwind_loops(st, unit, &mut loops);
+                unwind_loops(st, unit, lb);
                 return Ok(Flow::Return);
             }
             Insn::EndUnit => return Ok(Flow::Normal),
-            Insn::ArgVar(l) => match frame[*l as usize].as_ref() {
-                Some(v) => st.argv.push(v.clone()),
+            Insn::ArgVar(l) => match reg(st, fb, *l) {
+                Some(r) => st.regs.regs.push(r),
                 None => {
                     // Unbound name: fresh implicit scalar.
                     let ty = Type::implicit_for(&unit.names[*l as usize]);
                     let slot = st.mem.alloc(ty, 1);
-                    st.argv.push(View::scalar(slot, 0));
+                    st.regs.regs.push(Reg::scalar(slot, 0));
                 }
             },
             Insn::ArgElem(l, n) => {
-                let Some(view) = frame[*l as usize].as_ref() else {
+                let Some(r) = reg(st, fb, *l) else {
                     return Err(RtError::new(format!(
                         "undefined array {}",
                         unit.names[*l as usize]
-                    )));
+                    ))
+                    .into());
                 };
                 pop_subs(st, *n as usize);
-                let slot_len = st.mem.slots[view.slot].data.len();
-                let Some(off) = view.flat(&st.idx_scratch, slot_len) else {
+                let slot_len = st.mem.slots[r.slot].data.len();
+                let Some(off) = flat_view(r.offset, st.regs.dims_of(r), &st.idx_scratch, slot_len)
+                else {
                     return Err(RtError::new(format!(
                         "subscript out of range for {}",
                         unit.names[*l as usize]
-                    )));
+                    ))
+                    .into());
                 };
-                st.argv.push(View {
-                    slot: view.slot,
-                    offset: off,
-                    dims: vec![0],
-                });
+                st.regs.regs.push(Reg::elem(r.slot, off));
             }
             Insn::ArgVal => {
                 let v = st.stack.pop().expect("arg value");
@@ -1389,27 +1608,35 @@ fn run_frame(
                 };
                 let slot = st.mem.alloc(ty, 1);
                 st.mem.slots[slot].set(0, v);
-                st.argv.push(View::scalar(slot, 0));
+                st.regs.regs.push(Reg::scalar(slot, 0));
             }
             Insn::Call(target, nargs) => {
-                if st.call_depth >= crate::interp::MAX_CALL_DEPTH {
-                    return Err(RtError::call_depth());
+                if st.call_depth >= MAX_CALL_DEPTH {
+                    return Err(RtError::call_depth().into());
                 }
-                let views = st.argv.split_off(st.argv.len() - *nargs as usize);
+                let nargs = *nargs as usize;
+                let args_base = st.regs.regs.len() - nargs;
+                let dims_mark = st.regs.dims.len();
                 let mark = st.mem.mark();
-                let callee = build_frame(cx, st, *target as usize, &views)?;
+                st.ctr.calls += 1;
+                let cfb = build_frame(cx, st, *target as usize, args_base, nargs)?;
                 st.call_depth += 1;
-                let flow = run_frame(cx, st, *target as usize, &callee, 0, None);
+                st.ctr.peak_call_depth = st.ctr.peak_call_depth.max(st.call_depth as u64);
+                let flow = run_frame(cx, st, *target as usize, cfb, 0, None);
                 st.call_depth -= 1;
                 let flow = flow?;
+                // Release the callee frame and its argument window: pure
+                // truncation, capacity stays for the next call.
+                st.regs.regs.truncate(args_base);
+                st.regs.dims.truncate(dims_mark);
                 st.mem.release(mark);
                 if let Flow::Stop(m) = flow {
-                    unwind_loops(st, unit, &mut loops);
+                    unwind_loops(st, unit, lb);
                     return Ok(Flow::Stop(m));
                 }
             }
             Insn::CallUnknown(m) => {
-                return Err(RtError::new(unit.strs[*m as usize].clone()));
+                return Err(VmErr::Raise(*m));
             }
             Insn::DoInit(mi) => {
                 let meta = &unit.loops[*mi as usize];
@@ -1421,14 +1648,15 @@ fn run_frame(
                 let hi = st.stack.pop().expect("do hi").as_i();
                 let lo = st.stack.pop().expect("do lo").as_i();
                 if step == 0 {
-                    return Err(RtError::new("zero DO step"));
+                    return Err(RtError::new("zero DO step").into());
                 }
-                let var_view = frame[meta.var as usize].clone().ok_or_else(|| {
-                    RtError::new(format!(
+                let Some(var) = reg(st, fb, meta.var) else {
+                    return Err(RtError::new(format!(
                         "unbound loop variable {}",
                         unit.names[meta.var as usize]
                     ))
-                })?;
+                    .into());
+                };
                 let n = trip_count(lo, hi, step);
                 let is_outer_parallel = meta.dir.is_some() && st.par_depth == 0;
                 if !is_outer_parallel {
@@ -1436,45 +1664,49 @@ fn run_frame(
                         pc = meta.exit_pc as usize;
                         continue;
                     }
-                    st.mem.write(&var_view, &[], Scalar::I(lo));
-                    loops.push(LoopRec {
+                    write_var(&mut st.mem, var, Scalar::I(lo));
+                    st.loop_stack.push(LoopRec {
                         meta: *mi,
                         cur: lo,
                         step,
                         n,
                         done: 0,
-                        var_view,
+                        var,
                         par: None,
                     });
                     continue; // pc already at body_pc
                 }
 
-                // Outermost directive loop.
+                // Outermost directive loop. The excluded-slot set recycles
+                // the race checker's buffer (free while no loop is active).
                 let dir = meta.dir.as_ref().expect("directive present");
                 let ops_before = st.ops;
-                let mut excluded = vec![var_view.slot];
+                let mut excluded = std::mem::take(&mut st.race.excluded);
+                excluded.clear();
+                excluded.push(var.slot);
                 for &l in &dir.privates {
-                    if let Some(v) = frame[l as usize].as_ref() {
-                        excluded.push(v.slot);
+                    if let Some(r) = reg(st, fb, l) {
+                        excluded.push(r.slot);
                     }
                 }
                 for &(_, l) in &dir.reductions {
-                    if let Some(v) = frame[l as usize].as_ref() {
-                        excluded.push(v.slot);
+                    if let Some(r) = reg(st, fb, l) {
+                        excluded.push(r.slot);
                     }
                 }
                 excluded.sort_unstable();
 
                 if cx.opts.threads > 1 && n > 1 {
-                    let flow =
-                        exec_parallel(cx, st, u, frame, *mi, &var_view, lo, step, n, &excluded)?;
+                    let flow = exec_parallel(cx, st, u, fb, *mi, var, lo, step, n, &excluded);
+                    st.race.excluded = excluded;
+                    let flow = flow?;
                     st.par_events.push(ParLoopEvent {
                         id: meta.id.clone(),
                         ops: st.ops - ops_before,
                         iters: n,
                     });
                     if let Flow::Stop(m) = flow {
-                        unwind_loops(st, unit, &mut loops);
+                        unwind_loops(st, unit, lb);
                         return Ok(Flow::Stop(m));
                     }
                     pc = meta.exit_pc as usize;
@@ -1482,6 +1714,8 @@ fn run_frame(
                     st.par_depth += 1;
                     if cx.opts.check_races {
                         activate_race(st, excluded);
+                    } else {
+                        st.race.excluded = excluded;
                     }
                     if n == 0 {
                         if st.race.active {
@@ -1495,36 +1729,39 @@ fn run_frame(
                         });
                         pc = meta.exit_pc as usize;
                     } else {
-                        st.mem.write(&var_view, &[], Scalar::I(lo));
-                        loops.push(LoopRec {
+                        write_var(&mut st.mem, var, Scalar::I(lo));
+                        st.loop_stack.push(LoopRec {
                             meta: *mi,
                             cur: lo,
                             step,
                             n,
                             done: 0,
-                            var_view,
+                            var,
                             par: Some(ops_before),
                         });
                     }
                 }
             }
             Insn::DoNext(mi) => {
-                let Some(rec) = loops.last_mut() else {
+                if st.loop_stack.len() <= lb {
                     // Chunk mode: the controlled loop's body completed one
                     // iteration.
                     debug_assert_eq!(chunk_of, Some(*mi));
                     return Ok(Flow::Normal);
-                };
+                }
+                let li = st.loop_stack.len() - 1;
+                let mut rec = st.loop_stack[li];
                 rec.done += 1;
                 if rec.done < rec.n {
                     rec.cur = rec.cur.wrapping_add(rec.step);
                     if rec.par.is_some() && st.race.active {
                         st.race.cur = rec.done as i64;
                     }
-                    st.mem.write(&rec.var_view, &[], Scalar::I(rec.cur));
+                    write_var(&mut st.mem, rec.var, Scalar::I(rec.cur));
+                    st.loop_stack[li] = rec;
                     pc = unit.loops[rec.meta as usize].body_pc as usize;
                 } else {
-                    let rec = loops.pop().expect("live loop");
+                    st.loop_stack.pop();
                     if let Some(ops_before) = rec.par {
                         if st.race.active {
                             retire_race(st);
@@ -1539,7 +1776,7 @@ fn run_frame(
                     // pc already at exit_pc.
                 }
             }
-            other => exec_value(st, unit, frame, other, max_ops)?,
+            other => exec_value(st, unit, fb, other, max_ops)?,
         }
     }
 }
@@ -1550,21 +1787,26 @@ struct ChunkOut {
     io: Vec<String>,
     ops: u64,
     red_finals: Vec<f64>,
-    flow_stop: Option<String>,
-    err: Option<RtError>,
+    flow_stop: Option<u32>,
+    err: Option<VmErr>,
+    ctr: VmCounters,
 }
 
 /// Execute one contiguous chunk (`start..start+len` of the iteration
 /// space) on its own arena. Mirrors the reference engine's `exec_chunk`:
 /// same write-log, same reduction identities, `Return` breaks the chunk
-/// silently.
+/// silently. The chunk's register stack is seeded from the parent's: the
+/// whole dims arena (so `dims_at` indices stay valid) plus the enclosing
+/// frame's register window rebased to 0.
 #[allow(clippy::too_many_arguments)]
 fn run_chunk(
     cx: Vx<'_>,
     mem: Memory,
-    red_init: &[(RedOp, View)],
-    var_view: &View,
-    frame: &[Option<View>],
+    parent: &RegStack,
+    fb: usize,
+    nlocals: usize,
+    red_slots: &[(RedOp, Reg, f64)],
+    var: Reg,
     u: usize,
     mi: u32,
     lo: i64,
@@ -1578,22 +1820,26 @@ fn run_chunk(
         par_depth: 1,
         ..Default::default()
     };
-    for (op, v) in red_init {
+    st.regs.dims.extend_from_slice(&parent.dims);
+    st.regs
+        .regs
+        .extend_from_slice(&parent.regs[fb..fb + nlocals]);
+    for &(op, r, _) in red_slots {
         let id = match op {
             RedOp::Add => 0.0,
             RedOp::Mul => 1.0,
             RedOp::Min => f64::INFINITY,
             RedOp::Max => f64::NEG_INFINITY,
         };
-        st.mem.write(v, &[], Scalar::F(id));
+        write_var(&mut st.mem, r, Scalar::F(id));
     }
     let body_pc = cx.prog.units[u].loops[mi as usize].body_pc as usize;
     let mut flow_stop = None;
     let mut err = None;
     for k in 0..len {
         let i = lo.wrapping_add(((start + k) as i64).wrapping_mul(step));
-        st.mem.write(var_view, &[], Scalar::I(i));
-        match run_frame(cx, &mut st, u, frame, body_pc, Some(mi)) {
+        write_var(&mut st.mem, var, Scalar::I(i));
+        match run_frame(cx, &mut st, u, 0, body_pc, Some(mi)) {
             Ok(Flow::Normal) => {}
             Ok(Flow::Stop(m)) => {
                 flow_stop = Some(m);
@@ -1606,9 +1852,9 @@ fn run_chunk(
             }
         }
     }
-    let red_finals = red_init
+    let red_finals = red_slots
         .iter()
-        .map(|(_, v)| st.mem.read(v, &[]).map(|s| s.as_f()).unwrap_or(0.0))
+        .map(|&(_, r, _)| read_var(&st.mem, r).map(|s| s.as_f()).unwrap_or(0.0))
         .collect();
     (
         ChunkOut {
@@ -1618,6 +1864,7 @@ fn run_chunk(
             red_finals,
             flow_stop,
             err,
+            ctr: st.ctr,
         },
         st.mem,
     )
@@ -1631,16 +1878,17 @@ fn exec_parallel(
     cx: Vx<'_>,
     st: &mut VmState,
     u: usize,
-    frame: &[Option<View>],
+    fb: usize,
     mi: u32,
-    var_view: &View,
+    var: Reg,
     lo: i64,
     step: i64,
     n: u64,
     excluded: &[usize],
-) -> Result<Flow, RtError> {
+) -> Result<Flow, VmErr> {
     let meta = &cx.prog.units[u].loops[mi as usize];
     let dir = meta.dir.as_ref().expect("directive present");
+    let nlocals = cx.prog.units[u].plan.nlocals;
     let threads = cx.opts.threads.min(n as usize).max(1);
     let base = n as usize / threads;
     let extra = n as usize % threads;
@@ -1652,30 +1900,31 @@ fn exec_parallel(
         start += len;
     }
 
-    // Reduction slots: remember pre-values, identify op.
-    let mut red_slots: Vec<(RedOp, View, f64)> = Vec::new();
+    // Reduction slots: remember pre-values, identify op. `Reg` is `Copy`,
+    // so chunks share this slice without per-thread clones.
+    let mut red_slots: Vec<(RedOp, Reg, f64)> = Vec::new();
     for &(op, l) in &dir.reductions {
-        if let Some(v) = frame[l as usize].as_ref() {
-            let pre = st.mem.read(v, &[]).map(|s| s.as_f()).unwrap_or(0.0);
-            red_slots.push((op, v.clone(), pre));
+        if let Some(r) = reg(st, fb, l) {
+            let pre = read_var(&st.mem, r).map(|s| s.as_f()).unwrap_or(0.0);
+            red_slots.push((op, r, pre));
         }
     }
-    let red_init: Vec<(RedOp, View)> = red_slots
-        .iter()
-        .map(|(op, v, _)| (*op, v.clone()))
-        .collect();
 
+    // Lend the register stack to the chunks: they only need `&` access to
+    // the enclosing frame's window and the dims arena.
+    let regs = std::mem::take(&mut st.regs);
     let spawn = cx.opts.spawn_threads.unwrap_or_else(|| host_cpus() > 1);
     let results: Vec<ChunkOut> = if spawn {
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for &(start, len) in &ranges {
                 let base_mem = st.mem.clone();
-                let red_init = red_init.clone();
-                let var_view = var_view.clone();
+                let regs = &regs;
+                let red_slots = &red_slots;
                 handles.push(scope.spawn(move || {
                     run_chunk(
-                        cx, base_mem, &red_init, &var_view, frame, u, mi, lo, step, start, len,
+                        cx, base_mem, regs, fb, nlocals, red_slots, var, u, mi, lo, step, start,
+                        len,
                     )
                     .0
                 }));
@@ -1695,9 +1944,11 @@ fn exec_parallel(
             let (out, mem) = run_chunk(
                 cx,
                 std::mem::take(&mut scratch),
-                &red_init,
-                var_view,
-                frame,
+                &regs,
+                fb,
+                nlocals,
+                &red_slots,
+                var,
                 u,
                 mi,
                 lo,
@@ -1711,6 +1962,7 @@ fn exec_parallel(
         st.scratch = Some(scratch);
         outs
     };
+    st.regs = regs;
 
     // Merge in chunk (iteration) order.
     let mut flow = Flow::Normal;
@@ -1718,8 +1970,8 @@ fn exec_parallel(
         if let Some(e) = &out.err {
             return Err(e.clone());
         }
-        if let Some(m) = &out.flow_stop {
-            flow = Flow::Stop(m.clone());
+        if let Some(m) = out.flow_stop {
+            flow = Flow::Stop(m);
         }
     }
     for out in &results {
@@ -1733,9 +1985,10 @@ fn exec_parallel(
         }
         st.io.extend(out.io.iter().cloned());
         st.ops += out.ops;
+        st.ctr.absorb(&out.ctr);
     }
-    for (k, (op, v, pre)) in red_slots.iter().enumerate() {
-        let mut acc = *pre;
+    for (k, &(op, r, pre)) in red_slots.iter().enumerate() {
+        let mut acc = pre;
         for out in &results {
             let x = out.red_finals[k];
             acc = match op {
@@ -1745,7 +1998,7 @@ fn exec_parallel(
                 RedOp::Max => acc.max(x),
             };
         }
-        st.mem.write(v, &[], Scalar::F(acc));
+        write_var(&mut st.mem, r, Scalar::F(acc));
     }
     Ok(flow)
 }

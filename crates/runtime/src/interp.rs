@@ -51,7 +51,7 @@ pub(crate) const DEFAULT_MAX_OPS: u64 = 2_000_000_000;
 /// recursion, so a deeper chain is a runaway cycle — and each nested call
 /// consumes native stack the op budget cannot see, so the fuel alone
 /// would let a recursive mutant overflow the stack before it ran dry.
-pub(crate) const MAX_CALL_DEPTH: usize = 128;
+pub const MAX_CALL_DEPTH: usize = 128;
 
 /// Execution options.
 #[derive(Debug, Clone)]
@@ -112,6 +112,42 @@ pub struct RaceViolation {
     pub what: String,
 }
 
+/// Execution counters the bytecode VM maintains on its hot path. All are
+/// plain field bumps (no atomics, no feature gates), so they are always
+/// on; the tree-walker reports zeros. Aggregated per verification run and
+/// per suite run so the perf claims about the register-frame VM — frame
+/// pooling, zero steady-state allocation — are observable in ordinary
+/// metrics output rather than only in one-off benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmCounters {
+    /// Instructions retired (every dispatched `Insn`, including ticks).
+    pub insns_retired: u64,
+    /// CALL instructions executed.
+    pub calls: u64,
+    /// Frame pushes served entirely from pooled register/memory capacity.
+    pub pool_hits: u64,
+    /// Frame pushes that had to grow the register stack or slot arena.
+    pub pool_misses: u64,
+    /// Deepest nested CALL depth reached.
+    pub peak_call_depth: u64,
+    /// Pool-growth events after the pool first served a hit. Expected 0;
+    /// nonzero means frame recycling regressed.
+    pub warm_allocs: u64,
+}
+
+impl VmCounters {
+    /// Merge counters from another run into this aggregate: sums, except
+    /// peak depth which takes the max.
+    pub fn absorb(&mut self, o: &VmCounters) {
+        self.insns_retired += o.insns_retired;
+        self.calls += o.calls;
+        self.pool_hits += o.pool_hits;
+        self.pool_misses += o.pool_misses;
+        self.peak_call_depth = self.peak_call_depth.max(o.peak_call_depth);
+        self.warm_allocs += o.warm_allocs;
+    }
+}
+
 /// Result of running a program.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -127,6 +163,10 @@ pub struct RunResult {
     pub races: Vec<RaceViolation>,
     /// Final memory (COMMON state comparison).
     pub memory: Memory,
+    /// VM execution counters (all zero on the tree-walker). Excluded from
+    /// [`RunResult::same_observable`]: counters describe the engine, not
+    /// the program.
+    pub vm: VmCounters,
 }
 
 impl RunResult {
@@ -271,6 +311,7 @@ fn run_tree(p: &Program, opts: &ExecOptions) -> Result<RunResult, RtError> {
         par_events: interp.st.par_events,
         races: interp.st.races,
         memory: interp.st.mem,
+        vm: VmCounters::default(),
     })
 }
 
@@ -1163,6 +1204,7 @@ impl<'a> Interp<'a> {
     }
 }
 
+#[inline]
 pub(crate) fn eval_bin(op: BinOp, a: Scalar, b: Scalar) -> Result<Scalar, RtError> {
     use BinOp::*;
     let both_int = matches!(a, Scalar::I(_)) && matches!(b, Scalar::I(_));
@@ -1485,7 +1527,7 @@ mod tests {
         let many = run_src(&src(3));
         assert_eq!(one.memory.slots.len(), many.memory.slots.len());
         // The COMMON is pre-allocated and retains the last call's write.
-        let q = many.memory.commons[&("LZ".to_string(), "Q".to_string())];
+        let q = many.memory.commons[&crate::memory::common_key("LZ", "Q")];
         assert_eq!(many.memory.slots[q].get(2), Scalar::F(3.0));
     }
 

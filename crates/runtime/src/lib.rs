@@ -28,5 +28,6 @@ pub use bytecode::{compile, run_compiled, CompiledProgram};
 pub use cost::{simulate, tune, Machine, SimResult};
 pub use interp::{
     run, Engine, ExecOptions, ParLoopEvent, RaceViolation, RtError, RtErrorKind, RunResult,
+    VmCounters, MAX_CALL_DEPTH,
 };
-pub use memory::{Memory, Scalar, Slot, View};
+pub use memory::{common_key, Memory, Scalar, Slot, View};

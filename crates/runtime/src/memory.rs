@@ -88,6 +88,7 @@ impl Slot {
     }
 
     /// Typed read.
+    #[inline]
     pub fn get(&self, i: usize) -> Scalar {
         let raw = self.data[i];
         match self.ty {
@@ -98,6 +99,7 @@ impl Slot {
     }
 
     /// Typed write.
+    #[inline]
     pub fn set(&mut self, i: usize, v: Scalar) {
         self.data[i] = match self.ty {
             Type::Integer => v.as_i() as f64,
@@ -131,80 +133,14 @@ impl View {
 
     /// Column-major flat offset of `subs` (1-based Fortran subscripts)
     /// relative to the slot, or `None` when out of the view's bounds.
-    ///
-    /// Every explicit extent is bounds-checked, including the final one —
-    /// otherwise an out-of-bounds last subscript of a view into a larger
-    /// slot would silently alias neighbouring storage. Two sequence
-    /// -association escapes remain, both deliberate:
-    /// * assumed-size (extent 0) dimensions are never checked;
-    /// * a *partial* subscript list (fewer subscripts than dimensions, the
-    ///   linearized-addressing idiom reshape inlining produces) checks its
-    ///   last subscript against the flattened remaining extent.
+    /// Delegates to [`flat_view`]; see there for the bounds contract.
     pub fn flat(&self, subs: &[i64], slot_len: usize) -> Option<usize> {
-        if self.dims.is_empty() {
-            return if subs.is_empty() {
-                Some(self.offset)
-            } else {
-                None
-            };
-        }
-        let mut off = 0usize;
-        let mut stride = 1usize;
-        for (k, &s) in subs.iter().enumerate() {
-            let extent = self.dims.get(k).copied().unwrap_or(1);
-            let idx = s - 1;
-            if idx < 0 {
-                return None;
-            }
-            if extent != 0 {
-                let bound = if k + 1 == subs.len() && subs.len() < self.dims.len() {
-                    // Linearized access: the last provided subscript walks
-                    // the remaining (flattened) dimensions.
-                    self.dims[k..].iter().try_fold(1usize, |acc, &d| {
-                        if d == 0 {
-                            None // assumed-size tail: unbounded
-                        } else {
-                            Some(acc * d)
-                        }
-                    })
-                } else {
-                    Some(extent)
-                };
-                if let Some(b) = bound {
-                    if idx as usize >= b {
-                        return None;
-                    }
-                }
-            }
-            off += idx as usize * stride;
-            stride *= if extent == 0 { 1 } else { extent };
-        }
-        let abs = self.offset + off;
-        if abs >= slot_len {
-            return None;
-        }
-        Some(abs)
+        flat_view(self.offset, &self.dims, subs, slot_len)
     }
 
     /// Number of elements the view covers inside a slot of `slot_len`.
     pub fn len(&self, slot_len: usize) -> usize {
-        if self.dims.is_empty() {
-            return 1;
-        }
-        let mut n = 1usize;
-        let mut assumed = false;
-        for &d in &self.dims {
-            if d == 0 {
-                assumed = true;
-            } else {
-                n *= d;
-            }
-        }
-        if assumed {
-            slot_len.saturating_sub(self.offset)
-        } else {
-            n.min(slot_len.saturating_sub(self.offset))
-        }
+        view_len(self.offset, &self.dims, slot_len)
     }
 
     /// True when the view is a bare scalar.
@@ -213,13 +149,121 @@ impl View {
     }
 }
 
+/// Column-major flat offset of `subs` (1-based Fortran subscripts) for a
+/// view described by its raw parts — `offset` plus resolved extents — or
+/// `None` when out of bounds. This is the representation-independent form
+/// of [`View::flat`]: the bytecode VM's register frames address storage
+/// through bare `(slot, offset)` pairs with their shapes in a side arena,
+/// so the addressing math must not require a materialized [`View`].
+///
+/// Every explicit extent is bounds-checked, including the final one —
+/// otherwise an out-of-bounds last subscript of a view into a larger
+/// slot would silently alias neighbouring storage. Two sequence
+/// -association escapes remain, both deliberate:
+/// * assumed-size (extent 0) dimensions are never checked;
+/// * a *partial* subscript list (fewer subscripts than dimensions, the
+///   linearized-addressing idiom reshape inlining produces) checks its
+///   last subscript against the flattened remaining extent.
+#[inline]
+pub fn flat_view(offset: usize, dims: &[usize], subs: &[i64], slot_len: usize) -> Option<usize> {
+    if dims.is_empty() {
+        return if subs.is_empty() { Some(offset) } else { None };
+    }
+    // 1-D fast path: the overwhelmingly common access shape in the
+    // evaluation corpus. Same semantics as one trip through the general
+    // loop below (extent 0 = assumed-size, bounded only by the slot).
+    if let ([d], [s]) = (dims, subs) {
+        let idx = s - 1;
+        if idx < 0 || (*d != 0 && idx as usize >= *d) {
+            return None;
+        }
+        let off = offset + idx as usize;
+        return if off < slot_len { Some(off) } else { None };
+    }
+    let mut off = 0usize;
+    let mut stride = 1usize;
+    for (k, &s) in subs.iter().enumerate() {
+        let extent = dims.get(k).copied().unwrap_or(1);
+        let idx = s - 1;
+        if idx < 0 {
+            return None;
+        }
+        if extent != 0 {
+            let bound = if k + 1 == subs.len() && subs.len() < dims.len() {
+                // Linearized access: the last provided subscript walks
+                // the remaining (flattened) dimensions.
+                dims[k..].iter().try_fold(1usize, |acc, &d| {
+                    if d == 0 {
+                        None // assumed-size tail: unbounded
+                    } else {
+                        Some(acc * d)
+                    }
+                })
+            } else {
+                Some(extent)
+            };
+            if let Some(b) = bound {
+                if idx as usize >= b {
+                    return None;
+                }
+            }
+        }
+        off += idx as usize * stride;
+        stride *= if extent == 0 { 1 } else { extent };
+    }
+    let abs = offset + off;
+    if abs >= slot_len {
+        return None;
+    }
+    Some(abs)
+}
+
+/// Number of elements a view of `(offset, dims)` covers inside a slot of
+/// `slot_len` — the representation-independent form of [`View::len`].
+pub fn view_len(offset: usize, dims: &[usize], slot_len: usize) -> usize {
+    if dims.is_empty() {
+        return 1;
+    }
+    let mut n = 1usize;
+    let mut assumed = false;
+    for &d in dims {
+        if d == 0 {
+            assumed = true;
+        } else {
+            n *= d;
+        }
+    }
+    if assumed {
+        slot_len.saturating_sub(offset)
+    } else {
+        n.min(slot_len.saturating_sub(offset))
+    }
+}
+
+/// Directory key of a COMMON member: `block`, a `\u{1F}` unit separator,
+/// `name`. Block and member names are Fortran identifiers, so the
+/// separator can never collide with identifier text.
+pub fn common_key(block: &str, name: &str) -> String {
+    let mut k = String::with_capacity(block.len() + name.len() + 1);
+    k.push_str(block);
+    k.push('\u{1F}');
+    k.push_str(name);
+    k
+}
+
 /// The slot arena plus the COMMON-block directory.
 #[derive(Debug, Default)]
 pub struct Memory {
     /// All storage.
     pub slots: Vec<Slot>,
-    /// `(block, name)` → slot index for COMMON members.
-    pub commons: HashMap<(String, String), usize>,
+    /// [`common_key`] → slot index for COMMON members.
+    pub commons: HashMap<String, usize>,
+    /// Recycled data buffers of released frame slots. Frames allocate and
+    /// release in LIFO order, so steady-state calls pull same-sized
+    /// buffers back out instead of hitting the allocator.
+    pool: Vec<Vec<f64>>,
+    /// Scratch key for allocation-free COMMON directory lookups.
+    key_buf: String,
 }
 
 impl Clone for Memory {
@@ -227,6 +271,9 @@ impl Clone for Memory {
         Memory {
             slots: self.slots.clone(),
             commons: self.commons.clone(),
+            // Scratch state stays with the original arena.
+            pool: Vec::new(),
+            key_buf: String::new(),
         }
     }
 
@@ -240,24 +287,39 @@ impl Clone for Memory {
 }
 
 impl Memory {
-    /// Allocate a fresh slot; returns its index.
+    /// Allocate a fresh slot; returns its index. Reuses a pooled buffer
+    /// from a previously released frame when one is available.
     pub fn alloc(&mut self, ty: Type, len: usize) -> usize {
-        self.slots.push(Slot::new(ty, len));
+        let data = match self.pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        };
+        self.slots.push(Slot { ty, data });
         self.slots.len() - 1
     }
 
     /// Find or create the slot of a COMMON member; grows the slot when a
-    /// later unit declares a larger shape.
+    /// later unit declares a larger shape. The hit path builds its
+    /// directory key in a reused scratch buffer, so repeated lookups from
+    /// steady-state frame builds do not allocate.
     pub fn common(&mut self, block: &str, name: &str, ty: Type, len: usize) -> usize {
-        if let Some(&idx) = self.commons.get(&(block.to_string(), name.to_string())) {
+        self.key_buf.clear();
+        self.key_buf.push_str(block);
+        self.key_buf.push('\u{1F}');
+        self.key_buf.push_str(name);
+        if let Some(&idx) = self.commons.get(self.key_buf.as_str()) {
             if self.slots[idx].data.len() < len {
                 self.slots[idx].data.resize(len, 0.0);
             }
             return idx;
         }
         let idx = self.alloc(ty, len);
-        self.commons
-            .insert((block.to_string(), name.to_string()), idx);
+        let key = std::mem::take(&mut self.key_buf);
+        self.commons.insert(key, idx);
         idx
     }
 
@@ -282,7 +344,7 @@ impl Memory {
             .filter(|&i| i >= mark)
             .collect();
         if pinned.is_empty() {
-            self.slots.truncate(mark);
+            self.recycle_from(mark);
             return;
         }
         pinned.sort_unstable();
@@ -303,7 +365,18 @@ impl Memory {
                 *idx = dst;
             }
         }
-        self.slots.truncate(mark + pinned.len());
+        self.recycle_from(mark + pinned.len());
+    }
+
+    /// Truncate the arena to `keep` slots, returning the released data
+    /// buffers to the pool. Drained in reverse so the *next* frame's
+    /// first `alloc` (same bytecode, same order) pops the buffer its
+    /// predecessor used for the same local — capacities match and the
+    /// `resize` is a pure memset.
+    fn recycle_from(&mut self, keep: usize) {
+        for s in self.slots.drain(keep..).rev() {
+            self.pool.push(s.data);
+        }
     }
 
     /// Read through a view.

@@ -1,0 +1,81 @@
+//! Boundary proof for the call-depth budget: a chain of exactly
+//! `MAX_CALL_DEPTH` nested CALL frames runs to completion, one frame more
+//! returns the structured budget error — identically through both
+//! engines. MiniF77 forbids recursion, so the depth cap is a runaway-cycle
+//! detector; this pins the fence-post so neither engine drifts off by one.
+
+use fruntime::{run, Engine, ExecOptions, RtErrorKind, MAX_CALL_DEPTH};
+
+/// Generate a program whose MAIN starts a chain of `depth` nested calls:
+/// S1 calls S2 calls ... calls S<depth>, the leaf adds 1.0 to the
+/// accumulator so the result proves the whole chain executed.
+fn chain_program(depth: usize) -> fir::ast::Program {
+    let mut src = String::new();
+    src.push_str("      PROGRAM MAIN\n");
+    src.push_str("      COMMON /ACC/ T\n");
+    src.push_str("      T = 0.0\n");
+    src.push_str("      CALL S1\n");
+    src.push_str("      WRITE(6,*) T\n");
+    src.push_str("      END\n");
+    for i in 1..=depth {
+        src.push_str(&format!("      SUBROUTINE S{i}\n"));
+        src.push_str("      COMMON /ACC/ T\n");
+        if i < depth {
+            src.push_str(&format!("      CALL S{}\n", i + 1));
+        } else {
+            src.push_str("      T = T + 1.0\n");
+        }
+        src.push_str("      RETURN\n");
+        src.push_str("      END\n");
+    }
+    fir::parse(&src).unwrap()
+}
+
+fn opts(engine: Engine) -> ExecOptions {
+    ExecOptions {
+        engine,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn chain_at_the_depth_limit_succeeds_in_both_engines() {
+    let p = chain_program(MAX_CALL_DEPTH);
+    for engine in [Engine::TreeWalk, Engine::Bytecode] {
+        let r = run(&p, &opts(engine))
+            .unwrap_or_else(|e| panic!("{engine:?}: depth-{MAX_CALL_DEPTH} chain failed: {e:?}"));
+        assert!(
+            r.io.iter().any(|l| l.contains('1')),
+            "{engine:?}: leaf never ran: {:?}",
+            r.io
+        );
+        assert!(r.stopped.is_none());
+    }
+}
+
+#[test]
+fn chain_one_past_the_limit_is_a_budget_error_in_both_engines() {
+    let p = chain_program(MAX_CALL_DEPTH + 1);
+    for engine in [Engine::TreeWalk, Engine::Bytecode] {
+        let e = run(&p, &opts(engine)).expect_err("one frame past MAX_CALL_DEPTH must abort");
+        assert_eq!(e.kind, RtErrorKind::Budget, "{engine:?}: {e:?}");
+        assert_eq!(
+            e.message, "call depth exceeded (runaway recursion)",
+            "{engine:?}"
+        );
+        assert!(e.is_budget());
+    }
+}
+
+#[test]
+fn both_engines_report_the_same_peak_depth_observables() {
+    // The failing chain must produce byte-identical errors across
+    // engines, and the VM's counter block must have seen the boundary.
+    let p = chain_program(MAX_CALL_DEPTH);
+    let vm = run(&p, &opts(Engine::Bytecode)).unwrap();
+    assert_eq!(vm.vm.calls, MAX_CALL_DEPTH as u64);
+    assert_eq!(vm.vm.peak_call_depth, MAX_CALL_DEPTH as u64);
+    let tree = run(&p, &opts(Engine::TreeWalk)).unwrap();
+    // The tree-walker does not meter itself; its counter block stays zero.
+    assert_eq!(tree.vm, fruntime::VmCounters::default());
+}

@@ -15,6 +15,7 @@ fn fixed_seed_campaign_has_no_panics_and_located_rejections() {
         // Debug-build interpreter: keep the per-run deadline tight so
         // runaway mutants die in milliseconds.
         max_ops: 300_000,
+        ..Default::default()
     };
     let stats = run_campaign(&opts);
     assert_eq!(stats.mutants, 150);
@@ -40,6 +41,7 @@ fn campaign_is_deterministic_across_thread_counts() {
         mutants: 60,
         threads: 1,
         max_ops: 200_000,
+        ..Default::default()
     };
     let a = run_campaign(&base);
     let b = run_campaign(&CampaignOptions {
@@ -52,4 +54,37 @@ fn campaign_is_deterministic_across_thread_counts() {
     assert_eq!(a.rejected, b.rejected);
     assert_eq!(a.timeouts, b.timeouts);
     assert_eq!(a.per_mutation, b.per_mutation);
+}
+
+#[test]
+fn tree_walk_engine_survives_a_fixed_seed_slice() {
+    // The reference engine shares the driver's isolation boundary with
+    // the VM; keep it under the same fault pressure so a regression in
+    // the tree-walker's error paths can't hide behind the default engine.
+    let opts = CampaignOptions {
+        seed: 0x1CB2011,
+        mutants: 40,
+        threads: 0,
+        max_ops: 300_000,
+        engine: fruntime::Engine::TreeWalk,
+    };
+    let stats = run_campaign(&opts);
+    assert_eq!(stats.mutants, 40);
+    assert!(
+        stats.passed(),
+        "panics: {:?}\nunlocated: {:?}",
+        stats.panics,
+        stats.unlocated
+    );
+    // Same seed, same mutation stream: the tree-walker must classify the
+    // slice identically to the VM (engines differ in speed, not outcome).
+    let vm = run_campaign(&CampaignOptions {
+        engine: fruntime::Engine::Bytecode,
+        ..opts.clone()
+    });
+    assert_eq!(stats.accepted_clean, vm.accepted_clean);
+    assert_eq!(stats.accepted_degraded, vm.accepted_degraded);
+    assert_eq!(stats.rejected, vm.rejected);
+    assert_eq!(stats.timeouts, vm.timeouts);
+    assert_eq!(stats.per_mutation, vm.per_mutation);
 }

@@ -83,7 +83,14 @@ fn concurrent_driver_is_byte_identical_to_single_worker() {
         assert_eq!(metrics.interp_runs, 90, "{workers} workers");
         assert_eq!(metrics.verify_cache_hits, 9, "{workers} workers");
         assert!(metrics.baseline_memo_hits <= 36, "{workers} workers");
-        assert_eq!(metrics.workers, workers);
+        // `metrics.workers` reports the *effective* pool size: the request
+        // clamped to available parallelism (and to the cell count).
+        let effective = DriverOptions {
+            workers,
+            ..Default::default()
+        }
+        .effective_workers();
+        assert_eq!(metrics.workers, effective.min(48), "{workers} workers");
     }
 }
 

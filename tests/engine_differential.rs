@@ -1,5 +1,5 @@
 //! Differential proof that the bytecode VM and the reference tree-walker
-//! are observably identical: every PERFECT app, every inlining mode,
+//! are observably identical: every PERFECT app, all four inlining modes,
 //! worker counts 1/2/8, compared bit-for-bit on io, STOP status, total op
 //! count, parallel-loop events, reported races, and final memory.
 //!
@@ -73,11 +73,7 @@ fn engines_agree_on_perfect_suite_all_modes_all_worker_counts() {
     for app in perfect::all() {
         let p = app.program();
         let reg = app.registry();
-        for mode in [
-            InlineMode::None,
-            InlineMode::Conventional,
-            InlineMode::Annotation,
-        ] {
+        for mode in InlineMode::all() {
             let r = compile(&p, &reg, &PipelineOptions::for_mode(mode));
             for threads in [1usize, 2, 8] {
                 let label = format!("{} [{}] threads={threads}", app.name, mode.label());
