@@ -1,0 +1,98 @@
+//! Corpus-scale streaming throughput: programs/sec through
+//! `ipp_core::run_stream` over a seeded generated corpus, at several
+//! worker counts. Run with `cargo bench --bench corpus_throughput`.
+//!
+//! Emits `crates/bench/artifacts/corpus_throughput.json` with the
+//! measured throughput at workers 1/2/4 over a ≥1000-program stream,
+//! plus the deterministic stream counters so a regression in corpus
+//! composition (more failing cells, fewer parallel loops) is visible
+//! next to the wall-clock. The host CPU count contextualizes the worker
+//! curve — on a single-CPU host the three points measure scheduling
+//! overhead, not fan-out.
+
+use bench::harness::median_of;
+use ipp_core::{run_stream, DriverOptions, StreamOutcome};
+use std::time::Duration;
+
+const SEED: u64 = 0x1DE0_2011;
+const PROGRAMS: u64 = 1000;
+const SAMPLES: usize = 3;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn stream_at(workers: usize) -> StreamOutcome {
+    let opts = DriverOptions {
+        workers,
+        verify_threads: 2,
+        verify_max_ops: 2_000_000,
+        ..Default::default()
+    };
+    run_stream(corpus::jobs(SEED, PROGRAMS), &opts)
+}
+
+fn main() {
+    println!("group: corpus_throughput");
+    let mut points: Vec<(usize, StreamOutcome, Duration)> = Vec::new();
+    for workers in WORKER_COUNTS {
+        let mut last: Option<StreamOutcome> = None;
+        let median = median_of(SAMPLES, || last = Some(stream_at(workers)));
+        let out = last.expect("at least one sample ran");
+        println!(
+            "bench: {:<44} median {:>8.3} s   ({:.1} programs/sec, effective-workers {}, window {})",
+            format!("corpus_throughput/w{workers}"),
+            median.as_secs_f64(),
+            PROGRAMS as f64 / median.as_secs_f64(),
+            out.workers,
+            out.window
+        );
+        points.push((workers, out, median));
+    }
+
+    // The stream summary is deterministic: every worker count must have
+    // aggregated the exact same corpus the same way.
+    let base = points[0].1.summary.to_json();
+    for (w, out, _) in &points {
+        assert_eq!(out.summary.to_json(), base, "summary diverged at w{w}");
+        assert!(out.summary.panic_free(), "panicked cells at w{w}");
+    }
+    let s = &points[0].1.summary;
+    println!(
+        "corpus: {} programs, {} cells, {} verified ok, {} failed ({} timed out), {}/{} loops parallel",
+        s.programs,
+        s.cells,
+        s.verified_ok,
+        s.failed_cells,
+        s.timed_out_cells,
+        s.loops_parallel,
+        s.loops_total
+    );
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let runs: Vec<String> = points
+        .iter()
+        .map(|(w, out, median)| {
+            format!(
+                "{{\"workers\":{},\"effective_workers\":{},\"window\":{},\"median_ns\":{},\"programs_per_sec\":{:.3}}}",
+                w,
+                out.workers,
+                out.window,
+                median.as_nanos(),
+                PROGRAMS as f64 / median.as_secs_f64()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"corpus_throughput\",\"seed\":{},\"programs\":{},\"samples_per_point\":{},\"host_cpus\":{},\"runs\":[{}],\"summary\":{}}}\n",
+        SEED,
+        PROGRAMS,
+        SAMPLES,
+        host_cpus,
+        runs.join(","),
+        s.to_json()
+    );
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("artifacts");
+    std::fs::create_dir_all(&dir).expect("create artifacts dir");
+    let path = dir.join("corpus_throughput.json");
+    std::fs::write(&path, &json).expect("write corpus_throughput.json");
+    println!("artifact: {}", path.display());
+}

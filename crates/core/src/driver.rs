@@ -75,6 +75,20 @@ pub struct DriverOptions {
     /// (baseline and verification). Defaults to the bytecode VM; the
     /// tree-walker stays available as the differential reference.
     pub engine: fruntime::Engine,
+    /// Keep per-cell `PipelineResult`/`VerifyResult` payloads on the
+    /// [`AppReport`]s. Retention is opt-in: the payloads hold the full
+    /// optimized program, emitted source, and parallel-event traces, so
+    /// on a corpus-scale stream they grow memory linearly with input
+    /// size. When false the driver still computes rows, Figure 20
+    /// points, metrics, and failures — only `results`/`verify` come back
+    /// empty. [`run_app`] forces this on (its callers inspect the
+    /// payloads); [`crate::stream::run_stream`] is the bounded-memory
+    /// path and leaves it off unless asked.
+    pub retain_results: bool,
+    /// Jobs per in-flight window for [`crate::stream::run_stream`]
+    /// (0 = auto: enough to keep every worker busy). Bounds streaming
+    /// memory: at most one window of jobs and reports is alive at once.
+    pub stream_window: usize,
     /// Chaos seam: cells of applications named here panic deliberately at
     /// the start of evaluation, to exercise the driver's `catch_unwind`
     /// isolation boundary (used by the fault-isolation tests and the
@@ -93,6 +107,8 @@ impl Default for DriverOptions {
             verify_cache: true,
             verify_max_ops: ExecOptions::default().max_ops,
             engine: fruntime::Engine::default(),
+            retain_results: false,
+            stream_window: 0,
             inject_panic: Vec::new(),
         }
     }
@@ -122,6 +138,18 @@ impl DriverOptions {
     pub fn effective_verify_threads(&self) -> usize {
         self.verify_threads.max(1)
     }
+
+    /// Resolved streaming window: `stream_window = 0` asks for an
+    /// automatic size — a few jobs per worker, so the pool stays busy
+    /// while the window (and thus peak memory) stays small and
+    /// stream-length-independent.
+    pub fn effective_stream_window(&self) -> usize {
+        if self.stream_window > 0 {
+            self.stream_window
+        } else {
+            self.effective_workers() * 4
+        }
+    }
 }
 
 /// Everything the driver produced for one application.
@@ -139,8 +167,12 @@ pub struct AppReport {
     /// Figure 20 points (successful configurations × machines).
     pub fig20: Vec<Fig20Point>,
     /// Verification results for the configurations that completed.
+    /// Empty when [`DriverOptions::retain_results`] is off — the
+    /// verifications still ran (their verdicts are folded into rows and
+    /// [`SuiteMetrics::verified_ok`]); only the payloads are dropped.
     pub verify: Vec<(InlineMode, VerifyResult)>,
-    /// Pipeline results for the configurations that completed.
+    /// Pipeline results for the configurations that completed. Empty
+    /// when [`DriverOptions::retain_results`] is off, like `verify`.
     pub results: Vec<(InlineMode, PipelineResult)>,
     /// Structured failures for the configurations that did not.
     pub failures: Vec<PipelineError>,
@@ -265,9 +297,16 @@ pub fn run_suite(jobs: &[SuiteJob], opts: &DriverOptions) -> SuiteOutcome {
     assemble(shared, workers, t0.elapsed())
 }
 
-/// Evaluate a single application (a one-job suite).
+/// Evaluate a single application (a one-job suite). Result retention is
+/// forced on: `run_app` callers inspect the per-configuration payloads,
+/// and a single app is never the memory problem retention opt-in exists
+/// to solve.
 pub fn run_app(job: &SuiteJob, opts: &DriverOptions) -> (AppReport, SuiteMetrics) {
-    let mut out = run_suite(std::slice::from_ref(job), opts);
+    let opts = DriverOptions {
+        retain_results: true,
+        ..opts.clone()
+    };
+    let mut out = run_suite(std::slice::from_ref(job), &opts);
     let report = out.apps.pop().unwrap_or_else(|| {
         // Structurally unreachable (assemble emits one report per job),
         // but a missing report must degrade like any other fault instead
@@ -527,6 +566,9 @@ fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> Su
                     metrics.phases.merge(&done.metrics.phases);
                     metrics.vm.absorb(&done.metrics.vm);
                     metrics.cells.push(done.metrics);
+                    if done.verify.ok() {
+                        metrics.verified_ok += 1;
+                    }
                     fig20.extend(done.fig20);
                     verifies.push((mode, done.verify));
                     results.push((mode, done.result));
@@ -535,6 +577,9 @@ fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> Su
                     metrics.failed_cells += 1;
                     if e.is_timeout() {
                         metrics.timed_out_cells += 1;
+                    }
+                    if matches!(e.cause, FailCause::Panic(_)) {
+                        metrics.panicked_cells += 1;
                     }
                     metrics.failures.push(FailureRecord::from_error(&e));
                     failures.push(e);
@@ -553,6 +598,13 @@ fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> Su
         } else {
             Vec::new()
         };
+        // Retention is opt-in: the rows and counters above are derived
+        // with the payloads in hand, then the payloads themselves are
+        // dropped unless a caller asked to keep them.
+        if !shared.opts.retain_results {
+            results = Vec::new();
+            verifies = Vec::new();
+        }
         apps.push(AppReport {
             name: job.name.clone(),
             rows,
@@ -638,6 +690,7 @@ mod tests {
         let opts = DriverOptions {
             workers: 2,
             machines: vec![Machine::intel8()],
+            retain_results: true,
             ..Default::default()
         };
         let out = run_suite(&[j], &opts);
@@ -679,6 +732,7 @@ mod tests {
             &DriverOptions {
                 workers: 1,
                 machines: vec![Machine::amd4()],
+                retain_results: true,
                 ..Default::default()
             },
         );
@@ -687,6 +741,7 @@ mod tests {
             &DriverOptions {
                 workers: 4,
                 machines: vec![Machine::amd4()],
+                retain_results: true,
                 ..Default::default()
             },
         );
@@ -697,6 +752,38 @@ mod tests {
                 assert_eq!(x.source, y.source);
             }
         }
+    }
+
+    #[test]
+    fn retention_off_drops_payloads_but_keeps_rows_and_counters() {
+        let j = job("T", SRC, "");
+        let out = run_suite(
+            std::slice::from_ref(&j),
+            &DriverOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let app = &out.apps[0];
+        assert!(app.ok());
+        // Derived reporting survives the drop...
+        assert_eq!(app.rows.len(), 3);
+        assert_eq!(out.metrics.cells.len(), 4);
+        assert_eq!(out.metrics.verified_ok, 4);
+        assert_eq!(out.metrics.panicked_cells, 0);
+        // ...only the payloads are gone.
+        assert!(app.results.is_empty());
+        assert!(app.verify.is_empty());
+        // run_app forces retention on for its payload-inspecting callers.
+        let (report, _) = run_app(
+            &j,
+            &DriverOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.results.len(), 4);
+        assert_eq!(report.verify.len(), 4);
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!   over the application × configuration matrix, a per-app baseline-run
 //!   memo (one reference run shared by all four configurations), a
 //!   verify-dedup cache, and per-phase observability ([`phase`]) rolled
-//!   into a [`phase::SuiteMetrics`] JSON report.
+//!   into a [`phase::SuiteMetrics`] JSON report;
+//! * [`stream::run_stream`] — the corpus-scale path: bounded-memory
+//!   streaming evaluation of an unbounded job iterator, aggregating a
+//!   deterministic [`stream::StreamSummary`] instead of retaining
+//!   per-app reports.
 //!
 //! ## Quick example
 //!
@@ -48,6 +52,7 @@ pub mod error;
 pub mod phase;
 pub mod pipeline;
 pub mod report;
+pub mod stream;
 pub mod verify;
 
 pub use driver::{
@@ -56,6 +61,8 @@ pub use driver::{
 pub use error::{FailCause, FailStage, PipelineError};
 pub use phase::{blocker_counts, CellMetrics, FailureRecord, Phase, PhaseTimings, SuiteMetrics};
 pub use pipeline::{compile, compile_timed, InlineMode, PipelineOptions, PipelineResult};
+pub use stream::{run_stream, StreamOutcome, StreamSummary};
+
 pub use report::{
     extra_loops, lost_loops, render_fig20, render_table2, table2_rows, totals_for, Fig20Point,
     Table2Row, Table2Totals,

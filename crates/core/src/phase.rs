@@ -165,7 +165,17 @@ pub struct AutogenCoverage {
 }
 
 impl AutogenCoverage {
-    fn to_json(self) -> String {
+    /// Fold another coverage block into this one (stream aggregation).
+    pub fn merge(&mut self, other: &AutogenCoverage) {
+        self.auto_sites += other.auto_sites;
+        self.manual_sites += other.manual_sites;
+        self.refused_sites += other.refused_sites;
+        self.derived_subs += other.derived_subs;
+        self.chain_derived_subs += other.chain_derived_subs;
+        self.refused_subs += other.refused_subs;
+    }
+
+    pub(crate) fn to_json(self) -> String {
         format!(
             "{{\"auto_sites\":{},\"manual_sites\":{},\"refused_sites\":{},\"derived_subs\":{},\"chain_derived_subs\":{},\"refused_subs\":{}}}",
             self.auto_sites,
@@ -298,6 +308,11 @@ pub struct SuiteMetrics {
     pub failed_cells: u64,
     /// The subset of failed cells that hit the op-budget deadline.
     pub timed_out_cells: u64,
+    /// The subset of failed cells caught at the panic isolation boundary.
+    pub panicked_cells: u64,
+    /// Completed cells whose verification passed both gates (the counter
+    /// survives even when result payloads are not retained).
+    pub verified_ok: u64,
     /// Aggregate per-phase wall-clock across every cell.
     pub phases: PhaseTimings,
     /// Aggregate VM execution counters across every cell (bytecode-engine
@@ -315,7 +330,7 @@ impl SuiteMetrics {
         let cells: Vec<String> = self.cells.iter().map(|c| c.to_json()).collect();
         let failures: Vec<String> = self.failures.iter().map(|f| f.to_json()).collect();
         format!(
-            "{{\"workers\":{},\"wall_ns\":{},\"interp_runs\":{},\"baseline_memo_hits\":{},\"verify_cache_hits\":{},\"failed_cells\":{},\"timed_out_cells\":{},\"phases\":{},\"vm\":{},\"cells\":[{}],\"failures\":[{}]}}",
+            "{{\"workers\":{},\"wall_ns\":{},\"interp_runs\":{},\"baseline_memo_hits\":{},\"verify_cache_hits\":{},\"failed_cells\":{},\"timed_out_cells\":{},\"panicked_cells\":{},\"verified_ok\":{},\"phases\":{},\"vm\":{},\"cells\":[{}],\"failures\":[{}]}}",
             self.workers,
             self.wall_nanos,
             self.interp_runs,
@@ -323,6 +338,8 @@ impl SuiteMetrics {
             self.verify_cache_hits,
             self.failed_cells,
             self.timed_out_cells,
+            self.panicked_cells,
+            self.verified_ok,
             self.phases.to_json(),
             vm_to_json(&self.vm),
             cells.join(","),
@@ -359,12 +376,7 @@ impl SuiteMetrics {
                 a.chain_derived_subs,
                 a.refused_subs
             ));
-            tot.auto_sites += a.auto_sites;
-            tot.manual_sites += a.manual_sites;
-            tot.refused_sites += a.refused_sites;
-            tot.derived_subs += a.derived_subs;
-            tot.chain_derived_subs += a.chain_derived_subs;
-            tot.refused_subs += a.refused_subs;
+            tot.merge(a);
         }
         out.push_str(&format!(
             "| **total** | **{}** | **{}** | **{}** | **{}** | **{}** | **{}** |\n",

@@ -1,0 +1,26 @@
+//! Seeded MiniF77 corpus generation for corpus-scale evaluation.
+//!
+//! Two pieces, both deterministic:
+//!
+//! * [`rng`] — the one audited RNG shared by every randomized harness in
+//!   the workspace (property tests, the chaos mutator, this generator).
+//!   xorshift64\* with Lemire-unbiased bounded draws and splittable
+//!   per-index substreams; see the module docs for the full contract.
+//! * [`gen`] — the program generator: `generate(seed, index)` emits a
+//!   MiniF77 program exercising one to three idioms from the paper's
+//!   pathology catalog (reshaped COMMON views, opaque call chains,
+//!   indirect subscripts, deep CALL trees, guarded calls), tagged with
+//!   the idioms it contains and sometimes carrying hand-written
+//!   annotations for its root callees.
+//!
+//! The `corpus_stream` binary feeds a generated corpus through
+//! `ipp_core::run_stream` and reports the aggregated stream summary —
+//! the CI `corpus-smoke` job gates on it.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod rng;
+
+pub use gen::{differential_program, generate, jobs, stream, GeneratedProgram, Idiom};
+pub use rng::Rng;

@@ -52,11 +52,14 @@ impl AppEvaluation {
 /// Threads used for the correctness-checking parallel runs.
 pub const VERIFY_THREADS: usize = 4;
 
-/// Driver configuration used for suite evaluation.
+/// Driver configuration used for suite evaluation. Result retention is
+/// on: the suite is twelve apps, and every consumer of an
+/// [`AppEvaluation`] reads the per-configuration payloads.
 pub fn driver_options(machines: &[Machine]) -> DriverOptions {
     DriverOptions {
         verify_threads: VERIFY_THREADS,
         machines: machines.to_vec(),
+        retain_results: true,
         ..Default::default()
     }
 }

@@ -1,8 +1,8 @@
-//! Randomized-property tests over the core invariants, driven by a
-//! deterministic fixed-seed generator (the build container has no access to
-//! crates.io, so `proptest` is replaced by an explicit sampling harness —
-//! every run explores the same cases, and previously shrunk regressions are
-//! pinned as explicit cases):
+//! Randomized-property tests over the core invariants, driven by the
+//! shared deterministic generator in `crates/corpus` (the build container
+//! has no access to crates.io, so `proptest` is replaced by an explicit
+//! sampling harness — every run explores the same cases, and previously
+//! shrunk regressions are pinned as explicit cases):
 //!
 //! * printer/parser round trip for generated programs;
 //! * affine-form algebra is linear;
@@ -13,6 +13,7 @@
 //!   loops;
 //! * annotation inline → reverse inline is the identity on the call.
 
+use corpus::Rng;
 use fdep::affine::{extract, SimpleClass};
 use fdep::ddtest::{test_pair, DepCtx, DepResult};
 use fdep::refs::{ArrayAccess, Sub};
@@ -20,31 +21,6 @@ use finline::annot::AnnotRegistry;
 use finline::{annot_inline, reverse};
 use fir::ast::{BinOp, Expr, OmpDirective, StmtKind};
 use fruntime::{run, Engine, ExecOptions};
-
-/// Deterministic xorshift64* generator: same cases on every run.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Rng {
-        Rng(seed.max(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    /// Uniform draw from the inclusive range `lo..=hi`.
-    fn range(&mut self, lo: i64, hi: i64) -> i64 {
-        assert!(lo <= hi);
-        let span = (hi - lo + 1) as u64;
-        lo + (self.next() % span) as i64
-    }
-}
 
 // ---------------------------------------------------------------------------
 // Affine algebra
@@ -230,75 +206,13 @@ fn threaded_equals_sequential_for_disjoint_writes() {
 // Engine differential: bytecode VM ≡ reference tree-walker
 // ---------------------------------------------------------------------------
 
-/// Generate a small program exercising the constructs both engines lower:
-/// COMMON + locals, nested DO loops (some with directives and reductions),
-/// subscripted and scalar assignments, IFs, a subroutine call with an
-/// element actual, and WRITE.
-fn generated_program(rng: &mut Rng) -> fir::ast::Program {
-    let n = rng.range(3, 24);
-    let trip1 = rng.range(1, 20);
-    let trip2 = rng.range(1, 10);
-    let step = if rng.range(0, 1) == 1 { ", 2" } else { "" };
-    let c = rng.range(1, 9);
-    let off = rng.range(1, n);
-    let src = format!(
-        "      PROGRAM G
-      COMMON /B/ A({n}), S
-      DIMENSION W({n})
-      DO I = 1, {n}
-        A(I) = I*{c}.0
-        W(I) = 0.0
-      ENDDO
-      DO I = 1, {trip1}{step}
-        IF (A(1) .GT. 0.0) THEN
-          W(1) = W(1) + A(1)
-        ELSE
-          W(1) = W(1) - 1.0
-        ENDIF
-      ENDDO
-      S = 0.0
-      DO I = 1, {n}
-        S = S + A(I)*W(1)
-      ENDDO
-      DO J = 1, {trip2}
-        CALL BUMP(A({off}), S)
-      ENDDO
-      WRITE(6,*) S, A({off}), W(1)
-      END
-      SUBROUTINE BUMP(X, T)
-      X = X + 1.0
-      T = T + X*0.5
-      END
-"
-    );
-    let mut p = fir::parse(&src).unwrap();
-    // Randomly mark some loops parallel — including (sometimes) illegal
-    // ones, so the race checker and write-log merge paths are compared
-    // too, not just clean execution.
-    let mark = rng.range(0, 7) as u64;
-    let red = rng.range(0, 1) == 1;
-    let mut k = 0;
-    fir::visit::walk_loops_mut(&mut p.units[0].body, &mut |d| {
-        if mark & (1 << k) != 0 {
-            d.directive = Some(if red && k == 2 {
-                OmpDirective {
-                    reductions: vec![(fir::ast::RedOp::Add, "S".into())],
-                    ..Default::default()
-                }
-            } else {
-                OmpDirective::default()
-            });
-        }
-        k += 1;
-    });
-    p
-}
-
 #[test]
 fn bytecode_engine_matches_tree_walker_on_generated_programs() {
+    // The generator lives in `crates/corpus` (shared with the streaming
+    // harness); this test owns the differential comparison only.
     let mut rng = Rng::new(0xB17EC0DE);
     for case in 0..64 {
-        let p = generated_program(&mut rng);
+        let p = corpus::differential_program(&mut rng);
         let threads = rng.range(1, 4) as usize;
         let check_races = rng.range(0, 1) == 1;
         let opts = ExecOptions {
