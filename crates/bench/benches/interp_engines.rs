@@ -16,6 +16,7 @@
 
 use bench::harness::alloc_counter::{self, CountingAlloc};
 use bench::harness::{fmt_dur, median_of};
+use fruntime::interp::OP_CLASS_NAMES;
 use fruntime::{run, Engine, ExecOptions, VmCounters};
 use ipp_core::{compile, InlineMode, PipelineOptions};
 use std::time::Duration;
@@ -98,9 +99,16 @@ fn main() {
         (ctr, checksum)
     });
     println!(
-        "vm counters: insns={} calls={} pool_hits={} pool_misses={} peak_depth={} warm_allocs={} (pass allocs={allocs})",
-        ctr.insns_retired, ctr.calls, ctr.pool_hits, ctr.pool_misses, ctr.peak_call_depth, ctr.warm_allocs
+        "vm counters: insns={} fused={} calls={} pool_hits={} pool_misses={} peak_depth={} warm_allocs={} (pass allocs={allocs})",
+        ctr.insns_retired, ctr.fused_insns, ctr.calls, ctr.pool_hits, ctr.pool_misses, ctr.peak_call_depth, ctr.warm_allocs
     );
+    let class_json: Vec<String> = OP_CLASS_NAMES
+        .iter()
+        .zip(ctr.class_retired)
+        .map(|(name, count)| format!("\"{name}\":{count}"))
+        .collect();
+    let class_json = class_json.join(",");
+    println!("vm retire histogram: {class_json}");
 
     if quick {
         println!("quick mode: skipping artifact write");
@@ -108,7 +116,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\"bench\":\"interp_engines\",\"samples_per_point\":{},\"workload\":\"race-checked sequential verification run, {} programs ({} apps x 3 inline modes)\",\"tree_walker_median_ns\":{},\"bytecode_vm_median_ns\":{},\"speedup_vm_vs_tree\":{:.4},\"vm_counters\":{{\"insns_retired\":{},\"calls\":{},\"pool_hits\":{},\"pool_misses\":{},\"peak_call_depth\":{},\"warm_allocs\":{}}},\"vm_pass_alloc_events\":{}}}\n",
+        "{{\"bench\":\"interp_engines\",\"samples_per_point\":{},\"workload\":\"race-checked sequential verification run, {} programs ({} apps x 3 inline modes)\",\"tree_walker_median_ns\":{},\"bytecode_vm_median_ns\":{},\"speedup_vm_vs_tree\":{:.4},\"vm_counters\":{{\"insns_retired\":{},\"fused_insns\":{},\"calls\":{},\"pool_hits\":{},\"pool_misses\":{},\"peak_call_depth\":{},\"warm_allocs\":{}}},\"vm_class_retired\":{{{}}},\"vm_pass_alloc_events\":{}}}\n",
         samples,
         programs.len(),
         apps.len(),
@@ -116,11 +124,13 @@ fn main() {
         vm.as_nanos(),
         speedup,
         ctr.insns_retired,
+        ctr.fused_insns,
         ctr.calls,
         ctr.pool_hits,
         ctr.pool_misses,
         ctr.peak_call_depth,
         ctr.warm_allocs,
+        class_json,
         allocs
     );
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("artifacts");

@@ -219,8 +219,8 @@ pub struct CellMetrics {
 /// Serialize a [`fruntime::VmCounters`] block.
 fn vm_to_json(c: &fruntime::VmCounters) -> String {
     format!(
-        "{{\"insns_retired\":{},\"calls\":{},\"pool_hits\":{},\"pool_misses\":{},\"peak_call_depth\":{},\"warm_allocs\":{}}}",
-        c.insns_retired, c.calls, c.pool_hits, c.pool_misses, c.peak_call_depth, c.warm_allocs
+        "{{\"insns_retired\":{},\"fused_insns\":{},\"calls\":{},\"pool_hits\":{},\"pool_misses\":{},\"peak_call_depth\":{},\"warm_allocs\":{}}}",
+        c.insns_retired, c.fused_insns, c.calls, c.pool_hits, c.pool_misses, c.peak_call_depth, c.warm_allocs
     )
 }
 

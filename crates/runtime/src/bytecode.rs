@@ -52,7 +52,7 @@ use std::collections::HashMap;
 /// One lowered instruction. Locals are indices into the frame's register
 /// window; string-valued operands index the program's literal pool.
 #[derive(Debug, Clone)]
-enum Insn {
+pub(crate) enum Insn {
     /// Add the statically known cost of a straight-line run to the op
     /// counter and check the budget.
     Tick(u64),
@@ -105,31 +105,33 @@ enum Insn {
     EndUnit,
 }
 
-/// Static description of one DO loop.
+/// Static description of one DO loop. Shared by the stack body and the
+/// typed register body (same index space: both lower loops in the same
+/// traversal order, only the `*_pc` fields differ per body).
 #[derive(Debug, Clone)]
-struct LoopMeta {
-    var: u32,
-    has_step: bool,
+pub(crate) struct LoopMeta {
+    pub(crate) var: u32,
+    pub(crate) has_step: bool,
     /// First instruction of the body (the one after `DoInit`).
-    body_pc: u32,
+    pub(crate) body_pc: u32,
     /// First instruction after the loop (the one after `DoNext`).
-    exit_pc: u32,
-    id: LoopId,
-    dir: Option<DirPlan>,
+    pub(crate) exit_pc: u32,
+    pub(crate) id: LoopId,
+    pub(crate) dir: Option<DirPlan>,
 }
 
 /// Compile-time view of a loop's parallel directive.
 #[derive(Debug, Clone)]
-struct DirPlan {
+pub(crate) struct DirPlan {
     /// private + lastprivate locals, in clause order.
-    privates: Vec<u32>,
-    reductions: Vec<(RedOp, u32)>,
+    pub(crate) privates: Vec<u32>,
+    pub(crate) reductions: Vec<(RedOp, u32)>,
 }
 
 /// One dimension of a section plan; bound values that exist are on the
-/// stack in declaration order.
+/// stack (or in consecutive value registers) in declaration order.
 #[derive(Debug, Clone, Copy)]
-enum SecDimPlan {
+pub(crate) enum SecDimPlan {
     Full,
     At,
     Range { has_lo: bool, has_hi: bool },
@@ -168,7 +170,7 @@ struct LocalPlan {
 /// Everything needed to build a call frame, phase for phase in the
 /// reference engine's allocation order (slot indices must match).
 #[derive(Debug, Clone, Default)]
-struct FramePlan {
+pub(crate) struct FramePlan {
     nlocals: usize,
     /// Local index per formal position.
     formals: Vec<u32>,
@@ -181,21 +183,26 @@ struct FramePlan {
 
 /// One lowered procedure unit.
 #[derive(Debug, Clone)]
-struct UnitCode {
-    name: String,
-    code: Vec<Insn>,
+pub(crate) struct UnitCode {
+    pub(crate) name: String,
+    pub(crate) code: Vec<Insn>,
     /// Local index → variable name (error messages only).
-    names: Vec<String>,
-    loops: Vec<LoopMeta>,
-    secs: Vec<Vec<SecDimPlan>>,
-    plan: FramePlan,
+    pub(crate) names: Vec<String>,
+    pub(crate) loops: Vec<LoopMeta>,
+    pub(crate) secs: Vec<Vec<SecDimPlan>>,
+    pub(crate) plan: FramePlan,
+    /// Typed three-address body (the fast path), when the unit's operand
+    /// types are fully static. Frames whose actual slot types diverge
+    /// from the declared types (COMMON/formal type punning) fall back to
+    /// the stack body above — see [`typed_body`].
+    pub(crate) typed: Option<crate::treg::TypedUnit>,
 }
 
 /// A fully lowered program: owned, immutable, `Sync` — compile once, run
 /// from any number of threads.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
-    units: Vec<UnitCode>,
+    pub(crate) units: Vec<UnitCode>,
     main: Option<usize>,
     /// Pre-resolved COMMON allocations `(block, member, ty, len)` in the
     /// reference engine's preallocation order.
@@ -205,7 +212,11 @@ pub struct CompiledProgram {
     /// into this pool, so stop/error propagation across unit boundaries
     /// never clones a string — text materializes once, at the engine
     /// boundary in [`run_compiled`].
-    strs: Vec<String>,
+    pub(crate) strs: Vec<String>,
+    /// Widest typed-register bank any unit needs; the shared bank is
+    /// sized once per run (frames hold no live value registers across
+    /// calls, so every frame reuses the same bank).
+    pub(crate) max_vregs: usize,
 }
 
 /// Deduplicating string interner backing [`CompiledProgram::strs`].
@@ -232,7 +243,7 @@ impl StrPool {
 
 /// Exact op cost of evaluating `e`: one tick per node, no short-circuit —
 /// mirrors the reference engine's `eval` recursion.
-fn cost(e: &Expr) -> u64 {
+pub(crate) fn cost(e: &Expr) -> u64 {
     1 + match e {
         Expr::Int(_)
         | Expr::Real(_)
@@ -252,7 +263,7 @@ fn cost(e: &Expr) -> u64 {
 /// Op cost of a call argument (`arg_view` in the reference engine):
 /// variables bind without evaluation, element references evaluate their
 /// subscripts, anything else evaluates the whole expression.
-fn arg_cost(a: &Expr) -> u64 {
+pub(crate) fn arg_cost(a: &Expr) -> u64 {
     match a {
         Expr::Var(_) => 0,
         Expr::Index(_, subs) => subs.iter().map(cost).sum(),
@@ -262,7 +273,7 @@ fn arg_cost(a: &Expr) -> u64 {
 
 /// The statically known op cost a statement incurs before any control
 /// transfer: its own tick plus every unconditionally evaluated expression.
-fn leading_cost(s: &Stmt) -> u64 {
+pub(crate) fn leading_cost(s: &Stmt) -> u64 {
     1 + match &s.kind {
         StmtKind::Assign { lhs, rhs } => {
             cost(rhs)
@@ -305,7 +316,7 @@ fn leading_cost(s: &Stmt) -> u64 {
 
 /// True when control can leave the straight line at this statement, ending
 /// a tick-merge run.
-fn is_barrier(s: &Stmt) -> bool {
+pub(crate) fn is_barrier(s: &Stmt) -> bool {
     matches!(
         s.kind,
         StmtKind::If { .. }
@@ -318,18 +329,23 @@ fn is_barrier(s: &Stmt) -> bool {
 }
 
 /// Per-unit lowering state. Strings intern into the program-wide pool.
-struct UnitCompiler<'p> {
-    names: Vec<String>,
+/// The typed lowering pass ([`crate::treg`]) shares this compiler's name
+/// map and string pool so local indices agree across both bodies.
+pub(crate) struct UnitCompiler<'p> {
+    pub(crate) names: Vec<String>,
     name_idx: HashMap<String, u32>,
     code: Vec<Insn>,
-    loops: Vec<LoopMeta>,
+    /// Completed generic loop metadata. The typed lowering clones entry
+    /// `k` for its own loop `k` (same traversal order), so directive
+    /// plans and loop ids are identical across bodies by construction.
+    pub(crate) loops: Vec<LoopMeta>,
     secs: Vec<Vec<SecDimPlan>>,
     strs: &'p mut StrPool,
-    unit_by_name: &'p HashMap<&'p str, usize>,
+    pub(crate) unit_by_name: &'p HashMap<&'p str, usize>,
 }
 
 impl<'p> UnitCompiler<'p> {
-    fn local(&mut self, name: &str) -> u32 {
+    pub(crate) fn local(&mut self, name: &str) -> u32 {
         if let Some(&i) = self.name_idx.get(name) {
             return i;
         }
@@ -339,7 +355,7 @@ impl<'p> UnitCompiler<'p> {
         i
     }
 
-    fn stri(&mut self, s: &str) -> u32 {
+    pub(crate) fn stri(&mut self, s: &str) -> u32 {
         self.strs.intern(s)
     }
 
@@ -726,6 +742,7 @@ pub fn compile(p: &Program) -> CompiledProgram {
         let mut plan = c.frame_plan(u, table);
         c.block(&u.body);
         c.emit(Insn::EndUnit);
+        let typed = crate::treg::lower_typed(u, table, &mut c);
         plan.nlocals = c.names.len();
         units.push(UnitCode {
             name: u.name.clone(),
@@ -734,14 +751,22 @@ pub fn compile(p: &Program) -> CompiledProgram {
             loops: c.loops,
             secs: c.secs,
             plan,
+            typed,
         });
     }
 
+    let max_vregs = units
+        .iter()
+        .filter_map(|u| u.typed.as_ref())
+        .map(|t| t.nvregs)
+        .max()
+        .unwrap_or(0);
     CompiledProgram {
         units,
         main,
         commons,
         strs: pool.strs,
+        max_vregs,
     }
 }
 
@@ -760,14 +785,14 @@ struct EpochEntry {
 /// Allocation-free race checker: per-slot epoch vectors, recycled across
 /// directive loops by bumping `gen`.
 #[derive(Debug, Default)]
-struct RaceState {
-    active: bool,
+pub(crate) struct RaceState {
+    pub(crate) active: bool,
     /// Current iteration index of the checked loop.
-    cur: i64,
+    pub(crate) cur: i64,
     /// Current generation; entries from older generations are stale.
     gen: u32,
     /// Sorted slots exempt from checking (loop var, privates, reductions).
-    excluded: Vec<usize>,
+    pub(crate) excluded: Vec<usize>,
     /// `table[slot][off]` — lazily sized to each slot's length.
     table: Vec<Vec<EpochEntry>>,
     /// Slots already reported this loop instance.
@@ -775,7 +800,7 @@ struct RaceState {
 }
 
 /// `Reg::slot` sentinel: the local is unbound (no view yet).
-const UNBOUND: usize = usize::MAX;
+pub(crate) const UNBOUND: usize = usize::MAX;
 /// `Reg::dims_at` sentinel: the shape is the static element-view shape
 /// `[0]` (assumed-size from an `ArgElem`), not a dims-arena window.
 const DIMS_ELEM: usize = usize::MAX;
@@ -787,16 +812,16 @@ static ELEM_DIMS: [usize; 1] = [0];
 /// formal or passing an argument is a register copy, never a `View`
 /// clone.
 #[derive(Debug, Clone, Copy)]
-struct Reg {
+pub(crate) struct Reg {
     /// Arena slot index, or [`UNBOUND`].
-    slot: usize,
+    pub(crate) slot: usize,
     /// Element offset of the first element.
-    offset: usize,
+    pub(crate) offset: usize,
     /// Start of the resolved extents in the dims arena ([`DIMS_ELEM`]
     /// for element views). Meaningless when `dims_len == 0` (scalar).
-    dims_at: usize,
+    pub(crate) dims_at: usize,
     /// Number of resolved extents; 0 means scalar.
-    dims_len: usize,
+    pub(crate) dims_len: usize,
 }
 
 impl Reg {
@@ -807,7 +832,7 @@ impl Reg {
         dims_len: 0,
     };
 
-    fn scalar(slot: usize, offset: usize) -> Reg {
+    pub(crate) fn scalar(slot: usize, offset: usize) -> Reg {
         Reg {
             slot,
             offset,
@@ -816,7 +841,7 @@ impl Reg {
         }
     }
 
-    fn elem(slot: usize, offset: usize) -> Reg {
+    pub(crate) fn elem(slot: usize, offset: usize) -> Reg {
         Reg {
             slot,
             offset,
@@ -832,15 +857,15 @@ impl Reg {
 /// Frames release by truncation, so steady-state calls reuse capacity and
 /// allocate nothing.
 #[derive(Debug, Default)]
-struct RegStack {
-    regs: Vec<Reg>,
-    dims: Vec<usize>,
+pub(crate) struct RegStack {
+    pub(crate) regs: Vec<Reg>,
+    pub(crate) dims: Vec<usize>,
 }
 
 impl RegStack {
     /// The resolved extents of `r` (empty for scalars).
     #[inline]
-    fn dims_of(&self, r: Reg) -> &[usize] {
+    pub(crate) fn dims_of(&self, r: Reg) -> &[usize] {
         if r.dims_len == 0 {
             &[]
         } else if r.dims_at == DIMS_ELEM {
@@ -855,7 +880,7 @@ impl RegStack {
 /// [`CompiledProgram::strs`] indices until the engine boundary, so the
 /// error paths of the hot loop never clone pool strings.
 #[derive(Debug, Clone)]
-enum VmErr {
+pub(crate) enum VmErr {
     /// An interned lowered message (`Insn::Bad`, `Insn::CallUnknown`).
     Raise(u32),
     /// An already-materialized runtime error.
@@ -870,7 +895,7 @@ impl From<RtError> for VmErr {
 
 impl VmErr {
     /// Materialize against the program string pool.
-    fn into_rt(self, strs: &[String]) -> RtError {
+    pub(crate) fn into_rt(self, strs: &[String]) -> RtError {
         match self {
             VmErr::Raise(i) => RtError::new(strs[i as usize].clone()),
             VmErr::Rt(e) => e,
@@ -879,45 +904,50 @@ impl VmErr {
 }
 
 #[derive(Debug, Default)]
-struct VmState {
-    mem: Memory,
-    io: Vec<String>,
-    ops: u64,
-    par_events: Vec<ParLoopEvent>,
-    races: Vec<RaceViolation>,
-    par_depth: usize,
+pub(crate) struct VmState {
+    pub(crate) mem: Memory,
+    pub(crate) io: Vec<String>,
+    pub(crate) ops: u64,
+    pub(crate) par_events: Vec<ParLoopEvent>,
+    pub(crate) races: Vec<RaceViolation>,
+    pub(crate) par_depth: usize,
     /// Depth of nested `Call` frames (bounded like the reference engine).
-    call_depth: usize,
-    write_log: Option<Vec<(usize, usize, f64)>>,
-    race: RaceState,
-    /// Value stack, shared by every frame of this VM.
-    stack: Vec<Scalar>,
+    pub(crate) call_depth: usize,
+    pub(crate) write_log: Option<Vec<(usize, usize, f64)>>,
+    pub(crate) race: RaceState,
+    /// Value stack, shared by every frame of this VM (stack body only).
+    pub(crate) stack: Vec<Scalar>,
+    /// Typed value registers (typed body only): one flat `u64` bank —
+    /// i64 bits, f64 bits, or 0/1 logicals, per the lowering's static
+    /// types. Frames hold no live value registers across calls, so every
+    /// frame shares this bank, sized once per run.
+    pub(crate) vregs: Vec<u64>,
     /// Register file + dims arena, shared by every frame of this VM.
-    regs: RegStack,
-    /// Live DO loops of every frame (each `run_frame` owns a base index).
-    loop_stack: Vec<LoopRec>,
+    pub(crate) regs: RegStack,
+    /// Live DO loops of every frame (each frame owns a base index).
+    pub(crate) loop_stack: Vec<LoopRec>,
     /// Reusable subscript buffer.
-    idx_scratch: Vec<i64>,
+    pub(crate) idx_scratch: Vec<i64>,
     /// Reusable section-bounds buffers (`StoreSection`).
-    sec_bounds: Vec<(i64, i64)>,
-    sec_idx: Vec<i64>,
+    pub(crate) sec_bounds: Vec<(i64, i64)>,
+    pub(crate) sec_idx: Vec<i64>,
     /// WRITE line under construction.
-    line: String,
-    line_items: usize,
+    pub(crate) line: String,
+    pub(crate) line_items: usize,
     /// Reusable chunk arena for inline (no-spawn) threaded execution.
     scratch: Option<Memory>,
     /// Always-on execution counters.
-    ctr: VmCounters,
+    pub(crate) ctr: VmCounters,
 }
 
 /// Immutable run context (shared by chunk workers).
 #[derive(Clone, Copy)]
-struct Vx<'a> {
-    prog: &'a CompiledProgram,
-    opts: &'a ExecOptions,
+pub(crate) struct Vx<'a> {
+    pub(crate) prog: &'a CompiledProgram,
+    pub(crate) opts: &'a ExecOptions,
 }
 
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Return,
     /// STOP with an interned message index.
@@ -928,16 +958,16 @@ enum Flow {
 /// the record out by value, advance it, and write it back without
 /// holding a borrow across memory writes.
 #[derive(Debug, Clone, Copy)]
-struct LoopRec {
-    meta: u32,
-    cur: i64,
-    step: i64,
-    n: u64,
-    done: u64,
-    var: Reg,
+pub(crate) struct LoopRec {
+    pub(crate) meta: u32,
+    pub(crate) cur: i64,
+    pub(crate) step: i64,
+    pub(crate) n: u64,
+    pub(crate) done: u64,
+    pub(crate) var: Reg,
     /// `Some` when this is the accounting/checking instance of a
     /// directive loop (sequential path).
-    par: Option<u64>, // ops at loop entry
+    pub(crate) par: Option<u64>, // ops at loop entry
 }
 
 // ---------------------------------------------------------------------------
@@ -958,8 +988,14 @@ pub fn run_compiled(prog: &CompiledProgram, opts: &ExecOptions) -> Result<RunRes
         st.mem.common(block, name, *ty, *len);
     }
     let main = prog.main.ok_or_else(|| RtError::new("no PROGRAM unit"))?;
+    st.vregs.resize(prog.max_vregs, 0);
     let fb = build_frame(cx, &mut st, main, 0, 0).map_err(|e| e.into_rt(&prog.strs))?;
-    let flow = run_frame(cx, &mut st, main, fb, 0, None).map_err(|e| e.into_rt(&prog.strs))?;
+    let flow = if typed_body(&st, fb, &prog.units[main]).is_some() {
+        crate::treg::exec_typed(cx, &mut st, main, fb, 0, None)
+    } else {
+        run_frame(cx, &mut st, main, fb, 0, None)
+    }
+    .map_err(|e| e.into_rt(&prog.strs))?;
     let stopped = match flow {
         Flow::Stop(m) => Some(prog.strs[m as usize].clone()),
         _ => None,
@@ -979,7 +1015,7 @@ pub fn run_compiled(prog: &CompiledProgram, opts: &ExecOptions) -> Result<RunRes
 /// dominant inactive case costs one predictable branch at every Load and
 /// Store site.
 #[inline]
-fn record(st: &mut VmState, slot: usize, off: usize, is_write: bool) {
+pub(crate) fn record(st: &mut VmState, slot: usize, off: usize, is_write: bool) {
     if !st.race.active {
         return;
     }
@@ -1036,7 +1072,7 @@ fn record_active(st: &mut VmState, slot: usize, off: usize, is_write: bool) {
 
 /// Arm the race checker for a new directive-loop instance: one generation
 /// bump invalidates the whole table.
-fn activate_race(st: &mut VmState, excluded: Vec<usize>) {
+pub(crate) fn activate_race(st: &mut VmState, excluded: Vec<usize>) {
     st.race.gen = st.race.gen.wrapping_add(1);
     if st.race.gen == 0 {
         for lane in &mut st.race.table {
@@ -1050,7 +1086,7 @@ fn activate_race(st: &mut VmState, excluded: Vec<usize>) {
     st.race.active = true;
 }
 
-fn retire_race(st: &mut VmState) {
+pub(crate) fn retire_race(st: &mut VmState) {
     st.race.active = false;
     st.race.excluded.clear();
 }
@@ -1067,11 +1103,24 @@ fn store_at(st: &mut VmState, slot: usize, off: usize, val: Scalar) {
     record(st, slot, off, true);
 }
 
+/// [`store_at`] for a value already converted to the slot's raw `f64`
+/// representation — the typed engine's store path. The conversion opcodes
+/// replicate `Slot::set`'s per-type formula exactly, so the written raw
+/// (and the logged raw) is bit-identical to the stack engine's.
+#[inline]
+pub(crate) fn store_raw(st: &mut VmState, slot: usize, off: usize, raw: f64) {
+    st.mem.slots[slot].data[off] = raw;
+    if let Some(log) = &mut st.write_log {
+        log.push((slot, off, raw));
+    }
+    record(st, slot, off, true);
+}
+
 /// Unlogged, unchecked-by-races scalar write through a register — the
 /// loop-variable write path (`st.mem.write(&var_view, &[], v)` in the old
 /// representation, failures silently ignored).
 #[inline]
-fn write_var(mem: &mut Memory, r: Reg, val: Scalar) {
+pub(crate) fn write_var(mem: &mut Memory, r: Reg, val: Scalar) {
     let Some(s) = mem.slots.get_mut(r.slot) else {
         return;
     };
@@ -1083,7 +1132,7 @@ fn write_var(mem: &mut Memory, r: Reg, val: Scalar) {
 /// Scalar read through a register (empty-subscript read in the old
 /// representation: arrays read their first element).
 #[inline]
-fn read_var(mem: &Memory, r: Reg) -> Option<Scalar> {
+pub(crate) fn read_var(mem: &Memory, r: Reg) -> Option<Scalar> {
     let s = mem.slots.get(r.slot)?;
     if r.dims_len != 0 && r.offset >= s.data.len() {
         return None;
@@ -1106,7 +1155,7 @@ fn pop_subs(st: &mut VmState, n: usize) {
 
 /// Iteration count of `DO var = lo, hi, step` (the reference engine's
 /// materialized `iters.len()`, computed arithmetically).
-fn trip_count(lo: i64, hi: i64, step: i64) -> u64 {
+pub(crate) fn trip_count(lo: i64, hi: i64, step: i64) -> u64 {
     if step > 0 {
         if lo > hi {
             0
@@ -1122,17 +1171,21 @@ fn trip_count(lo: i64, hi: i64, step: i64) -> u64 {
 
 /// Pop this frame's live loop records (everything above `lb`), retiring
 /// directive instances exactly as the reference engine does when a
-/// `Stop`/`Return` unwinds out of them.
-fn unwind_loops(st: &mut VmState, unit: &UnitCode, lb: usize) {
+/// `Stop`/`Return` unwinds out of them. `loops` is the metadata table of
+/// whichever body (stack or typed) pushed the records.
+pub(crate) fn unwind_loops(st: &mut VmState, loops: &[LoopMeta], lb: usize) {
     while st.loop_stack.len() > lb {
-        let rec = st.loop_stack.pop().expect("live loop");
+        debug_assert!(!st.loop_stack.is_empty(), "len > lb implies a live loop");
+        let Some(rec) = st.loop_stack.pop() else {
+            break;
+        };
         if let Some(ops_before) = rec.par {
             if st.race.active {
                 retire_race(st);
             }
             st.par_depth -= 1;
             st.par_events.push(ParLoopEvent {
-                id: unit.loops[rec.meta as usize].id.clone(),
+                id: loops[rec.meta as usize].id.clone(),
                 ops: st.ops - ops_before,
                 iters: rec.n,
             });
@@ -1140,10 +1193,24 @@ fn unwind_loops(st: &mut VmState, unit: &UnitCode, lb: usize) {
     }
 }
 
+/// Pop the top of the value stack. Lowering guarantees a value was pushed
+/// before every pop, so the empty case is unreachable; a
+/// `debug_assert!`-backed structured error replaces the old panicking
+/// `expect` so release builds degrade to a reported `RtError` under any
+/// future lowering bug (chaos campaigns must never see a panic).
+#[inline]
+fn pop_val(st: &mut VmState) -> Result<Scalar, VmErr> {
+    debug_assert!(!st.stack.is_empty(), "lowering pushes before every pop");
+    match st.stack.pop() {
+        Some(v) => Ok(v),
+        None => Err(RtError::new("internal error: value stack underflow").into()),
+    }
+}
+
 /// Fetch the register of local `l` in the frame at `fb`; `None` when the
 /// local is unbound.
 #[inline]
-fn reg(st: &VmState, fb: usize, l: u32) -> Option<Reg> {
+pub(crate) fn reg(st: &VmState, fb: usize, l: u32) -> Option<Reg> {
     let r = st.regs.regs[fb + l as usize];
     if r.slot == UNBOUND {
         None
@@ -1209,12 +1276,12 @@ fn exec_value(
             st.stack.push(val);
         }
         Insn::Bin(op) => {
-            let b = st.stack.pop().expect("rhs operand");
-            let a = st.stack.pop().expect("lhs operand");
+            let b = pop_val(st)?;
+            let a = pop_val(st)?;
             st.stack.push(eval_bin(*op, a, b)?);
         }
         Insn::Neg => {
-            let v = match st.stack.pop().expect("neg operand") {
+            let v = match pop_val(st)? {
                 Scalar::I(v) => Scalar::I(-v),
                 Scalar::F(v) => Scalar::F(-v),
                 Scalar::B(_) => return Err(RtError::new("negation of logical").into()),
@@ -1222,7 +1289,7 @@ fn exec_value(
             st.stack.push(v);
         }
         Insn::Not => {
-            let v = st.stack.pop().expect("not operand").as_b();
+            let v = pop_val(st)?.as_b();
             st.stack.push(Scalar::B(!v));
         }
         Insn::Intr(i, n) => {
@@ -1273,7 +1340,7 @@ fn eval_extent(
         st.ctr.insns_retired += 1;
         exec_value(st, unit, fb, insn, DEFAULT_MAX_OPS)?;
     }
-    Ok(st.stack.pop().expect("extent value"))
+    pop_val(st)
 }
 
 /// Resolve a dims plan into the dims arena; returns the arena window
@@ -1316,7 +1383,7 @@ fn resolve_dims(
 /// indices must match exactly. The frame's arguments are the top `nargs`
 /// registers starting at `args_base`; the new frame is the `nlocals`
 /// registers pushed on top of them. Returns the frame base.
-fn build_frame(
+pub(crate) fn build_frame(
     cx: Vx<'_>,
     st: &mut VmState,
     u: usize,
@@ -1395,11 +1462,69 @@ fn build_frame(
     Ok(fb)
 }
 
+/// Pick the body a freshly built frame runs: the typed register body when
+/// the unit has one and every guarded local's actual slot type matches
+/// the type the lowering assumed, else the stack body. The guard makes
+/// static typing sound under Fortran type punning: a formal or COMMON
+/// member bound to storage of a different declared type simply drops that
+/// call to the (exact, slower) stack body.
+#[inline]
+pub(crate) fn typed_body<'a>(
+    st: &VmState,
+    fb: usize,
+    unit: &'a UnitCode,
+) -> Option<&'a crate::treg::TypedUnit> {
+    let tu = unit.typed.as_ref()?;
+    for &(l, class) in &tu.guards {
+        if let Some(r) = reg(st, fb, l) {
+            if crate::treg::ty_class(st.mem.slots[r.slot].ty) != class {
+                return None;
+            }
+        }
+    }
+    Some(tu)
+}
+
+/// Build the callee frame for unit `target` over the top `nargs` argument
+/// views, run whichever body [`typed_body`] picks, and release the frame.
+/// Shared by both engines' `Call` instructions so mixed call stacks
+/// (typed caller → guarded-out stack callee and vice versa) work.
+pub(crate) fn call_unit(
+    cx: Vx<'_>,
+    st: &mut VmState,
+    target: usize,
+    nargs: usize,
+) -> Result<Flow, VmErr> {
+    if st.call_depth >= MAX_CALL_DEPTH {
+        return Err(RtError::call_depth().into());
+    }
+    let args_base = st.regs.regs.len() - nargs;
+    let dims_mark = st.regs.dims.len();
+    let mark = st.mem.mark();
+    st.ctr.calls += 1;
+    let cfb = build_frame(cx, st, target, args_base, nargs)?;
+    st.call_depth += 1;
+    st.ctr.peak_call_depth = st.ctr.peak_call_depth.max(st.call_depth as u64);
+    let flow = if typed_body(st, cfb, &cx.prog.units[target]).is_some() {
+        crate::treg::exec_typed(cx, st, target, cfb, 0, None)
+    } else {
+        run_frame(cx, st, target, cfb, 0, None)
+    };
+    st.call_depth -= 1;
+    let flow = flow?;
+    // Release the callee frame and its argument window: pure truncation,
+    // capacity stays for the next call.
+    st.regs.regs.truncate(args_base);
+    st.regs.dims.truncate(dims_mark);
+    st.mem.release(mark);
+    Ok(flow)
+}
+
 /// Execute a unit's code from `entry` in the frame at register base `fb`.
 /// `chunk_of` marks chunk mode: the body of directive loop `m` runs as
 /// one iteration, and reaching that loop's `DoNext` with no live loop
 /// record ends the iteration.
-fn run_frame(
+pub(crate) fn run_frame(
     cx: Vx<'_>,
     st: &mut VmState,
     u: usize,
@@ -1420,7 +1545,7 @@ fn run_frame(
         match insn {
             Insn::Jump(t) => pc = *t as usize,
             Insn::JumpIfFalse(t) => {
-                if !st.stack.pop().expect("condition").as_b() {
+                if !pop_val(st)?.as_b() {
                     pc = *t as usize;
                 }
             }
@@ -1432,7 +1557,7 @@ fn run_frame(
                     ))
                     .into());
                 };
-                let val = st.stack.pop().expect("store value");
+                let val = pop_val(st)?;
                 if r.dims_len == 0 {
                     store_at(st, r.slot, r.offset, val);
                 } else {
@@ -1453,7 +1578,7 @@ fn run_frame(
                     .into());
                 };
                 pop_subs(st, *n as usize);
-                let val = st.stack.pop().expect("store value");
+                let val = pop_val(st)?;
                 let slot_len = st.mem.slots[r.slot].data.len();
                 let Some(off) = flat_view(r.offset, st.regs.dims_of(r), &st.idx_scratch, slot_len)
                 else {
@@ -1478,25 +1603,17 @@ fn run_frame(
                     bounds[k] = match plan[k] {
                         SecDimPlan::Full => (1, extent),
                         SecDimPlan::At => {
-                            let v = st.stack.pop().expect("section bound").as_i();
+                            let v = pop_val(st)?.as_i();
                             (v, v)
                         }
                         SecDimPlan::Range { has_lo, has_hi } => {
-                            let h = if has_hi {
-                                st.stack.pop().expect("section hi").as_i()
-                            } else {
-                                extent
-                            };
-                            let l = if has_lo {
-                                st.stack.pop().expect("section lo").as_i()
-                            } else {
-                                1
-                            };
+                            let h = if has_hi { pop_val(st)?.as_i() } else { extent };
+                            let l = if has_lo { pop_val(st)?.as_i() } else { 1 };
                             (l, h)
                         }
                     };
                 }
-                let val = st.stack.pop().expect("section value");
+                let val = pop_val(st)?;
                 let slot_len = st.mem.slots[r.slot].data.len();
                 let mut idx = std::mem::take(&mut st.sec_idx);
                 idx.clear();
@@ -1540,7 +1657,7 @@ fn run_frame(
                 st.line_items += 1;
             }
             Insn::WriteVal => {
-                let v = st.stack.pop().expect("write value");
+                let v = pop_val(st)?;
                 if st.line_items > 0 {
                     st.line.push(' ');
                 }
@@ -1562,11 +1679,11 @@ fn run_frame(
                 st.io.push(line);
             }
             Insn::Stop(m) => {
-                unwind_loops(st, unit, lb);
+                unwind_loops(st, &unit.loops, lb);
                 return Ok(Flow::Stop(*m));
             }
             Insn::Ret => {
-                unwind_loops(st, unit, lb);
+                unwind_loops(st, &unit.loops, lb);
                 return Ok(Flow::Return);
             }
             Insn::EndUnit => return Ok(Flow::Normal),
@@ -1600,7 +1717,7 @@ fn run_frame(
                 st.regs.regs.push(Reg::elem(r.slot, off));
             }
             Insn::ArgVal => {
-                let v = st.stack.pop().expect("arg value");
+                let v = pop_val(st)?;
                 let ty = match v {
                     Scalar::I(_) => Type::Integer,
                     Scalar::F(_) => Type::Double,
@@ -1611,27 +1728,9 @@ fn run_frame(
                 st.regs.regs.push(Reg::scalar(slot, 0));
             }
             Insn::Call(target, nargs) => {
-                if st.call_depth >= MAX_CALL_DEPTH {
-                    return Err(RtError::call_depth().into());
-                }
-                let nargs = *nargs as usize;
-                let args_base = st.regs.regs.len() - nargs;
-                let dims_mark = st.regs.dims.len();
-                let mark = st.mem.mark();
-                st.ctr.calls += 1;
-                let cfb = build_frame(cx, st, *target as usize, args_base, nargs)?;
-                st.call_depth += 1;
-                st.ctr.peak_call_depth = st.ctr.peak_call_depth.max(st.call_depth as u64);
-                let flow = run_frame(cx, st, *target as usize, cfb, 0, None);
-                st.call_depth -= 1;
-                let flow = flow?;
-                // Release the callee frame and its argument window: pure
-                // truncation, capacity stays for the next call.
-                st.regs.regs.truncate(args_base);
-                st.regs.dims.truncate(dims_mark);
-                st.mem.release(mark);
+                let flow = call_unit(cx, st, *target as usize, *nargs as usize)?;
                 if let Flow::Stop(m) = flow {
-                    unwind_loops(st, unit, lb);
+                    unwind_loops(st, &unit.loops, lb);
                     return Ok(Flow::Stop(m));
                 }
             }
@@ -1641,12 +1740,12 @@ fn run_frame(
             Insn::DoInit(mi) => {
                 let meta = &unit.loops[*mi as usize];
                 let step = if meta.has_step {
-                    st.stack.pop().expect("do step").as_i()
+                    pop_val(st)?.as_i()
                 } else {
                     1
                 };
-                let hi = st.stack.pop().expect("do hi").as_i();
-                let lo = st.stack.pop().expect("do lo").as_i();
+                let hi = pop_val(st)?.as_i();
+                let lo = pop_val(st)?.as_i();
                 if step == 0 {
                     return Err(RtError::new("zero DO step").into());
                 }
@@ -1697,7 +1796,8 @@ fn run_frame(
                 excluded.sort_unstable();
 
                 if cx.opts.threads > 1 && n > 1 {
-                    let flow = exec_parallel(cx, st, u, fb, *mi, var, lo, step, n, &excluded);
+                    let flow =
+                        exec_parallel(cx, st, u, fb, *mi, var, lo, step, n, &excluded, false);
                     st.race.excluded = excluded;
                     let flow = flow?;
                     st.par_events.push(ParLoopEvent {
@@ -1706,7 +1806,7 @@ fn run_frame(
                         iters: n,
                     });
                     if let Flow::Stop(m) = flow {
-                        unwind_loops(st, unit, lb);
+                        unwind_loops(st, &unit.loops, lb);
                         return Ok(Flow::Stop(m));
                     }
                     pc = meta.exit_pc as usize;
@@ -1797,7 +1897,9 @@ struct ChunkOut {
 /// same write-log, same reduction identities, `Return` breaks the chunk
 /// silently. The chunk's register stack is seeded from the parent's: the
 /// whole dims arena (so `dims_at` indices stay valid) plus the enclosing
-/// frame's register window rebased to 0.
+/// frame's register window rebased to 0. `typed` runs the typed register
+/// body the parent frame was already executing (the guard held for the
+/// parent, and the chunk aliases the same slots).
 #[allow(clippy::too_many_arguments)]
 fn run_chunk(
     cx: Vx<'_>,
@@ -1813,6 +1915,7 @@ fn run_chunk(
     step: i64,
     start: usize,
     len: usize,
+    typed: bool,
 ) -> (ChunkOut, Memory) {
     let mut st = VmState {
         mem,
@@ -1833,13 +1936,25 @@ fn run_chunk(
         };
         write_var(&mut st.mem, r, Scalar::F(id));
     }
-    let body_pc = cx.prog.units[u].loops[mi as usize].body_pc as usize;
+    let unit = &cx.prog.units[u];
+    let body_pc = if typed {
+        st.vregs.resize(cx.prog.max_vregs, 0);
+        unit.typed.as_ref().map(|t| t.loops[mi as usize].body_pc)
+    } else {
+        Some(unit.loops[mi as usize].body_pc)
+    }
+    .unwrap_or(0) as usize;
     let mut flow_stop = None;
     let mut err = None;
     for k in 0..len {
         let i = lo.wrapping_add(((start + k) as i64).wrapping_mul(step));
         write_var(&mut st.mem, var, Scalar::I(i));
-        match run_frame(cx, &mut st, u, 0, body_pc, Some(mi)) {
+        let r = if typed {
+            crate::treg::exec_typed(cx, &mut st, u, 0, body_pc, Some(mi))
+        } else {
+            run_frame(cx, &mut st, u, 0, body_pc, Some(mi))
+        };
+        match r {
             Ok(Flow::Normal) => {}
             Ok(Flow::Stop(m)) => {
                 flow_stop = Some(m);
@@ -1874,7 +1989,7 @@ fn run_chunk(
 /// merged in iteration order, reductions folded associatively — the
 /// reference engine's `exec_parallel` on arithmetic chunk ranges.
 #[allow(clippy::too_many_arguments)]
-fn exec_parallel(
+pub(crate) fn exec_parallel(
     cx: Vx<'_>,
     st: &mut VmState,
     u: usize,
@@ -1885,6 +2000,7 @@ fn exec_parallel(
     step: i64,
     n: u64,
     excluded: &[usize],
+    typed: bool,
 ) -> Result<Flow, VmErr> {
     let meta = &cx.prog.units[u].loops[mi as usize];
     let dir = meta.dir.as_ref().expect("directive present");
@@ -1924,7 +2040,7 @@ fn exec_parallel(
                 handles.push(scope.spawn(move || {
                     run_chunk(
                         cx, base_mem, regs, fb, nlocals, red_slots, var, u, mi, lo, step, start,
-                        len,
+                        len, typed,
                     )
                     .0
                 }));
@@ -1955,6 +2071,7 @@ fn exec_parallel(
                 step,
                 start,
                 len,
+                typed,
             );
             scratch = mem;
             outs.push(out);

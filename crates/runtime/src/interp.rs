@@ -112,6 +112,15 @@ pub struct RaceViolation {
     pub what: String,
 }
 
+/// Number of opcode classes in [`VmCounters::class_retired`].
+pub const N_OP_CLASSES: usize = 8;
+
+/// Display names of the opcode classes, index-aligned with
+/// [`VmCounters::class_retired`].
+pub const OP_CLASS_NAMES: [&str; N_OP_CLASSES] = [
+    "const", "load", "store", "bin", "intr", "fused", "ctl", "call",
+];
+
 /// Execution counters the bytecode VM maintains on its hot path. All are
 /// plain field bumps (no atomics, no feature gates), so they are always
 /// on; the tree-walker reports zeros. Aggregated per verification run and
@@ -120,7 +129,7 @@ pub struct RaceViolation {
 /// metrics output rather than only in one-off benches.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VmCounters {
-    /// Instructions retired (every dispatched `Insn`, including ticks).
+    /// Instructions retired (every dispatched instruction, incl. ticks).
     pub insns_retired: u64,
     /// CALL instructions executed.
     pub calls: u64,
@@ -133,6 +142,12 @@ pub struct VmCounters {
     /// Pool-growth events after the pool first served a hit. Expected 0;
     /// nonzero means frame recycling regressed.
     pub warm_allocs: u64,
+    /// Superword-fused instructions retired by the typed register engine
+    /// (each replaces two to four stack-era instructions).
+    pub fused_insns: u64,
+    /// Instructions retired per opcode class (typed register engine
+    /// only), index-aligned with [`OP_CLASS_NAMES`].
+    pub class_retired: [u64; N_OP_CLASSES],
 }
 
 impl VmCounters {
@@ -145,6 +160,10 @@ impl VmCounters {
         self.pool_misses += o.pool_misses;
         self.peak_call_depth = self.peak_call_depth.max(o.peak_call_depth);
         self.warm_allocs += o.warm_allocs;
+        self.fused_insns += o.fused_insns;
+        for (k, v) in self.class_retired.iter_mut().zip(o.class_retired) {
+            *k += v;
+        }
     }
 }
 

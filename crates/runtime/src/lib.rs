@@ -12,6 +12,10 @@
 //!   an allocation-free epoch-vector race checker. Byte-identical
 //!   observable behaviour to [`interp`], which stays as the reference
 //!   engine behind [`interp::Engine`].
+//! * `treg` (internal) — the VM's typed three-address register bodies:
+//!   a second lowering per unit with monomorphic opcodes and superword
+//!   Load/Bin/Store fusion, guarded per frame against Fortran type
+//!   punning, falling back to the stack body when a guard fails.
 //! * [`memory`] — flat column-major storage with COMMON sharing and
 //!   view-based aliasing.
 //! * [`cost`] — a deterministic machine model (profiles for the paper's two
@@ -23,6 +27,7 @@ pub mod bytecode;
 pub mod cost;
 pub mod interp;
 pub mod memory;
+mod treg;
 
 pub use bytecode::{compile, run_compiled, CompiledProgram};
 pub use cost::{simulate, tune, Machine, SimResult};

@@ -71,6 +71,74 @@ fn frame_pool_reaches_full_hit_rate_after_warmup() {
         r.vm
     );
     assert!(r.vm.insns_retired > 0);
+    // The workload is REAL arithmetic over loads/stores — the typed
+    // bodies must be in play (fused retirements only exist there), and
+    // the pool discipline above must hold *with* typed frames active.
+    assert!(
+        r.vm.fused_insns > 0,
+        "typed bodies not executing: {:?}",
+        r.vm
+    );
+}
+
+#[test]
+fn typed_register_frames_keep_pool_invariants_while_fusing() {
+    // Call-heavy stencil: every frame push binds typed register banks,
+    // and the inner loops retire fused Load/Bin/Store superwords. The
+    // frame-pool accounting must be indistinguishable from the
+    // stack-body era: one push per CALL plus MAIN, all steady-state
+    // pushes recycled.
+    let src = "      PROGRAM MAIN
+      COMMON /ACC/ T
+      DIMENSION A(64)
+      DO J = 1, 64
+        A(J) = J*0.25
+      ENDDO
+      T = 0.0
+      DO I = 1, 500
+        CALL SWEEP(A, 64)
+      ENDDO
+      WRITE(6,*) T
+      END
+      SUBROUTINE SWEEP(A, N)
+      DIMENSION A(N)
+      COMMON /ACC/ T
+      DO J = 2, N - 1
+        A(J) = A(J-1)*0.5 + A(J+1)*0.5
+        T = T + A(J)
+      ENDDO
+      RETURN
+      END
+";
+    let p = fir::parse(src).unwrap();
+    let r = run(&p, &vm_opts()).unwrap();
+    assert_eq!(r.vm.calls, 500);
+    assert_eq!(r.vm.pool_hits + r.vm.pool_misses, r.vm.calls + 1);
+    assert!(
+        r.vm.pool_misses <= 2,
+        "typed frames defeated pooling: {:?}",
+        r.vm
+    );
+    assert!(
+        r.vm.warm_allocs <= 2,
+        "typed frame pushes allocated: {:?}",
+        r.vm
+    );
+    assert!(
+        r.vm.fused_insns > 0,
+        "stencil produced no fused retirements"
+    );
+    // The retire histogram partitions every *typed* retirement; the only
+    // unclassed instructions are the stack-engine frame-build snippets
+    // (`DIMENSION A(N)` extent evaluation, a couple per frame) — if the
+    // gap grows past that, typed bodies are silently falling back.
+    let classed: u64 = r.vm.class_retired.iter().sum();
+    assert!(classed <= r.vm.insns_retired, "histogram overcounts");
+    assert!(
+        r.vm.insns_retired - classed <= 4 * (r.vm.calls + 1),
+        "untyped execution beyond frame-build extents: {:?}",
+        r.vm
+    );
 }
 
 #[test]
@@ -108,6 +176,9 @@ fn straight_line_execution_allocates_nothing_per_iteration() {
         run_compiled(&compiled, &opts).unwrap();
         let (res, allocs) = alloc_counter::count(|| run_compiled(&compiled, &opts).unwrap());
         assert!(res.vm.insns_retired > iters);
+        // Typed registers are live (the loop body's REAL arithmetic
+        // fuses) and the zero-allocation claim below covers them.
+        assert!(res.vm.fused_insns > 0, "typed body not executing");
         allocs
     };
 
