@@ -1,0 +1,97 @@
+//! `chaos_client` — hostile-load campaign runner for the service daemon.
+//!
+//! Drives a fixed-seed mix of well-formed and protocol-abusing traffic
+//! at a live `ipp_serve` instance, then reports `LoadStats` and exits
+//! nonzero unless the campaign is clean (every canary answered with the
+//! same bytes, zero determinism mismatches).
+//!
+//! ```text
+//! chaos_client --addr HOST:PORT [--seed N] [--requests N] [--pool N]
+//!              [--clients N] [--hostile-percent N] [--canary-every N]
+//!              [--shutdown-after] [--json]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` dirty campaign, `2` bad usage.
+
+use chaos::client_load::{run, send_shutdown, LoadOptions};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos_client --addr HOST:PORT [--seed N] [--requests N] \
+         [--pool N] [--clients N] [--hostile-percent N] [--canary-every N] \
+         [--shutdown-after] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut opts = LoadOptions::default();
+    let mut shutdown_after = false;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(val("--addr")),
+            "--seed" => opts.seed = parse(&val("--seed")),
+            "--requests" => opts.requests = parse(&val("--requests")),
+            "--pool" => opts.pool = parse(&val("--pool")),
+            "--clients" => opts.clients = parse(&val("--clients")),
+            "--hostile-percent" => opts.hostile_percent = parse(&val("--hostile-percent")),
+            "--canary-every" => opts.canary_every = parse(&val("--canary-every")),
+            "--shutdown-after" => shutdown_after = true,
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+
+    let stats = run(&addr, &opts);
+    if shutdown_after {
+        match send_shutdown(&addr, Duration::from_millis(5_000)) {
+            Ok(_) => {}
+            Err(e) => eprintln!("shutdown request failed: {e}"),
+        }
+    }
+
+    if json {
+        println!("{}", stats.to_json());
+    } else {
+        println!(
+            "campaign seed {:#x}: {} slots ({} well-formed, {} hostile) — \
+             {} ok, {} structured errors, {} protocol errors, {} rejected, \
+             {} transport failures, {} canaries ({} failed), {} mismatches",
+            opts.seed,
+            stats.sent,
+            stats.well_formed,
+            stats.hostile,
+            stats.ok,
+            stats.structured_errors,
+            stats.protocol_errors,
+            stats.rejected,
+            stats.transport_failures,
+            stats.canaries,
+            stats.canary_failures,
+            stats.mismatches,
+        );
+    }
+    std::process::exit(if stats.clean() { 0 } else { 1 });
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a valid number: {s}");
+        usage()
+    })
+}

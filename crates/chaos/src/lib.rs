@@ -24,6 +24,13 @@
 //!   span;
 //! * **bounded work** — runaway mutants hit the driver's op-budget
 //!   deadline and are reported as timeouts.
+//!
+//! The wire-protocol counterpart lives in [`client_load`]: the same
+//! seeded-mutation discipline aimed at the service daemon's framing and
+//! admission layers (truncated frames, garbage headers, slow-loris
+//! writes, mid-request disconnects), gated by a byte-identity canary.
+
+pub mod client_load;
 
 use fruntime::Machine;
 use ipp_core::driver::{run_app, DriverOptions, SuiteJob};

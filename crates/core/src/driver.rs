@@ -71,6 +71,15 @@ pub struct DriverOptions {
     /// that burns through this much work is degraded to a reported
     /// [`FailCause::Timeout`] instead of running away with a worker.
     pub verify_max_ops: u64,
+    /// Per-cell wall-clock budget in milliseconds (0 = unlimited). The op
+    /// budget bounds interpreter work but not time spent in the compile
+    /// and lowering stages; this deadline is layered on top, checked at
+    /// every stage boundary of a cell's evaluation. Expiry is classified
+    /// as the existing [`FailCause::Timeout`] cause (with `wall_ms` set)
+    /// and counted in `timed_out_cells`, exactly like an op-budget
+    /// expiry. Granularity is the stage: a stage already running is
+    /// finished (or stopped by its own op budget) before the check fires.
+    pub wall_budget_ms: u64,
     /// Execution engine for every interpreter run the driver pays for
     /// (baseline and verification). Defaults to the bytecode VM; the
     /// tree-walker stays available as the differential reference.
@@ -106,6 +115,7 @@ impl Default for DriverOptions {
             baseline_memo: true,
             verify_cache: true,
             verify_max_ops: ExecOptions::default().max_ops,
+            wall_budget_ms: 0,
             engine: fruntime::Engine::default(),
             retain_results: false,
             stream_window: 0,
@@ -142,7 +152,12 @@ impl DriverOptions {
     /// Resolved streaming window: `stream_window = 0` asks for an
     /// automatic size — a few jobs per worker, so the pool stays busy
     /// while the window (and thus peak memory) stays small and
-    /// stream-length-independent.
+    /// stream-length-independent. The result is always ≥ 1 by
+    /// construction (a configured value is used as-is, auto derives from
+    /// the ≥ 1 worker count), and [`crate::stream::run_stream`] records
+    /// the value that applied in
+    /// [`crate::stream::StreamSummary::window`] instead of clamping
+    /// silently.
     pub fn effective_stream_window(&self) -> usize {
         if self.stream_window > 0 {
             self.stream_window
@@ -227,6 +242,41 @@ pub fn source_key(source: &str) -> u128 {
         h = h.wrapping_mul(PRIME);
     }
     h
+}
+
+/// Wall-clock deadline for one cell or one service request, layered on
+/// the op-budget deadline. The op budget bounds interpreter fuel; this
+/// bounds everything else (compile, lowering, queueing inside a cell) at
+/// stage-boundary granularity. Started when evaluation begins, checked
+/// between stages; expiry maps to [`FailCause::Timeout`] with `wall_ms`
+/// carrying the budget that ran out.
+#[derive(Debug, Clone, Copy)]
+pub struct WallDeadline {
+    started: std::time::Instant,
+    budget_ms: u64,
+}
+
+impl WallDeadline {
+    /// Start the clock. `budget_ms = 0` means unlimited (never expires).
+    pub fn start(budget_ms: u64) -> Self {
+        WallDeadline {
+            started: std::time::Instant::now(),
+            budget_ms,
+        }
+    }
+
+    /// True once the budget has elapsed.
+    pub fn expired(&self) -> bool {
+        self.budget_ms > 0 && self.started.elapsed().as_millis() as u64 >= self.budget_ms
+    }
+
+    /// The timeout cause reported when this deadline expires.
+    pub fn cause(&self, max_ops: u64) -> FailCause {
+        FailCause::Timeout {
+            max_ops,
+            wall_ms: self.budget_ms,
+        }
+    }
 }
 
 /// Lock acquisition that survives poisoning. A worker that panicked while
@@ -365,6 +415,19 @@ fn evaluate_cell_inner(
     let job = &shared.jobs[app_idx];
     let opts = shared.opts;
     let mut timings = PhaseTimings::default();
+    let deadline = WallDeadline::start(opts.wall_budget_ms);
+    let check_deadline = |stage: FailStage| -> Result<(), PipelineError> {
+        if deadline.expired() {
+            Err(PipelineError::in_cell(
+                &job.name,
+                mode,
+                stage,
+                deadline.cause(opts.verify_max_ops),
+            ))
+        } else {
+            Ok(())
+        }
+    };
 
     if opts.inject_panic.iter().any(|n| n == &job.name) {
         panic!("injected fault for {}", job.name);
@@ -377,6 +440,7 @@ fn evaluate_cell_inner(
         &mut timings,
     )
     .map_err(|d| PipelineError::in_cell(&job.name, mode, FailStage::Compile, FailCause::Diag(d)))?;
+    check_deadline(FailStage::Compile)?;
 
     let max_ops = opts.verify_max_ops;
     let base_opts = ExecOptions {
@@ -405,7 +469,10 @@ fn evaluate_cell_inner(
             }));
             Arc::new(match out {
                 Ok(Ok(r)) => Ok(r),
-                Ok(Err(e)) if e.is_budget() => Err(FailCause::Timeout { max_ops }),
+                Ok(Err(e)) if e.is_budget() => Err(FailCause::Timeout {
+                    max_ops,
+                    wall_ms: 0,
+                }),
                 Ok(Err(e)) => Err(FailCause::Runtime(e)),
                 Err(payload) => Err(FailCause::Panic(panic_message(&*payload))),
             })
@@ -431,6 +498,7 @@ fn evaluate_cell_inner(
                 ))
             }
         };
+        check_deadline(FailStage::Baseline)?;
 
         let run_verify = |runs: &mut u64| -> Result<Arc<VerifyResult>, FailCause> {
             shared.interp_runs.fetch_add(2, Ordering::Relaxed);
@@ -440,7 +508,10 @@ fn evaluate_cell_inner(
             }));
             match out {
                 Ok(Ok(v)) => Ok(Arc::new(v)),
-                Ok(Err(e)) if e.is_budget() => Err(FailCause::Timeout { max_ops }),
+                Ok(Err(e)) if e.is_budget() => Err(FailCause::Timeout {
+                    max_ops,
+                    wall_ms: 0,
+                }),
                 Ok(Err(e)) => Err(FailCause::Runtime(e)),
                 Err(payload) => Err(FailCause::Panic(panic_message(&*payload))),
             }
@@ -474,6 +545,11 @@ fn evaluate_cell_inner(
         verified.map_err(|cause| PipelineError::in_cell(&job.name, mode, FailStage::Verify, cause))
     });
     let verify = verify?;
+    // A cell that finished its work but blew the wall budget doing so is
+    // still reported as a timeout — that is what a deadline means to a
+    // caller holding a per-request budget (the computed result is
+    // discarded with the error).
+    check_deadline(FailStage::Verify)?;
 
     // Figure 20: simulate each machine with empirical tuning, from the
     // verification's sequential run (no extra interpreter run).
@@ -828,6 +904,72 @@ mod tests {
         }
         assert_eq!(out.metrics.failed_cells, 4);
         assert_eq!(out.metrics.failures.len(), 4);
+    }
+
+    #[test]
+    fn wall_clock_deadline_degrades_to_timeout() {
+        // Enough interpreter work (~1M ops) that the baseline run alone
+        // takes well over the 1 ms wall budget on any host, so every cell
+        // hits a deadline checkpoint. Memo and cache are off so no cell
+        // is served instantly from a shared slot.
+        let src = "      PROGRAM MAIN
+      COMMON /OUT/ A(5000), TOT
+      DO J = 1, 40
+        DO I = 1, 5000
+          A(I) = A(I) + I*0.5
+        ENDDO
+      ENDDO
+      TOT = 0.0
+      DO I = 1, 5000
+        TOT = TOT + A(I)
+      ENDDO
+      WRITE(6,*) TOT
+      END
+";
+        let j = job("W", src, "");
+        let opts = DriverOptions {
+            workers: 1,
+            wall_budget_ms: 1,
+            baseline_memo: false,
+            verify_cache: false,
+            ..Default::default()
+        };
+        let (report, metrics) = run_app(&j, &opts);
+        assert!(!report.ok());
+        assert_eq!(metrics.failed_cells, 4);
+        assert_eq!(metrics.timed_out_cells, 4);
+        for f in &report.failures {
+            assert!(f.is_timeout(), "{f}");
+            assert!(
+                matches!(f.cause, FailCause::Timeout { wall_ms: 1, .. }),
+                "expected a wall-clock timeout, got {f:?}"
+            );
+            assert!(f.cause_message().contains("wall-clock"), "{f}");
+        }
+        // wall_budget_ms = 0 is unlimited: the same job completes.
+        let (ok_report, _) = run_app(
+            &j,
+            &DriverOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        assert!(ok_report.ok(), "{:?}", ok_report.failures);
+    }
+
+    #[test]
+    fn wall_deadline_primitive() {
+        assert!(!WallDeadline::start(0).expired());
+        let d = WallDeadline::start(1);
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        assert!(d.expired());
+        assert!(matches!(
+            d.cause(7),
+            FailCause::Timeout {
+                max_ops: 7,
+                wall_ms: 1
+            }
+        ));
     }
 
     #[test]

@@ -55,14 +55,39 @@ pub enum FailCause {
     /// A runtime-tester error (bad extent, undefined unit, subscript out
     /// of range...).
     Runtime(RtError),
-    /// A run was cut off by the per-cell op-budget deadline; the program
-    /// was not proven wrong, it just did not finish within `max_ops`.
+    /// A run was cut off by a per-cell deadline — either the op budget
+    /// (an interpreter run burned through `max_ops`) or the wall-clock
+    /// budget (`wall_ms > 0`: the cell as a whole, compile stages
+    /// included, exceeded [`crate::driver::DriverOptions::wall_budget_ms`]).
+    /// Either way the program was not proven wrong, it just did not
+    /// finish within its budget.
     Timeout {
         /// The op budget the run was given.
         max_ops: u64,
+        /// The wall-clock budget that expired, in milliseconds; `0` when
+        /// the expiry was the op budget.
+        wall_ms: u64,
     },
     /// A panic caught at the driver's last-resort isolation boundary.
     Panic(String),
+}
+
+impl FailCause {
+    /// Stable machine-readable code for this cause — the wire-protocol
+    /// discriminant. Clients dispatch on this, never on `Display`
+    /// formatting; the code set is pinned by test and must only ever
+    /// grow.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FailCause::Diag(_) => "diag",
+            FailCause::Runtime(_) => "runtime",
+            FailCause::Timeout { .. } => "timeout",
+            FailCause::Panic(_) => "panic",
+        }
+    }
+
+    /// Every code [`FailCause::code`] can return, in declaration order.
+    pub const CODES: [&'static str; 4] = ["diag", "runtime", "timeout", "panic"];
 }
 
 /// One failed (application × configuration) cell, with full context.
@@ -115,7 +140,10 @@ impl PipelineError {
         max_ops: u64,
     ) -> Self {
         let cause = if e.is_budget() {
-            FailCause::Timeout { max_ops }
+            FailCause::Timeout {
+                max_ops,
+                wall_ms: 0,
+            }
         } else {
             FailCause::Runtime(e)
         };
@@ -127,13 +155,22 @@ impl PipelineError {
         matches!(self.cause, FailCause::Timeout { .. })
     }
 
+    /// Stable machine-readable cause code (see [`FailCause::code`]).
+    pub fn code(&self) -> &'static str {
+        self.cause.code()
+    }
+
     /// One-line cause description (without app/mode/stage prefix).
     pub fn cause_message(&self) -> String {
         match &self.cause {
             FailCause::Diag(d) => d.to_string(),
             FailCause::Runtime(e) => e.to_string(),
-            FailCause::Timeout { max_ops } => {
-                format!("verification exceeded the op-budget deadline ({max_ops} ops)")
+            FailCause::Timeout { max_ops, wall_ms } => {
+                if *wall_ms > 0 {
+                    format!("evaluation exceeded the wall-clock deadline ({wall_ms} ms)")
+                } else {
+                    format!("verification exceeded the op-budget deadline ({max_ops} ops)")
+                }
             }
             FailCause::Panic(m) => format!("panic: {m}"),
         }
@@ -199,6 +236,37 @@ mod tests {
         let e = PipelineError::from_rt("X", InlineMode::None, FailStage::Verify, rt, 500);
         assert!(e.is_timeout());
         assert!(e.cause_message().contains("500"));
+    }
+
+    #[test]
+    fn cause_codes_are_pinned() {
+        // The wire protocol dispatches on these strings; changing one is
+        // a protocol break. This test pins the full set.
+        let diag = FailCause::Diag(fir::diag::Error::parse("x", Span::new(0, 1, 1)));
+        let rt = FailCause::Runtime(RtError {
+            message: "boom".into(),
+            kind: fruntime::RtErrorKind::General,
+        });
+        let op_timeout = FailCause::Timeout {
+            max_ops: 100,
+            wall_ms: 0,
+        };
+        let wall_timeout = FailCause::Timeout {
+            max_ops: 100,
+            wall_ms: 250,
+        };
+        let panic = FailCause::Panic("p".into());
+        assert_eq!(diag.code(), "diag");
+        assert_eq!(rt.code(), "runtime");
+        assert_eq!(op_timeout.code(), "timeout");
+        assert_eq!(wall_timeout.code(), "timeout");
+        assert_eq!(panic.code(), "panic");
+        assert_eq!(FailCause::CODES, ["diag", "runtime", "timeout", "panic"]);
+        // Wall-clock and op-budget expiries share the code but render
+        // distinguishable messages.
+        let wall = PipelineError::in_cell("A", InlineMode::None, FailStage::Verify, wall_timeout);
+        assert!(wall.is_timeout());
+        assert!(wall.cause_message().contains("250 ms"), "{wall}");
     }
 
     #[test]

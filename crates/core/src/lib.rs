@@ -22,7 +22,11 @@
 //! * [`stream::run_stream`] — the corpus-scale path: bounded-memory
 //!   streaming evaluation of an unbounded job iterator, aggregating a
 //!   deterministic [`stream::StreamSummary`] instead of retaining
-//!   per-app reports.
+//!   per-app reports;
+//! * [`service`] — the per-request surface for the daemon front-end
+//!   (`crates/server`): [`service::evaluate_request`], the bounded
+//!   cross-request [`service::RequestCache`], and the daemon-wide
+//!   [`service::ServerMetrics`] report.
 //!
 //! ## Quick example
 //!
@@ -52,6 +56,7 @@ pub mod error;
 pub mod phase;
 pub mod pipeline;
 pub mod report;
+pub mod service;
 pub mod stream;
 pub mod verify;
 
@@ -59,8 +64,14 @@ pub use driver::{
     run_app, run_suite, source_key, AppReport, DriverOptions, SuiteJob, SuiteOutcome,
 };
 pub use error::{FailCause, FailStage, PipelineError};
-pub use phase::{blocker_counts, CellMetrics, FailureRecord, Phase, PhaseTimings, SuiteMetrics};
+pub use phase::{
+    blocker_counts, blocker_key, CellMetrics, FailureRecord, Phase, PhaseTimings, SuiteMetrics,
+};
 pub use pipeline::{compile, compile_timed, InlineMode, PipelineOptions, PipelineResult};
+pub use service::{
+    evaluate_request, request_key, CacheStats, LoopSummary, RequestCache, RequestReport,
+    ServerMetrics,
+};
 pub use stream::{run_stream, StreamOutcome, StreamSummary};
 
 pub use report::{

@@ -125,20 +125,25 @@ impl PhaseTimings {
     }
 }
 
+/// Stable key for a blocker kind (JSON / wire-protocol vocabulary, shared
+/// by [`blocker_counts`] and the service layer's per-loop reports).
+pub fn blocker_key(b: &Blocker) -> &'static str {
+    match b {
+        Blocker::Io => "io",
+        Blocker::Stop => "stop",
+        Blocker::Return => "return",
+        Blocker::Call(_) => "call",
+        Blocker::CarriedScalar(_) => "carried-scalar",
+        Blocker::ArrayDep { .. } => "array-dep",
+    }
+}
+
 /// Count a pipeline result's per-loop blockers by kind (stable keys).
 pub fn blocker_counts(r: &PipelineResult) -> BTreeMap<&'static str, usize> {
     let mut out = BTreeMap::new();
     for d in &r.par_report.decisions {
         for b in &d.blockers {
-            let key = match b {
-                Blocker::Io => "io",
-                Blocker::Stop => "stop",
-                Blocker::Return => "return",
-                Blocker::Call(_) => "call",
-                Blocker::CarriedScalar(_) => "carried-scalar",
-                Blocker::ArrayDep { .. } => "array-dep",
-            };
-            *out.entry(key).or_insert(0) += 1;
+            *out.entry(blocker_key(b)).or_insert(0) += 1;
         }
     }
     out
@@ -261,7 +266,12 @@ pub struct FailureRecord {
     pub config: String,
     /// Failed stage label (`parse` / `compile` / `baseline` / ...).
     pub stage: String,
-    /// True when the cell hit its op-budget deadline rather than erroring.
+    /// Stable machine-readable cause code
+    /// ([`crate::error::FailCause::code`]); what wire clients dispatch
+    /// on, independent of `message` formatting.
+    pub code: &'static str,
+    /// True when the cell hit a deadline (op-budget or wall-clock)
+    /// rather than erroring.
     pub timeout: bool,
     /// One-line cause description.
     pub message: String,
@@ -274,6 +284,7 @@ impl FailureRecord {
             app: e.app.clone(),
             config: e.mode.map(|m| m.label()).unwrap_or("-").to_string(),
             stage: e.stage.label().to_string(),
+            code: e.code(),
             timeout: e.is_timeout(),
             message: e.cause_message(),
         }
@@ -281,10 +292,11 @@ impl FailureRecord {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"app\":{},\"config\":{},\"stage\":{},\"timeout\":{},\"message\":{}}}",
+            "{{\"app\":{},\"config\":{},\"stage\":{},\"code\":{},\"timeout\":{},\"message\":{}}}",
             quote(&self.app),
             quote(&self.config),
             quote(&self.stage),
+            quote(self.code),
             self.timeout,
             quote(&self.message)
         )
@@ -476,12 +488,14 @@ mod tests {
             app: "QCD".into(),
             config: "annotation".into(),
             stage: "verify".into(),
+            code: "timeout",
             timeout: true,
             message: "verification exceeded the op-budget deadline".into(),
         });
         let j = m.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"workers\":4"));
+        assert!(j.contains("\"code\":\"timeout\""));
         assert!(j.contains("\"app\":\"ADM\""));
         assert!(j.contains("\"call\":3"));
         assert!(j.contains("\"failed_cells\":1"));

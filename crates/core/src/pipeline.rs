@@ -61,6 +61,13 @@ impl InlineMode {
         }
     }
 
+    /// Parse a display label back into a mode — the wire-protocol
+    /// decoder for service requests. Accepts exactly the strings
+    /// [`InlineMode::label`] produces.
+    pub fn from_label(label: &str) -> Option<InlineMode> {
+        InlineMode::all().into_iter().find(|m| m.label() == label)
+    }
+
     /// Every evaluated configuration: the paper's three Table II columns,
     /// then the derived-annotation mode.
     pub fn all() -> [InlineMode; 4] {

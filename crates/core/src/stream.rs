@@ -36,6 +36,13 @@ use std::collections::BTreeMap;
 /// so [`StreamSummary::to_json`] is byte-identical across worker counts.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StreamSummary {
+    /// The effective in-flight window the stream ran with — the resolved
+    /// value of [`DriverOptions::effective_stream_window`], recorded so
+    /// the artifact says what bound actually applied rather than echoing
+    /// the (possibly `0 = auto`) request. Deterministic given the
+    /// options; it is the one field that differs between two streams of
+    /// the same jobs run with different window configurations.
+    pub window: u64,
     /// Jobs evaluated.
     pub programs: u64,
     /// Matrix cells evaluated (programs × inlining configurations).
@@ -110,7 +117,8 @@ impl StreamSummary {
             .map(|(k, v)| format!("{}:{}", quote(k), v))
             .collect();
         format!(
-            "{{\"programs\":{},\"cells\":{},\"failed_cells\":{},\"timed_out_cells\":{},\"panicked_cells\":{},\"verified_ok\":{},\"interp_runs\":{},\"verify_cache_hits\":{},\"loops_total\":{},\"loops_parallel\":{},\"blockers\":{{{}}},\"autogen\":{},\"failure_stages\":{{{}}}}}",
+            "{{\"window\":{},\"programs\":{},\"cells\":{},\"failed_cells\":{},\"timed_out_cells\":{},\"panicked_cells\":{},\"verified_ok\":{},\"interp_runs\":{},\"verify_cache_hits\":{},\"loops_total\":{},\"loops_parallel\":{},\"blockers\":{{{}}},\"autogen\":{},\"failure_stages\":{{{}}}}}",
+            self.window,
             self.programs,
             self.cells,
             self.failed_cells,
@@ -175,10 +183,18 @@ impl StreamOutcome {
 /// been evaluated and released.
 pub fn run_stream(jobs: impl IntoIterator<Item = SuiteJob>, opts: &DriverOptions) -> StreamOutcome {
     let t0 = std::time::Instant::now();
-    let window = opts.effective_stream_window().max(1);
+    // The resolved window is validated/reported the way worker counts
+    // are: `effective_stream_window` never returns 0 (a configured value
+    // is used as-is, `0 = auto` derives from the worker count), and the
+    // value that actually applied is recorded on the summary instead of
+    // being silently clamped here.
+    let window = opts.effective_stream_window();
     let mut it = jobs.into_iter();
 
-    let mut summary = StreamSummary::default();
+    let mut summary = StreamSummary {
+        window: window as u64,
+        ..StreamSummary::default()
+    };
     let mut phases = PhaseTimings::default();
     let mut vm = fruntime::VmCounters::default();
     let mut retained: Vec<AppReport> = Vec::new();
@@ -299,13 +315,47 @@ mod tests {
             mk(),
             &DriverOptions {
                 workers: 4,
+                stream_window: 3,
+                ..Default::default()
+            },
+        );
+        // Same window, different workers: byte-identical, window recorded.
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.summary.to_json(), b.summary.to_json());
+        assert_eq!(a.summary.window, 3);
+        assert!(a.summary.to_json().contains("\"window\":3"));
+        assert!(a.summary.to_json().contains("\"programs\":7"));
+        // A different window changes only the recorded window field —
+        // every evaluation counter stays schedule-independent.
+        let c = run_stream(
+            mk(),
+            &DriverOptions {
+                workers: 4,
                 stream_window: 5,
                 ..Default::default()
             },
         );
-        assert_eq!(a.summary, b.summary);
-        assert_eq!(a.summary.to_json(), b.summary.to_json());
-        assert!(a.summary.to_json().contains("\"programs\":7"));
+        assert_eq!(c.summary.window, 5);
+        let mut c_norm = c.summary.clone();
+        c_norm.window = a.summary.window;
+        assert_eq!(a.summary, c_norm);
+        // Auto window (0) resolves to workers × 4 and is reported.
+        let d = run_stream(
+            mk(),
+            &DriverOptions {
+                workers: 1,
+                stream_window: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            d.summary.window,
+            DriverOptions {
+                workers: 1,
+                ..Default::default()
+            }
+            .effective_stream_window() as u64
+        );
     }
 
     #[test]

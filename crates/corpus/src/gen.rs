@@ -397,6 +397,43 @@ pub fn jobs(seed: u64, programs: u64) -> impl Iterator<Item = SuiteJob> {
     })
 }
 
+/// One entry of a generated service-request stream: a corpus program
+/// paired with an inlining-mode label, protocol-agnostic (the server and
+/// chaos crates turn these into wire requests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestSpec {
+    /// Program name (the request's `name` field).
+    pub name: String,
+    /// MiniF77 source text.
+    pub source: String,
+    /// Annotation-language text (may be empty).
+    pub annotations: String,
+    /// Inlining-mode label (`InlineMode::label` vocabulary).
+    pub mode: &'static str,
+}
+
+/// Lazily generate service requests `0..n` for `seed`, drawing programs
+/// from a pool of `pool` distinct corpus entries so a request stream
+/// *revisits* content — the shape that exercises a server-side
+/// content-addressed cache. Pure in `(seed, n, pool)`: position `i` is
+/// always the same request.
+pub fn requests(seed: u64, n: u64, pool: u64) -> impl Iterator<Item = RequestSpec> {
+    const MODES: [&str; 4] = ["no-inline", "conventional", "annotation", "auto-annot"];
+    let pool = pool.max(1);
+    (0..n).map(move |i| {
+        // A distinct substream from the program generator's: the request
+        // schedule must not correlate with program content.
+        let mut rng = Rng::for_index(seed ^ 0x5E9F_E57A_u64, i);
+        let g = generate(seed, rng.below(pool));
+        RequestSpec {
+            name: g.name,
+            source: g.source,
+            annotations: g.annotations,
+            mode: MODES[rng.index(MODES.len())],
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

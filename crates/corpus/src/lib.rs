@@ -22,5 +22,7 @@
 pub mod gen;
 pub mod rng;
 
-pub use gen::{differential_program, generate, jobs, stream, GeneratedProgram, Idiom};
+pub use gen::{
+    differential_program, generate, jobs, requests, stream, GeneratedProgram, Idiom, RequestSpec,
+};
 pub use rng::Rng;

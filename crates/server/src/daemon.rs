@@ -1,0 +1,477 @@
+//! The daemon: acceptor, connection handlers, worker pool, and the
+//! degradation ladder.
+//!
+//! Life of a request: the acceptor admits a connection (bounded by
+//! [`ServerOptions::max_connections`] — beyond it, a `"busy"` rejection
+//! and close); the connection thread reads length-prefixed frames under
+//! a read timeout (slow-loris defence), decodes and validates the JSON
+//! document, then walks the admission ladder — drain flag, per-client
+//! token bucket, bounded ready queue. Each gate that refuses answers
+//! with a structured `"rejected"` response carrying a retry hint; the
+//! queue gate is the load-shedding point (never unbounded buffering).
+//! Admitted work is executed by the worker pool through the shared
+//! content-addressed [`RequestCache`], with every failure mode — panics
+//! included — flowing back over the wire as a structured error while
+//! the daemon keeps serving.
+//!
+//! The scope of every degradation is one request. The daemon process
+//! itself only exits on graceful drain: stop accepting, refuse new
+//! admissions, finish everything in flight, flush a final
+//! [`ServerMetrics`] snapshot.
+
+use crate::admission::{AdmissionQueue, AdmitError, TokenBuckets};
+use crate::proto::{self, EvaluateRequest, FrameError, Request, DEFAULT_MAX_FRAME};
+use ipp_core::driver::DriverOptions;
+use ipp_core::service::{evaluate_request, request_key, RequestCache, ServerMetrics};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address (`127.0.0.1:0` for an ephemeral test port).
+    pub addr: String,
+    /// Worker threads executing evaluations.
+    pub workers: usize,
+    /// Ready-queue capacity — the load-shedding threshold.
+    pub queue_capacity: usize,
+    /// Concurrent-connection cap.
+    pub max_connections: usize,
+    /// Frame-size cap in bytes.
+    pub max_frame_bytes: usize,
+    /// Socket read timeout, milliseconds (slow-loris defence).
+    pub read_timeout_ms: u64,
+    /// Request-cache capacity (entries; 0 disables).
+    pub cache_capacity: usize,
+    /// Per-run interpreter op budget (also the token-bucket currency).
+    pub verify_max_ops: u64,
+    /// Per-request wall-clock deadline, milliseconds (0 = none).
+    pub wall_budget_ms: u64,
+    /// Token-bucket burst, in requests.
+    pub client_burst: u32,
+    /// Token-bucket refill, requests per second.
+    pub client_refill_per_sec: f64,
+    /// Bound on tracked clients.
+    pub max_clients: usize,
+    /// Interpreter engine for all runs.
+    pub engine: fruntime::Engine,
+    /// Chaos seam: program names whose evaluation panics deliberately
+    /// (exercises the isolation boundary under live traffic).
+    pub inject_fault_names: Vec<String>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        let d = DriverOptions::default();
+        ServerOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 64,
+            max_connections: 64,
+            max_frame_bytes: DEFAULT_MAX_FRAME,
+            read_timeout_ms: 2_000,
+            cache_capacity: 256,
+            verify_max_ops: d.verify_max_ops,
+            wall_budget_ms: 2_000,
+            client_burst: 8,
+            client_refill_per_sec: 16.0,
+            max_clients: 1024,
+            engine: d.engine,
+            inject_fault_names: Vec::new(),
+        }
+    }
+}
+
+struct Job {
+    req: EvaluateRequest,
+    reply: mpsc::Sender<String>,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    connections_rejected: AtomicU64,
+    protocol_errors: AtomicU64,
+    requests: AtomicU64,
+    shed: AtomicU64,
+    throttled: AtomicU64,
+    rejected_draining: AtomicU64,
+    completed_ok: AtomicU64,
+    failed: AtomicU64,
+    timed_out: AtomicU64,
+    panicked: AtomicU64,
+    in_flight_at_drain: AtomicU64,
+}
+
+struct Shared {
+    opts: ServerOptions,
+    queue: AdmissionQueue<Job>,
+    buckets: TokenBuckets,
+    cache: RequestCache,
+    draining: AtomicBool,
+    started: Instant,
+    active_conns: AtomicUsize,
+    in_flight: AtomicU64,
+    counters: Counters,
+    failure_codes: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Shared {
+    fn driver_options(&self) -> DriverOptions {
+        DriverOptions {
+            verify_max_ops: self.opts.verify_max_ops,
+            wall_budget_ms: self.opts.wall_budget_ms,
+            engine: self.opts.engine,
+            inject_panic: self.opts.inject_fault_names.clone(),
+            ..Default::default()
+        }
+    }
+
+    fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            let in_flight = self.in_flight.load(Ordering::SeqCst) + self.queue.len() as u64;
+            self.counters
+                .in_flight_at_drain
+                .store(in_flight, Ordering::SeqCst);
+            self.queue.drain();
+        }
+    }
+
+    fn record_failure_code(&self, code: &str) {
+        let mut codes = self
+            .failure_codes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *codes.entry(code.to_string()).or_insert(0) += 1;
+    }
+
+    fn snapshot(&self) -> ServerMetrics {
+        let c = &self.counters;
+        let cache = self.cache.stats();
+        ServerMetrics {
+            wall_nanos: self.started.elapsed().as_nanos() as u64,
+            connections: c.connections.load(Ordering::SeqCst),
+            connections_rejected: c.connections_rejected.load(Ordering::SeqCst),
+            protocol_errors: c.protocol_errors.load(Ordering::SeqCst),
+            requests: c.requests.load(Ordering::SeqCst),
+            shed: c.shed.load(Ordering::SeqCst),
+            throttled: c.throttled.load(Ordering::SeqCst),
+            rejected_draining: c.rejected_draining.load(Ordering::SeqCst),
+            completed_ok: c.completed_ok.load(Ordering::SeqCst),
+            failed: c.failed.load(Ordering::SeqCst),
+            timed_out: c.timed_out.load(Ordering::SeqCst),
+            panicked: c.panicked.load(Ordering::SeqCst),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_entries: cache.entries,
+            queue_peak: self.queue.peak() as u64,
+            in_flight_at_drain: c.in_flight_at_drain.load(Ordering::SeqCst),
+            failure_codes: self
+                .failure_codes
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle does *not* stop it — call
+/// [`ServerHandle::shutdown`] (initiate drain and wait) or
+/// [`ServerHandle::join`] (wait for a wire-initiated drain).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current metrics snapshot (also available over the wire).
+    pub fn metrics(&self) -> ServerMetrics {
+        self.shared.snapshot()
+    }
+
+    /// Initiate graceful drain: stop accepting, refuse new admissions,
+    /// finish in-flight work, return the final metrics snapshot.
+    pub fn shutdown(self) -> ServerMetrics {
+        self.shared.begin_drain();
+        self.join()
+    }
+
+    /// Wait for the daemon to drain (e.g. via a wire `shutdown` op) and
+    /// return the final metrics snapshot.
+    pub fn join(self) -> ServerMetrics {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.shared.snapshot()
+    }
+}
+
+/// The daemon entry point: bind, start the worker pool and acceptor,
+/// return a handle.
+pub fn spawn(opts: ServerOptions) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: AdmissionQueue::new(opts.queue_capacity),
+        buckets: TokenBuckets::new(
+            opts.verify_max_ops,
+            opts.client_burst,
+            opts.client_refill_per_sec,
+            opts.max_clients,
+        ),
+        cache: RequestCache::new(opts.cache_capacity),
+        draining: AtomicBool::new(false),
+        started: Instant::now(),
+        active_conns: AtomicUsize::new(0),
+        in_flight: AtomicU64::new(0),
+        counters: Counters::default(),
+        failure_codes: Mutex::new(BTreeMap::new()),
+        opts,
+    });
+
+    let workers = (0..shared.opts.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("ipp-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("ipp-acceptor".into())
+            .spawn(move || acceptor_loop(listener, &shared))
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor,
+        workers,
+    })
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.active_conns.load(Ordering::SeqCst) >= shared.opts.max_connections {
+                    shared
+                        .counters
+                        .connections_rejected
+                        .fetch_add(1, Ordering::SeqCst);
+                    // Best-effort structured refusal; then close.
+                    let mut s = stream;
+                    let _ = proto::write_frame(
+                        &mut s,
+                        &proto::reject_response("", "busy", 100, "connection limit reached"),
+                    );
+                    continue;
+                }
+                shared.counters.connections.fetch_add(1, Ordering::SeqCst);
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("ipp-conn".into())
+                    .spawn(move || {
+                        connection_loop(stream, &shared);
+                        shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.opts.read_timeout_ms.max(1),
+    )));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match proto::read_frame(&mut stream, shared.opts.max_frame_bytes) {
+            Err(FrameError::Closed) => return,
+            Err(e) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::SeqCst);
+                if e.answerable() {
+                    let _ = proto::write_frame(
+                        &mut stream,
+                        &proto::protocol_error_response(&e.to_string()),
+                    );
+                }
+                // The stream is no longer at a trustworthy frame
+                // boundary — close it.
+                return;
+            }
+            Ok(payload) => match proto::decode_request(&payload) {
+                Err(msg) => {
+                    // The *frame* was fine; the document was not. Answer
+                    // and keep serving this connection.
+                    shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::SeqCst);
+                    if proto::write_frame(&mut stream, &proto::protocol_error_response(&msg))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                Ok(Request::Ping) => {
+                    if proto::write_frame(&mut stream, &proto::pong_response()).is_err() {
+                        return;
+                    }
+                }
+                Ok(Request::Metrics) => {
+                    let resp = proto::metrics_response(&shared.snapshot());
+                    if proto::write_frame(&mut stream, &resp).is_err() {
+                        return;
+                    }
+                }
+                Ok(Request::Shutdown) => {
+                    let _ = proto::write_frame(&mut stream, &proto::draining_response());
+                    shared.begin_drain();
+                    return;
+                }
+                Ok(Request::Evaluate(req)) => {
+                    let resp = admit_and_run(shared, req);
+                    if proto::write_frame(&mut stream, &resp).is_err() {
+                        return;
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Walk the admission ladder for one evaluate request and produce its
+/// response. Every exit is a structured answer.
+fn admit_and_run(shared: &Arc<Shared>, req: EvaluateRequest) -> String {
+    let c = &shared.counters;
+    c.requests.fetch_add(1, Ordering::SeqCst);
+    if shared.draining.load(Ordering::SeqCst) {
+        c.rejected_draining.fetch_add(1, Ordering::SeqCst);
+        return proto::reject_response(&req.id, "draining", 0, "daemon is draining");
+    }
+    if let Err(retry_ms) = shared.buckets.try_admit(&req.client) {
+        c.throttled.fetch_add(1, Ordering::SeqCst);
+        return proto::reject_response(
+            &req.id,
+            "budget",
+            retry_ms,
+            "per-client op budget exhausted",
+        );
+    }
+    let (tx, rx) = mpsc::channel();
+    let id = req.id.clone();
+    match shared.queue.try_push(Job { req, reply: tx }) {
+        Err(AdmitError::Full(job)) => {
+            c.shed.fetch_add(1, Ordering::SeqCst);
+            // Hint scales with how deep the backlog is relative to the
+            // worker pool — crude, bounded, and honest about overload.
+            let hint = 25 * (shared.queue.len() as u64 / shared.opts.workers.max(1) as u64 + 1);
+            proto::reject_response(
+                &job.req.id,
+                "overloaded",
+                hint.min(5_000),
+                "admission queue full",
+            )
+        }
+        Err(AdmitError::Draining(job)) => {
+            c.rejected_draining.fetch_add(1, Ordering::SeqCst);
+            proto::reject_response(&job.req.id, "draining", 0, "daemon is draining")
+        }
+        Ok(()) => {
+            // Generous ceiling: the wall budget (if any) plus margin for
+            // queueing. A lost reply is an internal fault, answered
+            // structurally rather than hanging the connection.
+            let ceiling = Duration::from_millis(shared.opts.wall_budget_ms.max(1_000) * 4 + 30_000);
+            match rx.recv_timeout(ceiling) {
+                Ok(resp) => resp,
+                Err(_) => proto::protocol_error_response(&format!(
+                    "internal: worker reply lost for request \"{id}\""
+                )),
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let resp = process(shared, &job.req);
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        // The connection may have given up (timeout, disconnect) — a
+        // dead reply channel is its problem, not ours.
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// Execute one admitted request through the shared cache.
+fn process(shared: &Arc<Shared>, req: &EvaluateRequest) -> String {
+    let key = request_key(
+        req.mode,
+        &req.source,
+        &req.annotations,
+        shared.opts.verify_max_ops,
+    );
+    let outcome = match shared.cache.lookup(key) {
+        Some(cached) => cached,
+        None => {
+            let opts = shared.driver_options();
+            let outcome =
+                evaluate_request(&req.name, &req.source, &req.annotations, req.mode, &opts)
+                    .map(Arc::new);
+            shared.cache.insert(key, outcome.clone());
+            outcome
+        }
+    };
+    let c = &shared.counters;
+    match outcome {
+        Ok(report) => {
+            c.completed_ok.fetch_add(1, Ordering::SeqCst);
+            proto::ok_response(&req.id, &report)
+        }
+        Err(mut e) => {
+            c.failed.fetch_add(1, Ordering::SeqCst);
+            if e.is_timeout() {
+                c.timed_out.fetch_add(1, Ordering::SeqCst);
+            }
+            if e.code() == "panic" {
+                c.panicked.fetch_add(1, Ordering::SeqCst);
+            }
+            shared.record_failure_code(e.code());
+            // The cache key is (mode, source, annotations, budget) — a
+            // hit may carry the *first* requester's name. Re-attribute so
+            // the response stays a pure function of this request.
+            e.app = req.name.clone();
+            proto::error_response(&req.id, &e)
+        }
+    }
+}

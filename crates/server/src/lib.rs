@@ -1,0 +1,44 @@
+//! # server — parallelization as a service
+//!
+//! A persistent daemon over the compile-and-verify pipeline of the ICPP
+//! 2011 reproduction: clients submit MiniF77 programs (plus optional
+//! annotation registries and an inlining mode) over a length-prefixed
+//! TCP protocol and receive Table-II-style parallelization decisions —
+//! or structured errors — per request.
+//!
+//! The crate is organised as the request's journey:
+//!
+//! * [`proto`] — framing (`<len>\n<payload>`) and the JSON
+//!   request/response vocabulary, built on the hand-rolled [`json`]
+//!   decoder (std-only, like the rest of the workspace);
+//! * [`admission`] — the degradation ladder: per-client token buckets
+//!   denominated in interpreter ops, and the bounded ready queue whose
+//!   overflow is answered with explicit load-shedding rejections;
+//! * [`daemon`] — the acceptor, connection handlers and worker pool,
+//!   executing requests through [`ipp_core::service`]'s per-request
+//!   entry point and shared [`ipp_core::service::RequestCache`].
+//!
+//! ## Invariants (asserted by `tests/server_soak.rs` and the CI soak)
+//!
+//! * the daemon never exits and never leaks a panic, whatever bytes
+//!   arrive — a panicking cell degrades to one structured error;
+//! * identical well-formed requests get byte-identical responses,
+//!   across runs, worker counts, and cache states;
+//! * every malformed input gets a structured protocol error where the
+//!   transport still permits an answer;
+//! * overload is shed with `"rejected"` + retry hints, never buffered
+//!   without bound;
+//! * shutdown is a drain: in-flight work finishes, then a final
+//!   [`ipp_core::service::ServerMetrics`] snapshot is flushed.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod daemon;
+pub mod json;
+pub mod proto;
+
+pub use daemon::{spawn, ServerHandle, ServerOptions};
+pub use proto::{
+    decode_request, encode_evaluate, read_frame, write_frame, EvaluateRequest, FrameError, Request,
+};

@@ -1,0 +1,520 @@
+//! Wire protocol: length-prefixed frames carrying JSON documents.
+//!
+//! A frame is `<decimal byte length>\n<payload>`. The header is 1–8
+//! ASCII digits — anything else (garbage bytes, a declared length above
+//! the cap, a connection that stalls mid-payload) is a [`FrameError`]
+//! with enough structure for the daemon to answer with a located
+//! protocol error before closing, and for metrics to count it. The
+//! payload is one UTF-8 JSON document.
+//!
+//! Requests (client → daemon):
+//!
+//! ```json
+//! {"op":"evaluate","id":"r-1","client":"ci","name":"ADM",
+//!  "mode":"annotation","source":"      PROGRAM ...","annotations":""}
+//! {"op":"metrics"}   {"op":"ping"}   {"op":"shutdown"}
+//! ```
+//!
+//! Responses (daemon → client) always carry `"status"`: `"ok"`,
+//! `"error"` (the request was understood and failed structurally —
+//! `code` is a [`ipp_core::FailCause::code`] string or `"protocol"`), or
+//! `"rejected"` (admission control refused it — `code` is
+//! `"overloaded"`, `"budget"`, `"busy"`, or `"draining"`, with a
+//! `retry_after_hint_ms`). Responses to well-formed `evaluate` requests
+//! are pure functions of the request document: byte-identical across
+//! runs, worker counts, and daemon instances.
+
+use ipp_core::error::PipelineError;
+use ipp_core::phase::quote;
+use ipp_core::pipeline::InlineMode;
+use ipp_core::service::{RequestReport, ServerMetrics};
+use std::fmt;
+use std::io::{Read, Write};
+
+use crate::json::{self, Json};
+
+/// Hard cap on identifier-ish request fields (`id`, `client`, `name`).
+pub const MAX_IDENT_BYTES: usize = 256;
+
+/// Default frame cap: 1 MiB — far above any legitimate MiniF77 program,
+/// far below anything that could pressure memory.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Maximum header digits (10^8-1 bytes ≫ any sane frame cap).
+const MAX_HEADER_DIGITS: usize = 8;
+
+/// Why a frame could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Clean EOF before the first header byte — the peer is done.
+    Closed,
+    /// The header was not `<digits>\n`, or the payload was not UTF-8.
+    Malformed(String),
+    /// The declared length exceeds the cap. The payload was *not* read.
+    Oversized {
+        /// Declared payload length.
+        declared: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// EOF mid-header or mid-payload (truncated frame / mid-request
+    /// disconnect).
+    Truncated,
+    /// A read timed out (slow-loris defence: the socket's read timeout
+    /// expired before the frame completed).
+    TimedOut,
+    /// Any other transport error.
+    Io(std::io::ErrorKind),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            FrameError::Oversized { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Truncated => write!(f, "frame truncated by peer"),
+            FrameError::TimedOut => write!(f, "frame read timed out"),
+            FrameError::Io(k) => write!(f, "transport error: {k:?}"),
+        }
+    }
+}
+
+impl FrameError {
+    /// True when the daemon can still write a structured rejection on
+    /// this connection before closing it (the stream is positioned at a
+    /// frame boundary from our side; the peer may or may not read it).
+    pub fn answerable(&self) -> bool {
+        !matches!(self, FrameError::Closed)
+    }
+}
+
+fn map_io(e: std::io::Error, started: bool) -> FrameError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => FrameError::TimedOut,
+        std::io::ErrorKind::UnexpectedEof => FrameError::Truncated,
+        std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe if !started => {
+            FrameError::Closed
+        }
+        k => FrameError::Io(k),
+    }
+}
+
+/// Read one frame, enforcing `max` on the declared payload length.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<String, FrameError> {
+    // Header: byte-at-a-time until '\n' (bounded at MAX_HEADER_DIGITS).
+    let mut len: usize = 0;
+    let mut digits = 0usize;
+    loop {
+        let mut b = [0u8; 1];
+        match r.read(&mut b) {
+            Ok(0) => {
+                return Err(if digits == 0 {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated
+                });
+            }
+            Ok(_) => match b[0] {
+                b'0'..=b'9' => {
+                    digits += 1;
+                    if digits > MAX_HEADER_DIGITS {
+                        return Err(FrameError::Malformed("frame header too long".into()));
+                    }
+                    len = len * 10 + (b[0] - b'0') as usize;
+                }
+                b'\n' if digits > 0 => break,
+                other => {
+                    return Err(FrameError::Malformed(format!(
+                        "unexpected header byte 0x{other:02X}"
+                    )));
+                }
+            },
+            Err(e) => return Err(map_io(e, digits > 0)),
+        }
+    }
+    if len > max {
+        return Err(FrameError::Oversized { declared: len, max });
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) => return Err(map_io(e, true)),
+        }
+    }
+    String::from_utf8(payload).map_err(|_| FrameError::Malformed("payload is not UTF-8".into()))
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    writeln!(w, "{}", payload.len())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// A decoded, validated request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Compile-and-parallelize one program under one mode.
+    Evaluate(EvaluateRequest),
+    /// Report the daemon-wide [`ServerMetrics`] snapshot.
+    Metrics,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful drain.
+    Shutdown,
+}
+
+/// The payload of an `evaluate` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluateRequest {
+    /// Client-chosen request id, echoed verbatim in the response.
+    pub id: String,
+    /// Client identity for per-client budgeting (`"anon"` when absent).
+    pub client: String,
+    /// Application name (echoed in error context).
+    pub name: String,
+    /// Inlining configuration.
+    pub mode: InlineMode,
+    /// MiniF77 source text.
+    pub source: String,
+    /// Optional annotation registry source.
+    pub annotations: String,
+}
+
+fn ident_field(doc: &Json, key: &str, default: Option<&str>) -> Result<String, String> {
+    match doc.get(key) {
+        None => match default {
+            Some(d) => Ok(d.to_string()),
+            None => Err(format!("missing required field \"{key}\"")),
+        },
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| format!("field \"{key}\" must be a string"))?;
+            if s.len() > MAX_IDENT_BYTES {
+                return Err(format!("field \"{key}\" exceeds {MAX_IDENT_BYTES} bytes"));
+            }
+            Ok(s.to_string())
+        }
+    }
+}
+
+fn text_field(doc: &Json, key: &str, default: Option<&str>) -> Result<String, String> {
+    match doc.get(key) {
+        None => match default {
+            Some(d) => Ok(d.to_string()),
+            None => Err(format!("missing required field \"{key}\"")),
+        },
+        Some(v) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("field \"{key}\" must be a string")),
+    }
+}
+
+/// Decode and validate a request document. The error string is the
+/// protocol-rejection message (already located by the JSON decoder when
+/// the document itself was malformed).
+pub fn decode_request(payload: &str) -> Result<Request, String> {
+    let doc = json::parse(payload).map_err(|e| e.to_string())?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing required field \"op\"")?;
+    match op {
+        "metrics" => Ok(Request::Metrics),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        "evaluate" => {
+            let id = ident_field(&doc, "id", None)?;
+            let client = ident_field(&doc, "client", Some("anon"))?;
+            let name = ident_field(&doc, "name", None)?;
+            let mode_label = ident_field(&doc, "mode", None)?;
+            let mode = InlineMode::from_label(&mode_label)
+                .ok_or_else(|| format!("unknown mode \"{mode_label}\""))?;
+            let source = text_field(&doc, "source", None)?;
+            let annotations = text_field(&doc, "annotations", Some(""))?;
+            Ok(Request::Evaluate(EvaluateRequest {
+                id,
+                client,
+                name,
+                mode,
+                source,
+                annotations,
+            }))
+        }
+        other => Err(format!("unknown op \"{other}\"")),
+    }
+}
+
+/// Serialize an `evaluate` request (the client side; also what the load
+/// generator mutates).
+pub fn encode_evaluate(req: &EvaluateRequest) -> String {
+    format!(
+        "{{\"op\":\"evaluate\",\"id\":{},\"client\":{},\"name\":{},\"mode\":{},\"source\":{},\"annotations\":{}}}",
+        quote(&req.id),
+        quote(&req.client),
+        quote(&req.name),
+        quote(req.mode.label()),
+        quote(&req.source),
+        quote(&req.annotations),
+    )
+}
+
+fn report_json(r: &RequestReport) -> String {
+    let loops: Vec<String> = r
+        .loops
+        .iter()
+        .map(|l| {
+            let blockers: Vec<String> = l.blockers.iter().map(|b| quote(b)).collect();
+            format!(
+                "{{\"unit\":{},\"idx\":{},\"parallel\":{},\"blockers\":[{}]}}",
+                quote(&l.unit),
+                l.idx,
+                l.parallel,
+                blockers.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"mode\":{},\"loc\":{},\"verified\":{},\"matches_original\":{},\"parallel_consistent\":{},\"races\":{},\"total_ops\":{},\"loops_total\":{},\"loops_parallel\":{},\"source_key\":{},\"loops\":[{}]}}",
+        quote(r.mode.label()),
+        r.loc,
+        r.verified(),
+        r.matches_original,
+        r.parallel_consistent,
+        r.races,
+        r.total_ops,
+        r.loops.len(),
+        r.loops_parallel,
+        quote(&format!("{:032x}", r.source_key)),
+        loops.join(",")
+    )
+}
+
+/// `status:"ok"` response for a completed evaluation.
+pub fn ok_response(id: &str, report: &RequestReport) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"id\":{},\"report\":{}}}",
+        quote(id),
+        report_json(report)
+    )
+}
+
+/// `status:"error"` response for a structured per-request failure.
+pub fn error_response(id: &str, e: &PipelineError) -> String {
+    let mode = match e.mode {
+        Some(m) => quote(m.label()),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"status\":\"error\",\"id\":{},\"code\":{},\"stage\":{},\"mode\":{},\"app\":{},\"message\":{}}}",
+        quote(id),
+        quote(e.code()),
+        quote(e.stage.label()),
+        mode,
+        quote(&e.app),
+        quote(&e.cause_message())
+    )
+}
+
+/// `status:"error"` response for a frame/document the daemon could not
+/// decode (code `"protocol"`; no id — the request never had one).
+pub fn protocol_error_response(message: &str) -> String {
+    format!(
+        "{{\"status\":\"error\",\"code\":\"protocol\",\"message\":{}}}",
+        quote(message)
+    )
+}
+
+/// `status:"rejected"` response from admission control.
+pub fn reject_response(id: &str, code: &str, retry_after_hint_ms: u64, message: &str) -> String {
+    format!(
+        "{{\"status\":\"rejected\",\"id\":{},\"code\":{},\"retry_after_hint_ms\":{},\"message\":{}}}",
+        quote(id),
+        quote(code),
+        retry_after_hint_ms,
+        quote(message)
+    )
+}
+
+/// `status:"ok"` metrics snapshot.
+pub fn metrics_response(m: &ServerMetrics) -> String {
+    format!("{{\"status\":\"ok\",\"metrics\":{}}}", m.to_json())
+}
+
+/// `status:"ok"` liveness reply.
+pub fn pong_response() -> String {
+    "{\"status\":\"ok\",\"pong\":true}".to_string()
+}
+
+/// `status:"ok"` acknowledgement that drain has begun.
+pub fn draining_response() -> String {
+    "{\"status\":\"ok\",\"draining\":true}".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipp_core::error::{FailCause, FailStage};
+    use std::io::Cursor;
+
+    fn roundtrip(payload: &str) -> String {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        read_frame(&mut Cursor::new(buf), DEFAULT_MAX_FRAME).unwrap()
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        for p in ["", "x", "{\"op\":\"ping\"}", &"y".repeat(100_000)] {
+            assert_eq!(roundtrip(p), p);
+        }
+        // Two frames back to back on one stream.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "first").unwrap();
+        write_frame(&mut buf, "second").unwrap();
+        let mut c = Cursor::new(buf);
+        assert_eq!(read_frame(&mut c, 64).unwrap(), "first");
+        assert_eq!(read_frame(&mut c, 64).unwrap(), "second");
+        assert_eq!(read_frame(&mut c, 64).unwrap_err(), FrameError::Closed);
+    }
+
+    #[test]
+    fn hostile_frames_are_classified() {
+        let read = |bytes: &[u8]| read_frame(&mut Cursor::new(bytes.to_vec()), 64);
+        assert_eq!(read(b""), Err(FrameError::Closed));
+        assert_eq!(read(b"12"), Err(FrameError::Truncated));
+        assert_eq!(read(b"5\nab"), Err(FrameError::Truncated));
+        assert!(matches!(read(b"garbage"), Err(FrameError::Malformed(_))));
+        assert!(matches!(read(b"\n"), Err(FrameError::Malformed(_))));
+        assert!(matches!(
+            read(b"999999999\n"),
+            Err(FrameError::Malformed(_))
+        ));
+        assert_eq!(
+            read(b"100\n"),
+            Err(FrameError::Oversized {
+                declared: 100,
+                max: 64
+            })
+        );
+        assert!(matches!(
+            read(b"2\n\xFF\xFE"),
+            Err(FrameError::Malformed(_))
+        ));
+        assert!(!FrameError::Closed.answerable());
+        assert!(FrameError::Truncated.answerable());
+    }
+
+    #[test]
+    fn evaluate_requests_roundtrip() {
+        let req = EvaluateRequest {
+            id: "r-1".into(),
+            client: "soak".into(),
+            name: "ADM".into(),
+            mode: InlineMode::Annotation,
+            source: "      PROGRAM MAIN\n      END\n".into(),
+            annotations: "".into(),
+        };
+        let decoded = decode_request(&encode_evaluate(&req)).unwrap();
+        assert_eq!(decoded, Request::Evaluate(req));
+        assert_eq!(decode_request("{\"op\":\"ping\"}").unwrap(), Request::Ping);
+        assert_eq!(
+            decode_request("{\"op\":\"metrics\"}").unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(
+            decode_request("{\"op\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_requests_get_located_messages() {
+        for (payload, needle) in [
+            ("", "invalid JSON"),
+            ("[]", "must be a JSON object"),
+            ("{}", "\"op\""),
+            ("{\"op\":\"evaluate\"}", "\"id\""),
+            ("{\"op\":\"launch\"}", "unknown op"),
+            (
+                "{\"op\":\"evaluate\",\"id\":\"x\",\"name\":\"A\",\"mode\":\"turbo\",\"source\":\"\"}",
+                "unknown mode",
+            ),
+            (
+                "{\"op\":\"evaluate\",\"id\":7,\"name\":\"A\",\"mode\":\"no-inline\",\"source\":\"\"}",
+                "must be a string",
+            ),
+        ] {
+            let e = decode_request(payload).expect_err(payload);
+            assert!(e.contains(needle), "{payload}: {e}");
+        }
+        let long = format!(
+            "{{\"op\":\"evaluate\",\"id\":{},\"name\":\"A\",\"mode\":\"no-inline\",\"source\":\"\"}}",
+            quote(&"i".repeat(MAX_IDENT_BYTES + 1))
+        );
+        assert!(decode_request(&long).unwrap_err().contains("exceeds"));
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        use crate::json;
+        let report = RequestReport {
+            mode: InlineMode::None,
+            loc: 3,
+            matches_original: true,
+            parallel_consistent: true,
+            races: 0,
+            total_ops: 42,
+            loops: vec![ipp_core::service::LoopSummary {
+                unit: "MAIN".into(),
+                idx: 1,
+                parallel: false,
+                blockers: vec!["array-dep"],
+            }],
+            loops_parallel: 0,
+            source_key: 0xABC,
+        };
+        let err = PipelineError::in_cell(
+            "ADM",
+            InlineMode::None,
+            FailStage::Verify,
+            FailCause::Timeout {
+                max_ops: 10,
+                wall_ms: 0,
+            },
+        );
+        for payload in [
+            ok_response("r", &report),
+            error_response("r", &err),
+            protocol_error_response("bad \"frame\""),
+            reject_response("r", "overloaded", 50, "queue full"),
+            metrics_response(&ServerMetrics::default()),
+            pong_response(),
+            draining_response(),
+        ] {
+            let doc = json::parse(&payload).expect(&payload);
+            assert!(doc.get("status").is_some(), "{payload}");
+        }
+        let ok = json::parse(&ok_response("r", &report)).unwrap();
+        let rep = ok.get("report").unwrap();
+        assert_eq!(rep.get("loops_total").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            rep.get("source_key").and_then(Json::as_str),
+            Some("00000000000000000000000000000abc")
+        );
+        let e = json::parse(&error_response("r", &err)).unwrap();
+        assert_eq!(e.get("code").and_then(Json::as_str), Some("timeout"));
+        assert_eq!(e.get("stage").and_then(Json::as_str), Some("verify"));
+    }
+}
