@@ -1,0 +1,74 @@
+//! `gen_tournament` — the best-of-portfolio column: run the
+//! configuration tournament over the PERFECT suite and report, per app,
+//! the winning arm with its "why" record.
+//!
+//! ```text
+//! gen_tournament           print the GFM best-of-portfolio table
+//! gen_tournament --write   also (re)write crates/bench/artifacts/tournament.json
+//! gen_tournament --check   exit 1 unless the committed artifact matches a
+//!                          fresh run byte for byte (the CI winner-stability gate)
+//! ```
+//!
+//! The JSON report is a pure function of the suite, the portfolio, and
+//! the machine models — byte-identical at any worker count — so `--check`
+//! can demand exact equality rather than fuzzy winner comparison.
+
+use ipp_core::{run_tournament, DriverOptions, TournamentOutcome};
+
+fn evaluate() -> TournamentOutcome {
+    let opts = DriverOptions {
+        machines: bench::machines(),
+        ..Default::default()
+    };
+    run_tournament(&perfect::suite_jobs(), &opts)
+}
+
+fn artifact_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("artifacts")
+        .join("tournament.json")
+}
+
+fn main() {
+    let mut write = false;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--write" => write = true,
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: gen_tournament [--write] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let out = evaluate();
+    let json = format!("{}\n", out.to_json());
+
+    println!("### Best-of-portfolio (configuration tournament)\n");
+    print!("{}", out.render_markdown());
+
+    if write {
+        let path = artifact_path();
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create artifacts dir");
+        std::fs::write(&path, &json).expect("write tournament.json");
+        println!("\nartifact: {}", path.display());
+    }
+    if check {
+        let path = artifact_path();
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        if committed != json {
+            eprintln!(
+                "committed {} is stale: regenerate with `cargo run --release -p bench --bin gen_tournament -- --write`",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        println!("\ncommitted artifact matches ({} bytes).", json.len());
+    }
+}

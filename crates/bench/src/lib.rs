@@ -7,6 +7,13 @@
 //! * `gen_fig20` — prints Figure 20 (simulated speedups per app ×
 //!   configuration × machine, after §IV-B empirical tuning).
 //! * `gen_all` — both, plus the verification summary.
+//! * `gen_autogen` — the auto-annot coverage table as GFM, for the CI
+//!   job summary.
+//! * `gen_tournament` — the best-of-portfolio column: per-app
+//!   configuration-tournament winners with their "why" records.
+//!   `--write` refreshes the committed `artifacts/tournament.json`;
+//!   `--check` exits nonzero unless a fresh run reproduces it byte for
+//!   byte (the CI winner-stability gate).
 //!
 //! Benches (`cargo bench`, on the local [`harness`] shim — the build
 //! container has no crates.io access, so criterion is replaced by a
@@ -19,6 +26,8 @@
 //! * `ablation_peel` — last-iteration peeling on/off (legality accounting).
 //! * `ablation_reverse` — reverse-inlining pattern matcher tolerance cost.
 //! * `analysis_micro` — dependence-test microbenchmarks.
+
+#![warn(missing_docs)]
 
 pub mod harness;
 

@@ -7,8 +7,8 @@
 //!
 //! ```text
 //! chaos_client --addr HOST:PORT [--seed N] [--requests N] [--pool N]
-//!              [--clients N] [--hostile-percent N] [--canary-every N]
-//!              [--shutdown-after] [--json]
+//!              [--clients N] [--hostile-percent N] [--tournament-percent N]
+//!              [--canary-every N] [--shutdown-after] [--json]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` dirty campaign, `2` bad usage.
@@ -19,8 +19,9 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: chaos_client --addr HOST:PORT [--seed N] [--requests N] \
-         [--pool N] [--clients N] [--hostile-percent N] [--canary-every N] \
-         [--shutdown-after] [--json]"
+         [--pool N] [--clients N] [--hostile-percent N] \
+         [--tournament-percent N] [--canary-every N] [--shutdown-after] \
+         [--json]"
     );
     std::process::exit(2);
 }
@@ -45,6 +46,7 @@ fn main() {
             "--pool" => opts.pool = parse(&val("--pool")),
             "--clients" => opts.clients = parse(&val("--clients")),
             "--hostile-percent" => opts.hostile_percent = parse(&val("--hostile-percent")),
+            "--tournament-percent" => opts.tournament_percent = parse(&val("--tournament-percent")),
             "--canary-every" => opts.canary_every = parse(&val("--canary-every")),
             "--shutdown-after" => shutdown_after = true,
             "--json" => json = true,
@@ -69,12 +71,14 @@ fn main() {
         println!("{}", stats.to_json());
     } else {
         println!(
-            "campaign seed {:#x}: {} slots ({} well-formed, {} hostile) — \
-             {} ok, {} structured errors, {} protocol errors, {} rejected, \
-             {} transport failures, {} canaries ({} failed), {} mismatches",
+            "campaign seed {:#x}: {} slots ({} well-formed incl. {} tournaments, \
+             {} hostile) — {} ok, {} structured errors, {} protocol errors, \
+             {} rejected, {} transport failures, {} canaries ({} failed), \
+             {} mismatches",
             opts.seed,
             stats.sent,
             stats.well_formed,
+            stats.tournaments,
             stats.hostile,
             stats.ok,
             stats.structured_errors,

@@ -3,8 +3,9 @@
 //! The compile-pipeline half of this crate mutates *programs*; this
 //! module mutates *the protocol*. A campaign drives a fixed-seed stream
 //! of requests at a live daemon, interleaving well-formed evaluations
-//! (drawn from [`corpus::requests`], revisiting a program pool so the
-//! server cache is exercised) with wire-level abuse:
+//! and portfolio tournaments (drawn from [`corpus::mixed_requests`],
+//! revisiting a program pool so the server cache is exercised) with
+//! wire-level abuse:
 //!
 //! * truncated frames (declared length never delivered);
 //! * oversized declared lengths;
@@ -23,9 +24,11 @@
 //! The generator never panics on transport trouble: refused
 //! connections, resets, and timeouts are counted, not thrown.
 
-use corpus::{requests, RequestSpec, Rng};
+use corpus::{mixed_requests, RequestSpec, Rng};
 use server::json::{self, Json};
-use server::proto::{encode_evaluate, read_frame, write_frame, EvaluateRequest};
+use server::proto::{
+    encode_evaluate, encode_tournament, read_frame, write_frame, EvaluateRequest, TournamentRequest,
+};
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::TcpStream;
@@ -44,6 +47,9 @@ pub struct LoadOptions {
     pub clients: u64,
     /// Approximate fraction of hostile slots, as a percentage (0–100).
     pub hostile_percent: u64,
+    /// Approximate fraction of well-formed slots upgraded to portfolio
+    /// tournament requests, as a percentage (0–100).
+    pub tournament_percent: u64,
     /// Run the byte-identity canary every `canary_every` slots (0 =
     /// never).
     pub canary_every: u64,
@@ -62,6 +68,7 @@ impl Default for LoadOptions {
             pool: 12,
             clients: 4,
             hostile_percent: 35,
+            tournament_percent: 10,
             canary_every: 10,
             io_timeout: Duration::from_millis(5_000),
             server_max_frame: server::proto::DEFAULT_MAX_FRAME,
@@ -77,6 +84,9 @@ pub struct LoadStats {
     pub sent: u64,
     /// Well-formed evaluate requests sent.
     pub well_formed: u64,
+    /// Well-formed slots that were portfolio tournament requests (a
+    /// subset of `well_formed`).
+    pub tournaments: u64,
     /// Hostile slots executed.
     pub hostile: u64,
     /// `status:"ok"` responses.
@@ -114,9 +124,10 @@ impl LoadStats {
     /// JSON rendering for harness gating.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"sent\":{},\"well_formed\":{},\"hostile\":{},\"ok\":{},\"structured_errors\":{},\"protocol_errors\":{},\"rejected\":{},\"transport_failures\":{},\"malformed_responses\":{},\"mismatches\":{},\"canary_failures\":{},\"canaries\":{},\"clean\":{}}}",
+            "{{\"sent\":{},\"well_formed\":{},\"tournaments\":{},\"hostile\":{},\"ok\":{},\"structured_errors\":{},\"protocol_errors\":{},\"rejected\":{},\"transport_failures\":{},\"malformed_responses\":{},\"mismatches\":{},\"canary_failures\":{},\"canaries\":{},\"clean\":{}}}",
             self.sent,
             self.well_formed,
+            self.tournaments,
             self.hostile,
             self.ok,
             self.structured_errors,
@@ -224,7 +235,11 @@ fn hostile_slot(
             }
             "oversized-length" => {
                 let mut s = connect(addr, timeout)?;
-                writeln!(s, "{}", opts.server_max_frame + 1 + rng.below(1000) as usize)?;
+                writeln!(
+                    s,
+                    "{}",
+                    opts.server_max_frame + 1 + rng.below(1000) as usize
+                )?;
                 Ok(Some(read_frame(&mut s, usize::MAX).map_err(to_io)?))
             }
             "garbage-header" => {
@@ -330,7 +345,8 @@ pub fn run(addr: &str, opts: &LoadOptions) -> LoadStats {
     let mut canary_expected: Option<String> = None;
     let canary_payload = encode_evaluate(&canary_request());
 
-    let specs: Vec<RequestSpec> = requests(opts.seed, opts.requests, opts.pool).collect();
+    let specs: Vec<RequestSpec> =
+        mixed_requests(opts.seed, opts.requests, opts.pool, opts.tournament_percent).collect();
     for (i, spec) in specs.iter().enumerate() {
         let mut rng = Rng::for_index(opts.seed ^ 0x10AD_C0DE, i as u64);
         stats.sent += 1;
@@ -339,16 +355,28 @@ pub fn run(addr: &str, opts: &LoadOptions) -> LoadStats {
             hostile_slot(addr, &mut rng, spec, opts, &mut stats);
         } else {
             stats.well_formed += 1;
-            let req = EvaluateRequest {
-                id: format!("r{i}"),
-                client: format!("c{}", rng.below(opts.clients.max(1))),
-                name: spec.name.clone(),
-                mode: ipp_core::InlineMode::from_label(spec.mode)
-                    .unwrap_or(ipp_core::InlineMode::None),
-                source: spec.source.clone(),
-                annotations: spec.annotations.clone(),
+            let id = format!("r{i}");
+            let client = format!("c{}", rng.below(opts.clients.max(1)));
+            let payload = if spec.tournament {
+                stats.tournaments += 1;
+                encode_tournament(&TournamentRequest {
+                    id,
+                    client,
+                    name: spec.name.clone(),
+                    source: spec.source.clone(),
+                    annotations: spec.annotations.clone(),
+                })
+            } else {
+                encode_evaluate(&EvaluateRequest {
+                    id,
+                    client,
+                    name: spec.name.clone(),
+                    mode: ipp_core::InlineMode::from_label(spec.mode)
+                        .unwrap_or(ipp_core::InlineMode::None),
+                    source: spec.source.clone(),
+                    annotations: spec.annotations.clone(),
+                })
             };
-            let payload = encode_evaluate(&req);
             match exchange(addr, &payload, opts.io_timeout) {
                 Err(_) => stats.transport_failures += 1,
                 Ok(resp) => {
@@ -438,8 +466,8 @@ mod tests {
 
     #[test]
     fn request_stream_is_pure_and_revisits_the_pool() {
-        let a: Vec<_> = requests(9, 40, 6).collect();
-        let b: Vec<_> = requests(9, 40, 6).collect();
+        let a: Vec<_> = corpus::requests(9, 40, 6).collect();
+        let b: Vec<_> = corpus::requests(9, 40, 6).collect();
         assert_eq!(a, b);
         let names: std::collections::HashSet<_> = a.iter().map(|r| r.name.clone()).collect();
         assert!(names.len() <= 6, "{}", names.len());

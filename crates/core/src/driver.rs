@@ -53,6 +53,45 @@ pub struct SuiteJob {
     pub registry: AnnotRegistry,
 }
 
+/// One matrix column: a labelled pipeline configuration. The classic
+/// suite runs the four [`InlineMode`]s with default knobs; a tournament
+/// ([`crate::tournament`]) widens the column set with ablation-knob
+/// variants (peeling off, different inlining budgets) under distinct
+/// labels. The label is the stable identity used in [`CellMetrics`],
+/// Figure 20 points, and tournament reports; for the default columns it
+/// equals [`InlineMode::label`].
+#[derive(Debug, Clone)]
+pub struct CellConfig {
+    /// Stable configuration label (arm id).
+    pub label: String,
+    /// Full pipeline configuration for this column.
+    pub opts: PipelineOptions,
+}
+
+impl CellConfig {
+    /// The default column for a mode: default heuristics and
+    /// parallelizer knobs, labelled with the mode's display label.
+    pub fn for_mode(mode: InlineMode) -> CellConfig {
+        CellConfig {
+            label: mode.label().to_string(),
+            opts: PipelineOptions::for_mode(mode),
+        }
+    }
+
+    /// The inlining mode this column runs under.
+    pub fn mode(&self) -> InlineMode {
+        self.opts.mode
+    }
+}
+
+/// The classic 4-column matrix ([`InlineMode::all`] with default knobs).
+pub fn default_configs() -> Vec<CellConfig> {
+    InlineMode::all()
+        .iter()
+        .map(|m| CellConfig::for_mode(*m))
+        .collect()
+}
+
 /// Driver configuration.
 #[derive(Debug, Clone)]
 pub struct DriverOptions {
@@ -98,6 +137,12 @@ pub struct DriverOptions {
     /// (0 = auto: enough to keep every worker busy). Bounds streaming
     /// memory: at most one window of jobs and reports is alive at once.
     pub stream_window: usize,
+    /// Tournament portfolio: the labelled configurations
+    /// [`crate::tournament::run_tournament`] fans out per app. Empty
+    /// selects the default portfolio ([`crate::tournament::portfolio`]).
+    /// The classic [`run_suite`] matrix ignores this field — its columns
+    /// are always the four [`InlineMode`]s.
+    pub arms: Vec<CellConfig>,
     /// Chaos seam: cells of applications named here panic deliberately at
     /// the start of evaluation, to exercise the driver's `catch_unwind`
     /// isolation boundary (used by the fault-isolation tests and the
@@ -119,6 +164,7 @@ impl Default for DriverOptions {
             engine: fruntime::Engine::default(),
             retain_results: false,
             stream_window: 0,
+            arms: Vec::new(),
             inject_panic: Vec::new(),
         }
     }
@@ -217,11 +263,13 @@ enum CellOutcome {
     Failed(PipelineError),
 }
 
-struct CellDone {
-    result: PipelineResult,
-    verify: VerifyResult,
-    fig20: Vec<Fig20Point>,
-    metrics: CellMetrics,
+/// A completed cell's payloads, handed to the matrix caller
+/// ([`run_suite`] or [`crate::tournament::run_tournament`]).
+pub(crate) struct CellDone {
+    pub(crate) result: PipelineResult,
+    pub(crate) verify: VerifyResult,
+    pub(crate) fig20: Vec<Fig20Point>,
+    pub(crate) metrics: CellMetrics,
 }
 
 /// (application index, emitted-source hash) keying a shared verification
@@ -290,9 +338,10 @@ fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Shared across workers for the duration of one suite run.
+/// Shared across workers for the duration of one matrix run.
 struct Shared<'a> {
     jobs: &'a [SuiteJob],
+    configs: &'a [CellConfig],
     opts: &'a DriverOptions,
     queue: Mutex<VecDeque<(usize, usize)>>,
     /// Per-app memoized baseline run of the original program. Failures
@@ -301,27 +350,46 @@ struct Shared<'a> {
     baselines: Vec<OnceLock<Arc<Result<RunResult, FailCause>>>>,
     /// (app, emitted source) → shared verification outcome.
     vcache: Mutex<VerifyCache>,
-    /// Finished cells, indexed `app * n_modes + mode`.
+    /// Finished cells, indexed `app * n_configs + config`.
     cells: Vec<Mutex<Option<CellOutcome>>>,
     interp_runs: AtomicU64,
     memo_hits: AtomicU64,
     cache_hits: AtomicU64,
 }
 
-/// Evaluate every job across all inlining configurations
-/// ([`InlineMode::all`]).
-pub fn run_suite(jobs: &[SuiteJob], opts: &DriverOptions) -> SuiteOutcome {
+/// The generic matrix run behind [`run_suite`] and
+/// [`crate::tournament::run_tournament`]: per-app, per-config outcomes in
+/// deterministic (input × portfolio) order, plus the aggregated
+/// [`SuiteMetrics`] with cache accounting shared across all columns.
+pub(crate) struct MatrixOutcome {
+    /// `outcomes[app][config]`, both in input order.
+    pub(crate) cells: Vec<Vec<Result<Box<CellDone>, PipelineError>>>,
+    /// Aggregated counters, cell metrics, and failure records.
+    pub(crate) metrics: SuiteMetrics,
+}
+
+/// Evaluate every job across every configuration column through the
+/// worker pool, sharing the per-app baseline memo and the verify-dedup
+/// cache across *all* columns of an app — this cache discipline is what
+/// keeps a widened tournament portfolio near one pass.
+pub(crate) fn run_matrix(
+    jobs: &[SuiteJob],
+    configs: &[CellConfig],
+    opts: &DriverOptions,
+) -> MatrixOutcome {
     let t0 = std::time::Instant::now();
-    let n_modes = InlineMode::all().len();
-    let n_cells = jobs.len() * n_modes;
+    let n_configs = configs.len();
+    let n_cells = jobs.len() * n_configs;
     let shared = Shared {
         jobs,
+        configs,
         opts,
-        // Mode-major order: concurrent workers land on *different* apps,
-        // so they never serialize on the same baseline memo, and by the
-        // time an app's second mode is dequeued its baseline is a hit.
+        // Config-major order: concurrent workers land on *different*
+        // apps, so they never serialize on the same baseline memo, and by
+        // the time an app's second column is dequeued its baseline is a
+        // hit.
         queue: Mutex::new(
-            (0..n_modes)
+            (0..n_configs)
                 .flat_map(|m| (0..jobs.len()).map(move |a| (a, m)))
                 .collect(),
         ),
@@ -344,7 +412,15 @@ pub fn run_suite(jobs: &[SuiteJob], opts: &DriverOptions) -> SuiteOutcome {
         });
     }
 
-    assemble(shared, workers, t0.elapsed())
+    collect(shared, workers, t0.elapsed())
+}
+
+/// Evaluate every job across all inlining configurations
+/// ([`InlineMode::all`]).
+pub fn run_suite(jobs: &[SuiteJob], opts: &DriverOptions) -> SuiteOutcome {
+    let configs = default_configs();
+    let mx = run_matrix(jobs, &configs, opts);
+    assemble(jobs, &configs, mx, opts)
 }
 
 /// Evaluate a single application (a one-job suite). Result retention is
@@ -380,14 +456,14 @@ pub fn run_app(job: &SuiteJob, opts: &DriverOptions) -> (AppReport, SuiteMetrics
 fn worker_loop(shared: &Shared<'_>) {
     loop {
         let cell = lock_clean(&shared.queue).pop_front();
-        let Some((app_idx, mode_idx)) = cell else {
+        let Some((app_idx, cfg_idx)) = cell else {
             return;
         };
-        let mode = InlineMode::all()[mode_idx];
+        let mode = shared.configs[cfg_idx].mode();
         // Last-resort isolation boundary: `evaluate_cell` is panic-free
         // for every fault we know how to classify; anything that still
         // unwinds costs this one cell, not the worker or the suite.
-        let outcome = catch_unwind(AssertUnwindSafe(|| evaluate_cell(shared, app_idx, mode)))
+        let outcome = catch_unwind(AssertUnwindSafe(|| evaluate_cell(shared, app_idx, cfg_idx)))
             .unwrap_or_else(|payload| {
                 CellOutcome::Failed(PipelineError::in_cell(
                     shared.jobs[app_idx].name.clone(),
@@ -396,12 +472,12 @@ fn worker_loop(shared: &Shared<'_>) {
                     FailCause::Panic(panic_message(&*payload)),
                 ))
             });
-        *lock_clean(&shared.cells[app_idx * InlineMode::all().len() + mode_idx]) = Some(outcome);
+        *lock_clean(&shared.cells[app_idx * shared.configs.len() + cfg_idx]) = Some(outcome);
     }
 }
 
-fn evaluate_cell(shared: &Shared<'_>, app_idx: usize, mode: InlineMode) -> CellOutcome {
-    match evaluate_cell_inner(shared, app_idx, mode) {
+fn evaluate_cell(shared: &Shared<'_>, app_idx: usize, cfg_idx: usize) -> CellOutcome {
+    match evaluate_cell_inner(shared, app_idx, cfg_idx) {
         Ok(done) => CellOutcome::Done(done),
         Err(e) => CellOutcome::Failed(e),
     }
@@ -410,9 +486,11 @@ fn evaluate_cell(shared: &Shared<'_>, app_idx: usize, mode: InlineMode) -> CellO
 fn evaluate_cell_inner(
     shared: &Shared<'_>,
     app_idx: usize,
-    mode: InlineMode,
+    cfg_idx: usize,
 ) -> Result<Box<CellDone>, PipelineError> {
     let job = &shared.jobs[app_idx];
+    let cfg = &shared.configs[cfg_idx];
+    let mode = cfg.mode();
     let opts = shared.opts;
     let mut timings = PhaseTimings::default();
     let deadline = WallDeadline::start(opts.wall_budget_ms);
@@ -433,13 +511,10 @@ fn evaluate_cell_inner(
         panic!("injected fault for {}", job.name);
     }
 
-    let result = compile_timed(
-        &job.program,
-        &job.registry,
-        &PipelineOptions::for_mode(mode),
-        &mut timings,
-    )
-    .map_err(|d| PipelineError::in_cell(&job.name, mode, FailStage::Compile, FailCause::Diag(d)))?;
+    let result =
+        compile_timed(&job.program, &job.registry, &cfg.opts, &mut timings).map_err(|d| {
+            PipelineError::in_cell(&job.name, mode, FailStage::Compile, FailCause::Diag(d))
+        })?;
     check_deadline(FailStage::Compile)?;
 
     let max_ops = opts.verify_max_ops;
@@ -559,7 +634,7 @@ fn evaluate_cell_inner(
         let sim = simulate(verify.total_ops, &verify.par_events, m, &disabled);
         fig20.push(Fig20Point {
             app: job.name.clone(),
-            config: mode.label().to_string(),
+            config: cfg.label.clone(),
             machine: m.name.to_string(),
             speedup: sim.speedup(),
             tuned_off: disabled.len(),
@@ -568,7 +643,7 @@ fn evaluate_cell_inner(
 
     let metrics = CellMetrics {
         app: job.name.clone(),
-        config: mode.label().to_string(),
+        config: cfg.label.clone(),
         blockers: blocker_counts(&result),
         loops_total: result.par_report.decisions.len(),
         loops_parallel: result.parallel_loops().len(),
@@ -603,9 +678,12 @@ fn evaluate_cell_inner(
     }))
 }
 
-fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> SuiteOutcome {
+/// Fold a finished matrix into per-app outcome rows plus the aggregated
+/// metrics, in deterministic (input × portfolio) order.
+fn collect(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> MatrixOutcome {
     let mut metrics = SuiteMetrics {
         workers,
+        configs: shared.configs.len() as u64,
         wall_nanos: wall.as_nanos() as u64,
         interp_runs: shared.interp_runs.load(Ordering::Relaxed),
         baseline_memo_hits: shared.memo_hits.load(Ordering::Relaxed),
@@ -613,15 +691,12 @@ fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> Su
         ..Default::default()
     };
 
-    let n_modes = InlineMode::all().len();
-    let mut apps = Vec::with_capacity(shared.jobs.len());
+    let n_configs = shared.configs.len();
+    let mut out = Vec::with_capacity(shared.jobs.len());
     let mut cells = shared.cells.into_iter();
     for job in shared.jobs.iter() {
-        let mut results = Vec::with_capacity(n_modes);
-        let mut verifies = Vec::with_capacity(n_modes);
-        let mut fig20 = Vec::new();
-        let mut failures = Vec::new();
-        for mode in InlineMode::all() {
+        let mut row: Vec<Result<Box<CellDone>, PipelineError>> = Vec::with_capacity(n_configs);
+        for cfg in shared.configs.iter() {
             // A missing or never-written cell (a worker died outside the
             // isolation boundary) degrades to a recorded failure — it must
             // not compound into a second panic at assembly.
@@ -632,7 +707,7 @@ fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> Su
                 .unwrap_or_else(|| {
                     CellOutcome::Failed(PipelineError::in_cell(
                         job.name.clone(),
-                        mode,
+                        cfg.mode(),
                         FailStage::Driver,
                         FailCause::Panic("worker died before completing this cell".into()),
                     ))
@@ -641,13 +716,11 @@ fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> Su
                 CellOutcome::Done(done) => {
                     metrics.phases.merge(&done.metrics.phases);
                     metrics.vm.absorb(&done.metrics.vm);
-                    metrics.cells.push(done.metrics);
+                    metrics.cells.push(done.metrics.clone());
                     if done.verify.ok() {
                         metrics.verified_ok += 1;
                     }
-                    fig20.extend(done.fig20);
-                    verifies.push((mode, done.verify));
-                    results.push((mode, done.result));
+                    row.push(Ok(done));
                 }
                 CellOutcome::Failed(e) => {
                     metrics.failed_cells += 1;
@@ -658,8 +731,46 @@ fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> Su
                         metrics.panicked_cells += 1;
                     }
                     metrics.failures.push(FailureRecord::from_error(&e));
-                    failures.push(e);
+                    row.push(Err(e));
                 }
+            }
+        }
+        out.push(row);
+    }
+
+    MatrixOutcome {
+        cells: out,
+        metrics,
+    }
+}
+
+/// Assemble the classic suite view from a finished default-config matrix.
+fn assemble(
+    jobs: &[SuiteJob],
+    configs: &[CellConfig],
+    mx: MatrixOutcome,
+    opts: &DriverOptions,
+) -> SuiteOutcome {
+    let mut apps = Vec::with_capacity(jobs.len());
+    for (job, row) in jobs.iter().zip(mx.cells) {
+        let mut results = Vec::with_capacity(configs.len());
+        let mut verifies = Vec::with_capacity(configs.len());
+        let mut fig20 = Vec::new();
+        let mut failures = Vec::new();
+        for (cfg, outcome) in configs.iter().zip(row) {
+            match outcome {
+                Ok(done) => {
+                    let CellDone {
+                        result,
+                        verify,
+                        fig20: points,
+                        ..
+                    } = *done;
+                    fig20.extend(points);
+                    verifies.push((cfg.mode(), verify));
+                    results.push((cfg.mode(), result));
+                }
+                Err(e) => failures.push(e),
             }
         }
         // Table II rows compare the paper's three configurations; they
@@ -677,7 +788,7 @@ fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> Su
         // Retention is opt-in: the rows and counters above are derived
         // with the payloads in hand, then the payloads themselves are
         // dropped unless a caller asked to keep them.
-        if !shared.opts.retain_results {
+        if !opts.retain_results {
             results = Vec::new();
             verifies = Vec::new();
         }
@@ -691,7 +802,10 @@ fn assemble(shared: Shared<'_>, workers: usize, wall: std::time::Duration) -> Su
         });
     }
 
-    SuiteOutcome { apps, metrics }
+    SuiteOutcome {
+        apps,
+        metrics: mx.metrics,
+    }
 }
 
 #[cfg(test)]

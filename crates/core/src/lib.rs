@@ -23,6 +23,11 @@
 //!   streaming evaluation of an unbounded job iterator, aggregating a
 //!   deterministic [`stream::StreamSummary`] instead of retaining
 //!   per-app reports;
+//! * [`tournament`] — ComPar-style portfolio execution: per app, fan a
+//!   labelled configuration portfolio (the four modes plus ablation-knob
+//!   variants) through the same worker pool and caches, score every arm
+//!   with the machine cost model, and report the winner with a
+//!   structured "why" record;
 //! * [`service`] — the per-request surface for the daemon front-end
 //!   (`crates/server`): [`service::evaluate_request`], the bounded
 //!   cross-request [`service::RequestCache`], and the daemon-wide
@@ -58,10 +63,12 @@ pub mod pipeline;
 pub mod report;
 pub mod service;
 pub mod stream;
+pub mod tournament;
 pub mod verify;
 
 pub use driver::{
-    run_app, run_suite, source_key, AppReport, DriverOptions, SuiteJob, SuiteOutcome,
+    default_configs, run_app, run_suite, source_key, AppReport, CellConfig, DriverOptions,
+    SuiteJob, SuiteOutcome,
 };
 pub use error::{FailCause, FailStage, PipelineError};
 pub use phase::{
@@ -69,10 +76,11 @@ pub use phase::{
 };
 pub use pipeline::{compile, compile_timed, InlineMode, PipelineOptions, PipelineResult};
 pub use service::{
-    evaluate_request, request_key, CacheStats, LoopSummary, RequestCache, RequestReport,
-    ServerMetrics,
+    arm_key, evaluate_request, evaluate_tournament, request_key, ArmSummary, CacheStats,
+    LoopSummary, RequestCache, RequestReport, ServerMetrics, TournamentReport,
 };
 pub use stream::{run_stream, StreamOutcome, StreamSummary};
+pub use tournament::{portfolio, run_tournament, AppTournament, ArmScore, TournamentOutcome};
 
 pub use report::{
     extra_loops, lost_loops, render_fig20, render_table2, table2_rows, totals_for, Fig20Point,

@@ -308,6 +308,8 @@ impl FailureRecord {
 pub struct SuiteMetrics {
     /// Worker threads the driver ran with.
     pub workers: usize,
+    /// Configurations (matrix columns / portfolio arms) evaluated per app.
+    pub configs: u64,
     /// End-to-end suite wall-clock, nanoseconds.
     pub wall_nanos: u64,
     /// Total interpreter executions across all cells.
@@ -342,8 +344,9 @@ impl SuiteMetrics {
         let cells: Vec<String> = self.cells.iter().map(|c| c.to_json()).collect();
         let failures: Vec<String> = self.failures.iter().map(|f| f.to_json()).collect();
         format!(
-            "{{\"workers\":{},\"wall_ns\":{},\"interp_runs\":{},\"baseline_memo_hits\":{},\"verify_cache_hits\":{},\"failed_cells\":{},\"timed_out_cells\":{},\"panicked_cells\":{},\"verified_ok\":{},\"phases\":{},\"vm\":{},\"cells\":[{}],\"failures\":[{}]}}",
+            "{{\"workers\":{},\"configs\":{},\"wall_ns\":{},\"interp_runs\":{},\"baseline_memo_hits\":{},\"verify_cache_hits\":{},\"failed_cells\":{},\"timed_out_cells\":{},\"panicked_cells\":{},\"verified_ok\":{},\"phases\":{},\"vm\":{},\"cells\":[{}],\"failures\":[{}]}}",
             self.workers,
+            self.configs,
             self.wall_nanos,
             self.interp_runs,
             self.baseline_memo_hits,

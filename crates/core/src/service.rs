@@ -30,12 +30,13 @@
 //! requests across runs and worker counts, and this is the struct those
 //! responses are rendered from.
 
-use crate::driver::{DriverOptions, WallDeadline};
+use crate::driver::{CellConfig, DriverOptions, WallDeadline};
 use crate::error::{panic_message, FailCause, FailStage, PipelineError};
 use crate::phase::{blocker_key, quote, PhaseTimings};
 use crate::pipeline::{compile_timed, InlineMode, PipelineOptions};
-use crate::verify::{baseline_run_with, verify_with_baseline_using};
-use fruntime::ExecOptions;
+use crate::tournament::{default_machines, geomean_micros, portfolio, MachineScore};
+use crate::verify::{baseline_run_with, verify_with_baseline_using, VerifyResult};
+use fruntime::{simulate, tune, ExecOptions};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -78,6 +79,11 @@ pub struct RequestReport {
     pub loops: Vec<LoopSummary>,
     /// Loops judged parallel (count of `loops` with `parallel`).
     pub loops_parallel: usize,
+    /// Cost-model scores on the paper's evaluation machines
+    /// ([`default_machines`]): tuned speedup per machine in micro-units.
+    /// Derived from the verification run's event trace — deterministic,
+    /// so cache-safe and comparison-safe like every other field.
+    pub speedups: Vec<MachineScore>,
     /// 128-bit FNV-1a content address of the emitted source
     /// ([`crate::driver::source_key`]).
     pub source_key: u128,
@@ -87,6 +93,18 @@ impl RequestReport {
     /// Both correctness gates green.
     pub fn verified(&self) -> bool {
         self.matches_original && self.parallel_consistent
+    }
+
+    /// Tournament score: geometric mean of the per-machine speedups,
+    /// micro-units ([`geomean_micros`]).
+    pub fn score_micros(&self) -> u64 {
+        geomean_micros(
+            &self
+                .speedups
+                .iter()
+                .map(|s| s.speedup_micros as f64 / 1e6)
+                .collect::<Vec<f64>>(),
+        )
     }
 }
 
@@ -124,6 +142,163 @@ pub fn evaluate_request(
     })
 }
 
+/// Parse the request's two texts. Mode-independent, so a tournament
+/// parses once and shares the result across every arm.
+fn parse_request(
+    name: &str,
+    source: &str,
+    annotations: &str,
+) -> Result<(fir::ast::Program, finline::annot::AnnotRegistry), PipelineError> {
+    let program = fir::parse(source)
+        .map_err(|d| PipelineError::pre_pipeline(name, FailStage::Parse, FailCause::Diag(d)))?;
+    let registry = if annotations.trim().is_empty() {
+        finline::annot::AnnotRegistry::default()
+    } else {
+        finline::annot::AnnotRegistry::parse(annotations).map_err(|d| {
+            PipelineError::pre_pipeline(name, FailStage::Annotations, FailCause::Diag(d))
+        })?
+    };
+    Ok((program, registry))
+}
+
+/// Run the original program behind the isolation boundary. The baseline
+/// is configuration-independent; a tournament runs it once per request.
+fn baseline_guarded(
+    name: &str,
+    mode: InlineMode,
+    program: &fir::ast::Program,
+    opts: &DriverOptions,
+) -> Result<fruntime::RunResult, PipelineError> {
+    let max_ops = opts.verify_max_ops;
+    let base_opts = ExecOptions {
+        max_ops,
+        engine: opts.engine,
+        ..Default::default()
+    };
+    catch_unwind(AssertUnwindSafe(|| baseline_run_with(program, &base_opts)))
+        .unwrap_or_else(|p| {
+            Err(fruntime::RtError {
+                message: panic_message(&*p),
+                kind: fruntime::RtErrorKind::General,
+            })
+        })
+        .map_err(|e| {
+            if e.is_budget() {
+                PipelineError::in_cell(
+                    name,
+                    mode,
+                    FailStage::Baseline,
+                    FailCause::Timeout {
+                        max_ops,
+                        wall_ms: 0,
+                    },
+                )
+            } else {
+                PipelineError::in_cell(name, mode, FailStage::Baseline, FailCause::Runtime(e))
+            }
+        })
+}
+
+/// Verify an optimized program against the shared baseline behind the
+/// isolation boundary.
+fn verify_guarded(
+    name: &str,
+    mode: InlineMode,
+    base: &fruntime::RunResult,
+    optimized: &fir::ast::Program,
+    opts: &DriverOptions,
+) -> Result<VerifyResult, PipelineError> {
+    let max_ops = opts.verify_max_ops;
+    let par_opts = ExecOptions {
+        threads: opts.effective_verify_threads(),
+        max_ops,
+        engine: opts.engine,
+        ..Default::default()
+    };
+    catch_unwind(AssertUnwindSafe(|| {
+        verify_with_baseline_using(base, optimized, &par_opts)
+    }))
+    .unwrap_or_else(|p| {
+        Err(fruntime::RtError {
+            message: panic_message(&*p),
+            kind: fruntime::RtErrorKind::General,
+        })
+    })
+    .map_err(|e| {
+        if e.is_budget() {
+            PipelineError::in_cell(
+                name,
+                mode,
+                FailStage::Verify,
+                FailCause::Timeout {
+                    max_ops,
+                    wall_ms: 0,
+                },
+            )
+        } else {
+            PipelineError::in_cell(name, mode, FailStage::Verify, FailCause::Runtime(e))
+        }
+    })
+}
+
+/// Build the deterministic report from a compiled + verified arm.
+fn report_from(
+    mode: InlineMode,
+    result: &crate::pipeline::PipelineResult,
+    verify: &VerifyResult,
+) -> RequestReport {
+    // Per-loop verdicts: aggregate the planner's decisions per distinct
+    // original loop (annotation-body copies excluded), blockers deduped
+    // into sorted stable keys — a deterministic, wire-friendly shape.
+    let parallel_ids = result.parallel_loops();
+    let mut by_loop: BTreeMap<(String, u32), std::collections::BTreeSet<&'static str>> =
+        BTreeMap::new();
+    for d in &result.par_report.decisions {
+        if d.id.is_annotation() {
+            continue;
+        }
+        let entry = by_loop.entry((d.id.unit.clone(), d.id.idx)).or_default();
+        for b in &d.blockers {
+            entry.insert(blocker_key(b));
+        }
+    }
+    let loops: Vec<LoopSummary> = by_loop
+        .into_iter()
+        .map(|((unit, idx), blockers)| LoopSummary {
+            parallel: parallel_ids.contains(&fir::ast::LoopId::new(unit.clone(), idx)),
+            unit,
+            idx,
+            blockers: blockers.into_iter().collect(),
+        })
+        .collect();
+    let loops_parallel = loops.iter().filter(|l| l.parallel).count();
+    let speedups: Vec<MachineScore> = default_machines()
+        .iter()
+        .map(|m| {
+            let disabled = tune(&verify.par_events, m);
+            let sim = simulate(verify.total_ops, &verify.par_events, m, &disabled);
+            MachineScore {
+                machine: m.name.to_string(),
+                speedup_micros: (sim.speedup() * 1e6).round() as u64,
+                tuned_off: disabled.len(),
+            }
+        })
+        .collect();
+
+    RequestReport {
+        mode,
+        loc: result.loc,
+        matches_original: verify.matches_original,
+        parallel_consistent: verify.parallel_consistent,
+        races: verify.races,
+        total_ops: verify.total_ops,
+        loops,
+        loops_parallel,
+        speedups,
+        source_key: crate::driver::source_key(&result.source),
+    }
+}
+
 fn evaluate_request_inner(
     name: &str,
     source: &str,
@@ -150,15 +325,7 @@ fn evaluate_request_inner(
         panic!("injected fault for {name}");
     }
 
-    let program = fir::parse(source)
-        .map_err(|d| PipelineError::pre_pipeline(name, FailStage::Parse, FailCause::Diag(d)))?;
-    let registry = if annotations.trim().is_empty() {
-        finline::annot::AnnotRegistry::default()
-    } else {
-        finline::annot::AnnotRegistry::parse(annotations).map_err(|d| {
-            PipelineError::pre_pipeline(name, FailStage::Annotations, FailCause::Diag(d))
-        })?
-    };
+    let (program, registry) = parse_request(name, source, annotations)?;
     check(FailStage::Parse)?;
 
     let mut timings = PhaseTimings::default();
@@ -171,104 +338,13 @@ fn evaluate_request_inner(
     .map_err(|d| PipelineError::in_cell(name, mode, FailStage::Compile, FailCause::Diag(d)))?;
     check(FailStage::Compile)?;
 
-    let base_opts = ExecOptions {
-        max_ops,
-        engine: opts.engine,
-        ..Default::default()
-    };
-    let base = catch_unwind(AssertUnwindSafe(|| baseline_run_with(&program, &base_opts)))
-        .unwrap_or_else(|p| {
-            Err(fruntime::RtError {
-                message: panic_message(&*p),
-                kind: fruntime::RtErrorKind::General,
-            })
-        })
-        .map_err(|e| {
-            if e.is_budget() {
-                PipelineError::in_cell(
-                    name,
-                    mode,
-                    FailStage::Baseline,
-                    FailCause::Timeout {
-                        max_ops,
-                        wall_ms: 0,
-                    },
-                )
-            } else {
-                PipelineError::in_cell(name, mode, FailStage::Baseline, FailCause::Runtime(e))
-            }
-        })?;
+    let base = baseline_guarded(name, mode, &program, opts)?;
     check(FailStage::Baseline)?;
 
-    let par_opts = ExecOptions {
-        threads: opts.effective_verify_threads(),
-        max_ops,
-        engine: opts.engine,
-        ..Default::default()
-    };
-    let verify = catch_unwind(AssertUnwindSafe(|| {
-        verify_with_baseline_using(&base, &result.program, &par_opts)
-    }))
-    .unwrap_or_else(|p| {
-        Err(fruntime::RtError {
-            message: panic_message(&*p),
-            kind: fruntime::RtErrorKind::General,
-        })
-    })
-    .map_err(|e| {
-        if e.is_budget() {
-            PipelineError::in_cell(
-                name,
-                mode,
-                FailStage::Verify,
-                FailCause::Timeout {
-                    max_ops,
-                    wall_ms: 0,
-                },
-            )
-        } else {
-            PipelineError::in_cell(name, mode, FailStage::Verify, FailCause::Runtime(e))
-        }
-    })?;
+    let verify = verify_guarded(name, mode, &base, &result.program, opts)?;
     check(FailStage::Verify)?;
 
-    // Per-loop verdicts: aggregate the planner's decisions per distinct
-    // original loop (annotation-body copies excluded), blockers deduped
-    // into sorted stable keys — a deterministic, wire-friendly shape.
-    let parallel_ids = result.parallel_loops();
-    let mut by_loop: BTreeMap<(String, u32), std::collections::BTreeSet<&'static str>> =
-        BTreeMap::new();
-    for d in &result.par_report.decisions {
-        if d.id.is_annotation() {
-            continue;
-        }
-        let entry = by_loop.entry((d.id.unit.clone(), d.id.idx)).or_default();
-        for b in &d.blockers {
-            entry.insert(blocker_key(b));
-        }
-    }
-    let loops: Vec<LoopSummary> = by_loop
-        .into_iter()
-        .map(|((unit, idx), blockers)| LoopSummary {
-            parallel: parallel_ids.contains(&fir::ast::LoopId::new(unit.clone(), idx)),
-            unit,
-            idx,
-            blockers: blockers.into_iter().collect(),
-        })
-        .collect();
-    let loops_parallel = loops.iter().filter(|l| l.parallel).count();
-
-    Ok(RequestReport {
-        mode,
-        loc: result.loc,
-        matches_original: verify.matches_original,
-        parallel_consistent: verify.parallel_consistent,
-        races: verify.races,
-        total_ops: verify.total_ops,
-        loops,
-        loops_parallel,
-        source_key: crate::driver::source_key(&result.source),
-    })
+    Ok(report_from(mode, &result, &verify))
 }
 
 /// Content address for a request: 128-bit FNV-1a over the mode label,
@@ -277,6 +353,16 @@ fn evaluate_request_inner(
 /// length-free concatenation, so a NUL fence between parts keeps
 /// `("ab","c")` and `("a","bc")` distinct).
 pub fn request_key(mode: InlineMode, source: &str, annotations: &str, max_ops: u64) -> u128 {
+    arm_key(mode.label(), source, annotations, max_ops)
+}
+
+/// [`request_key`] generalized to tournament arms: keyed by the arm
+/// *label*, which for the four default arms equals the mode label — so a
+/// tournament's default arms share [`RequestCache`] entries with plain
+/// evaluate requests for the same source, and vice versa. Knob-variant
+/// arms (`conventional-tight`, ...) have their own labels and therefore
+/// their own entries.
+pub fn arm_key(label: &str, source: &str, annotations: &str, max_ops: u64) -> u128 {
     const OFFSET: u128 = 0x6C62272E07BB014262B821756295C58D;
     const PRIME: u128 = 0x0000000001000000000000000000013B;
     let mut h = OFFSET;
@@ -288,11 +374,261 @@ pub fn request_key(mode: InlineMode, source: &str, annotations: &str, max_ops: u
         h ^= 0xFF;
         h = h.wrapping_mul(PRIME);
     };
-    eat(mode.label().as_bytes());
+    eat(label.as_bytes());
     eat(source.as_bytes());
     eat(annotations.as_bytes());
     eat(&max_ops.to_le_bytes());
     h
+}
+
+/// One arm's row in a service tournament response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmSummary {
+    /// Arm label ([`CellConfig::label`]).
+    pub arm: String,
+    /// Inlining mode underlying the arm.
+    pub mode: InlineMode,
+    /// Cost-model score (geomean micro-units); `None` when the arm
+    /// failed or a verification gate was red.
+    pub score_micros: Option<u64>,
+    /// Both verification gates green.
+    pub verified: bool,
+    /// Loops judged parallel.
+    pub loops_parallel: usize,
+    /// Emitted code size.
+    pub loc: usize,
+    /// Stable failure code when the arm did not score
+    /// ([`crate::error::FailCause::code`], or `"gate"` for a red gate).
+    pub error: Option<String>,
+}
+
+/// A tournament response: every arm scored, the winner named, and the
+/// winner's parallel-loop delta against the no-inline arm. Pure function
+/// of the request content, like [`RequestReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TournamentReport {
+    /// Winning arm label; `None` when no arm scored.
+    pub winner: Option<String>,
+    /// The winner's mode.
+    pub winner_mode: Option<InlineMode>,
+    /// The winner's score (0 when no winner).
+    pub winner_score_micros: u64,
+    /// Loops parallel under the winner but not under no-inline
+    /// (`UNIT#idx`, sorted).
+    pub gained: Vec<String>,
+    /// Loops parallel under no-inline but not under the winner.
+    pub lost: Vec<String>,
+    /// One row per arm, portfolio order.
+    pub arms: Vec<ArmSummary>,
+}
+
+/// Evaluate a portfolio tournament for one request: every arm of
+/// [`DriverOptions::arms`] (or the default [`portfolio`]) compiled and
+/// verified against a *shared* parse and baseline run, with intra-request
+/// verify dedup (arms emitting byte-identical source share one
+/// verification) and per-arm [`RequestCache`] sharing via [`arm_key`] —
+/// the service counterpart of [`crate::tournament::run_tournament`]'s
+/// cache discipline.
+///
+/// Budgets: one [`WallDeadline`] spans the whole tournament; each
+/// interpreter run keeps the usual per-run op budget. Returns `Err` only
+/// when *every* arm failed (the first arm's error, in portfolio order);
+/// a red verification gate on some arms still yields a report with those
+/// arms marked unscored.
+pub fn evaluate_tournament(
+    name: &str,
+    source: &str,
+    annotations: &str,
+    opts: &DriverOptions,
+    cache: Option<&RequestCache>,
+) -> Result<TournamentReport, PipelineError> {
+    let out = catch_unwind(AssertUnwindSafe(|| {
+        evaluate_tournament_inner(name, source, annotations, opts, cache)
+    }));
+    out.unwrap_or_else(|payload| {
+        Err(PipelineError::pre_pipeline(
+            name,
+            FailStage::Driver,
+            FailCause::Panic(panic_message(&*payload)),
+        ))
+    })
+}
+
+fn evaluate_tournament_inner(
+    name: &str,
+    source: &str,
+    annotations: &str,
+    opts: &DriverOptions,
+    cache: Option<&RequestCache>,
+) -> Result<TournamentReport, PipelineError> {
+    let arms: Vec<CellConfig> = if opts.arms.is_empty() {
+        portfolio()
+    } else {
+        opts.arms.clone()
+    };
+    let deadline = WallDeadline::start(opts.wall_budget_ms);
+    let max_ops = opts.verify_max_ops;
+
+    if opts.inject_panic.iter().any(|n| n == name) {
+        panic!("injected fault for {name}");
+    }
+
+    let (program, registry) = parse_request(name, source, annotations)?;
+
+    // Shared across arms: the baseline run (configuration-independent,
+    // computed lazily so an all-cache-hit tournament pays zero runs) and
+    // the verify-dedup map keyed by emitted-source content.
+    let mut baseline: Option<fruntime::RunResult> = None;
+    let mut verify_memo: HashMap<u128, VerifyResult> = HashMap::new();
+
+    let mut outcomes: Vec<CachedOutcome> = Vec::with_capacity(arms.len());
+    for cfg in &arms {
+        let mode = cfg.mode();
+        if deadline.expired() {
+            outcomes.push(Err(PipelineError::in_cell(
+                name,
+                mode,
+                FailStage::Driver,
+                deadline.cause(max_ops),
+            )));
+            continue;
+        }
+        let key = arm_key(&cfg.label, source, annotations, max_ops);
+        if let Some(hit) = cache.and_then(|c| c.lookup(key)) {
+            outcomes.push(hit);
+            continue;
+        }
+        let computed: CachedOutcome = (|| {
+            let mut timings = PhaseTimings::default();
+            let result =
+                compile_timed(&program, &registry, &cfg.opts, &mut timings).map_err(|d| {
+                    PipelineError::in_cell(name, mode, FailStage::Compile, FailCause::Diag(d))
+                })?;
+            if baseline.is_none() {
+                baseline = Some(baseline_guarded(name, mode, &program, opts)?);
+            }
+            let base = baseline.as_ref().expect("baseline just initialized");
+            let skey = crate::driver::source_key(&result.source);
+            let verify = match verify_memo.get(&skey) {
+                Some(v) => v.clone(),
+                None => {
+                    let v = verify_guarded(name, mode, base, &result.program, opts)?;
+                    verify_memo.insert(skey, v.clone());
+                    v
+                }
+            };
+            Ok(Arc::new(report_from(mode, &result, &verify)))
+        })();
+        if let Some(c) = cache {
+            c.insert(key, computed.clone());
+        }
+        outcomes.push(computed);
+    }
+
+    let mut summaries: Vec<ArmSummary> = Vec::with_capacity(arms.len());
+    let mut reports: Vec<Option<Arc<RequestReport>>> = Vec::with_capacity(arms.len());
+    let mut first_err: Option<PipelineError> = None;
+    for (cfg, outcome) in arms.iter().zip(outcomes) {
+        match outcome {
+            Ok(r) => {
+                let verified = r.verified();
+                summaries.push(ArmSummary {
+                    arm: cfg.label.clone(),
+                    mode: cfg.mode(),
+                    score_micros: if verified {
+                        Some(r.score_micros())
+                    } else {
+                        None
+                    },
+                    verified,
+                    loops_parallel: r.loops_parallel,
+                    loc: r.loc,
+                    error: if verified {
+                        None
+                    } else {
+                        Some("gate".to_string())
+                    },
+                });
+                reports.push(Some(r));
+            }
+            Err(e) => {
+                summaries.push(ArmSummary {
+                    arm: cfg.label.clone(),
+                    mode: cfg.mode(),
+                    score_micros: None,
+                    verified: false,
+                    loops_parallel: 0,
+                    loc: 0,
+                    error: Some(e.code().to_string()),
+                });
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+                reports.push(None);
+            }
+        }
+    }
+
+    if reports.iter().all(|r| r.is_none()) {
+        // Every arm failed: surface the first structured error rather
+        // than an empty report (portfolio order, so the diagnostic is
+        // stable).
+        return Err(first_err.expect("all-failed tournament has an error"));
+    }
+
+    // Winner: highest score, ties to the earliest arm in portfolio order.
+    let winner_idx: Option<usize> = summaries
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.score_micros.map(|sc| (i, sc)))
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i);
+
+    let parallel_set = |r: &RequestReport| -> std::collections::BTreeSet<String> {
+        r.loops
+            .iter()
+            .filter(|l| l.parallel)
+            .map(|l| format!("{}#{}", l.unit, l.idx))
+            .collect()
+    };
+    let (winner, winner_mode, winner_score, gained, lost) = match winner_idx {
+        Some(w) => {
+            let win = reports[w].as_deref().expect("scored arm has a report");
+            let none_rep: Option<&RequestReport> = arms
+                .iter()
+                .zip(&reports)
+                .find(|(cfg, r)| cfg.mode() == InlineMode::None && r.is_some())
+                .and_then(|(_, r)| r.as_deref());
+            let (gained, lost) = match none_rep {
+                Some(none) => {
+                    let a = parallel_set(none);
+                    let b = parallel_set(win);
+                    (
+                        b.difference(&a).cloned().collect(),
+                        a.difference(&b).cloned().collect(),
+                    )
+                }
+                None => (Vec::new(), Vec::new()),
+            };
+            (
+                Some(summaries[w].arm.clone()),
+                Some(summaries[w].mode),
+                summaries[w].score_micros.unwrap_or(0),
+                gained,
+                lost,
+            )
+        }
+        None => (None, None, 0, Vec::new(), Vec::new()),
+    };
+
+    Ok(TournamentReport {
+        winner,
+        winner_mode,
+        winner_score_micros: winner_score,
+        gained,
+        lost,
+        arms: summaries,
+    })
 }
 
 /// What the cache stores per key: the deterministic report, or the
@@ -438,8 +774,11 @@ pub struct ServerMetrics {
     /// truncated frame, invalid JSON, missing fields) — each answered
     /// with a structured protocol error where the transport allowed it.
     pub protocol_errors: u64,
-    /// Well-formed evaluate requests received.
+    /// Well-formed evaluate and tournament requests received.
     pub requests: u64,
+    /// The subset of `requests` that were portfolio tournaments (each a
+    /// single admission charge covering every arm).
+    pub tournament_requests: u64,
     /// Requests rejected by admission control (queue full).
     pub shed: u64,
     /// Requests rejected by the per-client op-budget token bucket.
@@ -488,12 +827,13 @@ impl ServerMetrics {
             .map(|(k, v)| format!("{}:{}", quote(k), v))
             .collect();
         format!(
-            "{{\"wall_ns\":{},\"connections\":{},\"connections_rejected\":{},\"protocol_errors\":{},\"requests\":{},\"shed\":{},\"throttled\":{},\"rejected_draining\":{},\"completed_ok\":{},\"failed\":{},\"timed_out\":{},\"panicked\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\"cache_entries\":{},\"queue_peak\":{},\"in_flight_at_drain\":{},\"failure_codes\":{{{}}}}}",
+            "{{\"wall_ns\":{},\"connections\":{},\"connections_rejected\":{},\"protocol_errors\":{},\"requests\":{},\"tournament_requests\":{},\"shed\":{},\"throttled\":{},\"rejected_draining\":{},\"completed_ok\":{},\"failed\":{},\"timed_out\":{},\"panicked\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\"cache_entries\":{},\"queue_peak\":{},\"in_flight_at_drain\":{},\"failure_codes\":{{{}}}}}",
             self.wall_nanos,
             self.connections,
             self.connections_rejected,
             self.protocol_errors,
             self.requests,
+            self.tournament_requests,
             self.shed,
             self.throttled,
             self.rejected_draining,
@@ -610,6 +950,7 @@ mod tests {
             total_ops: 1,
             loops: Vec::new(),
             loops_parallel: 0,
+            speedups: Vec::new(),
             source_key: 1,
         });
         assert!(cache.lookup(1).is_none());
@@ -680,6 +1021,52 @@ mod tests {
         );
         assert!(cache.lookup(1).is_none());
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn tournament_request_scores_arms_and_shares_the_cache() {
+        let opts = DriverOptions::default();
+        let cache = RequestCache::new(64);
+        let t = evaluate_tournament("T", SRC, "", &opts, Some(&cache)).unwrap();
+        assert_eq!(t.arms.len(), portfolio().len());
+        assert!(t.winner.is_some(), "{t:?}");
+        for arm in &t.arms {
+            if let Some(s) = arm.score_micros {
+                assert!(t.winner_score_micros >= s, "{t:?}");
+            }
+        }
+        // The default arms wrote entries a plain evaluate request reuses.
+        let before = cache.stats();
+        let plain = evaluate_request("T", SRC, "", InlineMode::Conventional, &opts).unwrap();
+        let key = request_key(InlineMode::Conventional, SRC, "", opts.verify_max_ops);
+        let hit = cache.lookup(key).expect("tournament populated this key");
+        assert_eq!(*hit.unwrap(), plain);
+        assert!(cache.stats().hits > before.hits);
+        // A second tournament is answered fully from the cache.
+        let t2 = evaluate_tournament("T", SRC, "", &opts, Some(&cache)).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn tournament_without_cache_is_deterministic() {
+        let opts = DriverOptions::default();
+        let a = evaluate_tournament("T", SRC, "", &opts, None).unwrap();
+        let b = evaluate_tournament("T", SRC, "", &opts, None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tournament_on_malformed_source_fails_structurally() {
+        let opts = DriverOptions::default();
+        let r = evaluate_tournament("T", "PROGRAM(", "", &opts, None);
+        assert!(matches!(&r, Err(e) if e.stage == FailStage::Parse), "{r:?}");
+        // The chaos seam panics; the entry point catches and classifies.
+        let seamed = DriverOptions {
+            inject_panic: vec!["T".into()],
+            ..Default::default()
+        };
+        let p = evaluate_tournament("T", SRC, "", &seamed, None);
+        assert!(matches!(&p, Err(e) if e.code() == "panic"), "{p:?}");
     }
 
     #[test]

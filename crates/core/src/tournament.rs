@@ -1,0 +1,590 @@
+//! Per-app configuration tournaments: run a portfolio of pipeline
+//! configurations through the matrix driver, score every arm with the
+//! machine cost model, and keep the best.
+//!
+//! The paper's Table II exists because no single inlining configuration
+//! wins everywhere — Conventional, Annot, and AutoAnnot trade wins per
+//! application. ComPar-style portfolio execution turns that observation
+//! into a driver: fan a set of labelled arms ([`portfolio`]) per app
+//! through [`crate::driver`]'s worker pool, score each completed arm by
+//! the geometric mean of its tuned cost-model speedups across machines,
+//! and emit the winning directive set plus a structured per-app "why"
+//! record ([`AppTournament`]: arm scores, blocker counts, which loops
+//! flipped against the no-inline arm, cache accounting).
+//!
+//! **Cost discipline.** The arms share the per-app baseline memo and the
+//! verify-dedup cache exactly like the classic matrix columns do — arms
+//! that emit byte-identical optimized source share one verification, and
+//! every arm of an app shares the single baseline run. A seven-arm
+//! portfolio therefore costs far less than 7× a single configuration;
+//! the shared-cache counters threaded into [`SuiteMetrics`] (and
+//! summarized per app here) prove it.
+//!
+//! **Determinism.** [`TournamentOutcome::to_json`] is a pure function of
+//! the inputs: scores come from the deterministic interpreter and cost
+//! model, winners break ties by portfolio order, and the per-app cache
+//! accounting reports *totals* (which are schedule-invariant) rather
+//! than per-arm attribution (which depends on which worker paid for a
+//! shared slot first). The `tournament` integration tests assert
+//! byte-identical reports across worker counts.
+
+use crate::driver::{run_matrix, CellConfig, DriverOptions, SuiteJob};
+use crate::phase::{quote, SuiteMetrics};
+use crate::pipeline::{InlineMode, PipelineOptions, PipelineResult};
+use crate::report::{extra_loops, lost_loops};
+use finline::Heuristics;
+use fruntime::{simulate, tune, Machine};
+use std::collections::BTreeMap;
+
+/// The default tournament portfolio: the four [`InlineMode`] columns with
+/// default knobs, widened with ablation-knob variants that the bench
+/// suite showed can flip individual loops — a tighter and a fully
+/// aggressive conventional-inlining budget, and annotation mode without
+/// loop peeling.
+pub fn portfolio() -> Vec<CellConfig> {
+    let mut arms = vec![
+        CellConfig::for_mode(InlineMode::None),
+        CellConfig::for_mode(InlineMode::Conventional),
+    ];
+    arms.push(CellConfig {
+        label: "conventional-tight".to_string(),
+        opts: PipelineOptions {
+            heuristics: Heuristics {
+                max_stmts: 25,
+                ..Heuristics::polaris()
+            },
+            ..PipelineOptions::for_mode(InlineMode::Conventional)
+        },
+    });
+    arms.push(CellConfig {
+        label: "conventional-aggressive".to_string(),
+        opts: PipelineOptions {
+            heuristics: Heuristics::aggressive(),
+            ..PipelineOptions::for_mode(InlineMode::Conventional)
+        },
+    });
+    arms.push(CellConfig::for_mode(InlineMode::Annotation));
+    arms.push(CellConfig {
+        label: "annotation-no-peel".to_string(),
+        opts: PipelineOptions {
+            par: fpar::ParOptions {
+                enable_peel: false,
+                ..Default::default()
+            },
+            ..PipelineOptions::for_mode(InlineMode::Annotation)
+        },
+    });
+    arms.push(CellConfig::for_mode(InlineMode::AutoAnnot));
+    arms
+}
+
+/// The machines a tournament scores against when
+/// [`DriverOptions::machines`] is empty: the paper's two evaluation
+/// hosts.
+pub fn default_machines() -> Vec<Machine> {
+    vec![Machine::intel8(), Machine::amd4()]
+}
+
+/// Cost-model score of one arm on one machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineScore {
+    /// Machine name (`intel8` / `amd4`).
+    pub machine: String,
+    /// Simulated tuned speedup in micro-units (×1e-6), so scores are
+    /// integer-comparable and serialize exactly.
+    pub speedup_micros: u64,
+    /// Loops the empirical tuner disabled on this machine.
+    pub tuned_off: usize,
+}
+
+/// One arm's row in a per-app tournament: score, shape, and failure
+/// diagnostics. Per-arm cache attribution is deliberately absent — see
+/// the module docs on determinism; totals live on [`AppTournament`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmScore {
+    /// Arm label ([`CellConfig::label`]).
+    pub arm: String,
+    /// Inlining mode label underlying the arm.
+    pub mode: &'static str,
+    /// Completed with both verification gates green.
+    pub ok: bool,
+    /// Geometric mean of the per-machine tuned speedups, micro-units.
+    /// `None` when the arm failed (pipeline error or a red verify gate) —
+    /// a failed arm can never win.
+    pub score_micros: Option<u64>,
+    /// Per-machine scores (empty on failed arms).
+    pub machines: Vec<MachineScore>,
+    /// Loop decisions inspected by the planner.
+    pub loops_total: usize,
+    /// Distinct original loops judged parallel.
+    pub loops_parallel: usize,
+    /// Emitted code size (non-comment lines).
+    pub loc: usize,
+    /// Blocker kind → occurrence count across the arm's loops.
+    pub blockers: BTreeMap<&'static str, usize>,
+    /// Stable failure code when the arm failed before scoring
+    /// ([`crate::error::FailCause::code`]), `"gate"` when it completed
+    /// but a verification gate was red.
+    pub error: Option<String>,
+}
+
+/// The per-app "why" record: every arm's score plus the winner and how
+/// its parallel-loop set differs from the no-inline arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppTournament {
+    /// Application name.
+    pub app: String,
+    /// Winning arm label; `None` when no arm completed verification.
+    pub winner: Option<String>,
+    /// The winner's score (0 when no winner).
+    pub winner_score_micros: u64,
+    /// Loops parallel under the winner but not under no-inline
+    /// (`UNIT#idx` labels, sorted).
+    pub gained: Vec<String>,
+    /// Loops parallel under no-inline but lost under the winner.
+    pub lost: Vec<String>,
+    /// The winning directive set: every `!$OMP` line in the winner's
+    /// emitted source, in source order.
+    pub directives: Vec<String>,
+    /// Interpreter runs this app's arms paid for in total — the
+    /// schedule-invariant cache-sharing receipt (1 shared baseline +
+    /// 2 × distinct emitted sources, versus 3 × arms uncached).
+    pub interp_runs: u64,
+    /// Completed arms served from the verify-dedup cache.
+    pub arms_cached: u64,
+    /// One row per portfolio arm, portfolio order.
+    pub arms: Vec<ArmScore>,
+}
+
+/// Tournament output: per-app records in suite order plus the underlying
+/// driver metrics (with the shared-cache counters).
+#[derive(Debug, Clone)]
+pub struct TournamentOutcome {
+    /// Machine names the arms were scored against.
+    pub machines: Vec<String>,
+    /// Arm labels, portfolio order.
+    pub arm_labels: Vec<String>,
+    /// One record per job, input order.
+    pub apps: Vec<AppTournament>,
+    /// Aggregated driver metrics (cache counters, phase timings,
+    /// failures). Not part of [`TournamentOutcome::to_json`]: timings are
+    /// not deterministic; serialize via [`SuiteMetrics::to_json`] when
+    /// wanted.
+    pub metrics: SuiteMetrics,
+}
+
+/// Geometric mean of positive speedups, in micro-units. Non-finite or
+/// non-positive inputs (an empty event trace degenerates to 1.0 upstream,
+/// so this is belt-and-braces) count as 1.0.
+pub fn geomean_micros(speedups: &[f64]) -> u64 {
+    if speedups.is_empty() {
+        return 1_000_000;
+    }
+    let ln_sum: f64 = speedups
+        .iter()
+        .map(|s| {
+            if s.is_finite() && *s > 0.0 {
+                s.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    ((ln_sum / speedups.len() as f64).exp() * 1e6).round() as u64
+}
+
+/// Run the configuration tournament: every job × every portfolio arm
+/// through the shared-cache matrix, scored on `opts.machines` (the
+/// paper's two hosts when empty). Arms come from [`DriverOptions::arms`],
+/// or [`portfolio`] when that is empty.
+pub fn run_tournament(jobs: &[SuiteJob], opts: &DriverOptions) -> TournamentOutcome {
+    let arms: Vec<CellConfig> = if opts.arms.is_empty() {
+        portfolio()
+    } else {
+        opts.arms.clone()
+    };
+    let machines: Vec<Machine> = if opts.machines.is_empty() {
+        default_machines()
+    } else {
+        opts.machines.clone()
+    };
+
+    let mx = run_matrix(jobs, &arms, opts);
+    let mut apps = Vec::with_capacity(jobs.len());
+    for (job, row) in jobs.iter().zip(mx.cells) {
+        let mut scores: Vec<ArmScore> = Vec::with_capacity(arms.len());
+        let mut payloads: Vec<Option<Box<PipelineResult>>> = Vec::with_capacity(arms.len());
+        let mut interp_runs = 0u64;
+        let mut arms_cached = 0u64;
+        for (cfg, outcome) in arms.iter().zip(row) {
+            match outcome {
+                Ok(done) => {
+                    interp_runs += done.metrics.interp_runs;
+                    if done.metrics.verify_cached {
+                        arms_cached += 1;
+                    }
+                    let ok = done.verify.ok();
+                    let machine_scores: Vec<MachineScore> = if ok {
+                        machines
+                            .iter()
+                            .map(|m| {
+                                let disabled = tune(&done.verify.par_events, m);
+                                let sim = simulate(
+                                    done.verify.total_ops,
+                                    &done.verify.par_events,
+                                    m,
+                                    &disabled,
+                                );
+                                MachineScore {
+                                    machine: m.name.to_string(),
+                                    speedup_micros: (sim.speedup() * 1e6).round() as u64,
+                                    tuned_off: disabled.len(),
+                                }
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    let score = if ok {
+                        Some(geomean_micros(
+                            &machine_scores
+                                .iter()
+                                .map(|s| s.speedup_micros as f64 / 1e6)
+                                .collect::<Vec<f64>>(),
+                        ))
+                    } else {
+                        None
+                    };
+                    scores.push(ArmScore {
+                        arm: cfg.label.clone(),
+                        mode: cfg.mode().label(),
+                        ok,
+                        score_micros: score,
+                        machines: machine_scores,
+                        loops_total: done.metrics.loops_total,
+                        loops_parallel: done.metrics.loops_parallel,
+                        loc: done.result.loc,
+                        blockers: done.metrics.blockers.clone(),
+                        error: if ok { None } else { Some("gate".to_string()) },
+                    });
+                    payloads.push(Some(Box::new(done.result)));
+                }
+                Err(e) => {
+                    scores.push(ArmScore {
+                        arm: cfg.label.clone(),
+                        mode: cfg.mode().label(),
+                        ok: false,
+                        score_micros: None,
+                        machines: Vec::new(),
+                        loops_total: 0,
+                        loops_parallel: 0,
+                        loc: 0,
+                        blockers: BTreeMap::new(),
+                        error: Some(e.code().to_string()),
+                    });
+                    payloads.push(None);
+                }
+            }
+        }
+
+        // Winner: highest score, ties to the earliest arm in portfolio
+        // order (so widening the portfolio never flips a tie away from
+        // the classic configuration that held it).
+        let winner_idx: Option<usize> = scores
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.score_micros.map(|sc| (i, sc)))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i);
+
+        let (winner, winner_score, gained, lost, directives) = match winner_idx {
+            Some(w) => {
+                let win_res = payloads[w].as_deref().expect("scored arm retains payload");
+                // Diff against the first completed no-inline arm, when
+                // the portfolio carries one and it isn't the winner
+                // itself.
+                let none_res: Option<&PipelineResult> = arms
+                    .iter()
+                    .zip(&payloads)
+                    .find(|(cfg, p)| cfg.mode() == InlineMode::None && p.is_some())
+                    .and_then(|(_, p)| p.as_deref());
+                let (gained, lost) = match none_res {
+                    Some(none) => (
+                        extra_loops(none, win_res)
+                            .iter()
+                            .map(|id| id.to_string())
+                            .collect(),
+                        lost_loops(none, win_res)
+                            .iter()
+                            .map(|id| id.to_string())
+                            .collect(),
+                    ),
+                    None => (Vec::new(), Vec::new()),
+                };
+                let directives: Vec<String> = win_res
+                    .source
+                    .lines()
+                    .filter(|l| l.trim_start().starts_with("!$OMP"))
+                    .map(|l| l.trim().to_string())
+                    .collect();
+                (
+                    Some(scores[w].arm.clone()),
+                    scores[w].score_micros.unwrap_or(0),
+                    gained,
+                    lost,
+                    directives,
+                )
+            }
+            None => (None, 0, Vec::new(), Vec::new(), Vec::new()),
+        };
+
+        apps.push(AppTournament {
+            app: job.name.clone(),
+            winner,
+            winner_score_micros: winner_score,
+            gained,
+            lost,
+            directives,
+            interp_runs,
+            arms_cached,
+            arms: scores,
+        });
+    }
+
+    TournamentOutcome {
+        machines: machines.iter().map(|m| m.name.to_string()).collect(),
+        arm_labels: arms.iter().map(|c| c.label.clone()).collect(),
+        apps,
+        metrics: mx.metrics,
+    }
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| quote(s)).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+impl ArmScore {
+    fn to_json(&self) -> String {
+        let machines: Vec<String> = self
+            .machines
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{\"machine\":{},\"speedup_micros\":{},\"tuned_off\":{}}}",
+                    quote(&m.machine),
+                    m.speedup_micros,
+                    m.tuned_off
+                )
+            })
+            .collect();
+        let blockers: Vec<String> = self
+            .blockers
+            .iter()
+            .map(|(k, v)| format!("{}:{}", quote(k), v))
+            .collect();
+        format!(
+            "{{\"arm\":{},\"mode\":{},\"ok\":{},\"score_micros\":{},\"machines\":[{}],\"loops_total\":{},\"loops_parallel\":{},\"loc\":{},\"blockers\":{{{}}},\"error\":{}}}",
+            quote(&self.arm),
+            quote(self.mode),
+            self.ok,
+            self.score_micros
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            machines.join(","),
+            self.loops_total,
+            self.loops_parallel,
+            self.loc,
+            blockers.join(","),
+            self.error
+                .as_deref()
+                .map(quote)
+                .unwrap_or_else(|| "null".to_string()),
+        )
+    }
+}
+
+impl AppTournament {
+    fn to_json(&self) -> String {
+        let arms: Vec<String> = self.arms.iter().map(|a| a.to_json()).collect();
+        format!(
+            "{{\"app\":{},\"winner\":{},\"winner_score_micros\":{},\"gained\":{},\"lost\":{},\"directives\":{},\"interp_runs\":{},\"arms_cached\":{},\"arms\":[{}]}}",
+            quote(&self.app),
+            self.winner
+                .as_deref()
+                .map(quote)
+                .unwrap_or_else(|| "null".to_string()),
+            self.winner_score_micros,
+            json_str_array(&self.gained),
+            json_str_array(&self.lost),
+            json_str_array(&self.directives),
+            self.interp_runs,
+            self.arms_cached,
+            arms.join(","),
+        )
+    }
+
+    /// The winner's score as a display float.
+    pub fn winner_score(&self) -> f64 {
+        self.winner_score_micros as f64 / 1e6
+    }
+}
+
+impl TournamentOutcome {
+    /// Serialize the tournament report as JSON. Deterministic: the same
+    /// jobs, arms, and machines produce byte-identical output at any
+    /// worker count (the committed `tournament.json` artifact and the CI
+    /// winner-stability gate rely on this). Driver timings are excluded;
+    /// serialize [`TournamentOutcome::metrics`] separately when wanted.
+    pub fn to_json(&self) -> String {
+        let apps: Vec<String> = self.apps.iter().map(|a| a.to_json()).collect();
+        format!(
+            "{{\"machines\":{},\"arms\":{},\"interp_runs\":{},\"apps\":[{}]}}",
+            json_str_array(&self.machines),
+            json_str_array(&self.arm_labels),
+            self.apps.iter().map(|a| a.interp_runs).sum::<u64>(),
+            apps.join(","),
+        )
+    }
+
+    /// GitHub-flavored markdown "best-of-portfolio" table — the paper
+    /// would call this the Table II column a portfolio run earns.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::from(
+            "| app | winner | geomean speedup | par loops | gained | lost | interp runs | cached arms |\n\
+             |-----|--------|----------------:|----------:|-------:|-----:|------------:|------------:|\n",
+        );
+        let mut total_runs = 0u64;
+        for a in &self.apps {
+            let (par, score) = match &a.winner {
+                Some(w) => {
+                    let arm = a.arms.iter().find(|s| &s.arm == w);
+                    (
+                        arm.map(|s| s.loops_parallel).unwrap_or(0),
+                        format!("{:.3}×", a.winner_score()),
+                    )
+                }
+                None => (0, "—".to_string()),
+            };
+            total_runs += a.interp_runs;
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                a.app,
+                a.winner.as_deref().unwrap_or("—"),
+                score,
+                par,
+                a.gained.len(),
+                a.lost.len(),
+                a.interp_runs,
+                a.arms_cached,
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} arms × {} apps, {} interpreter runs total (uncached would be {}).\n",
+            self.arm_labels.len(),
+            self.apps.len(),
+            total_runs,
+            3 * self.arm_labels.len() * self.apps.len(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finline::annot::AnnotRegistry;
+    use fir::parser::parse;
+
+    const SRC: &str = "      PROGRAM MAIN
+      COMMON /OUT/ A(64), TOT
+      DIMENSION B(64)
+      DO I = 1, 64
+        B(I) = I*0.5
+      ENDDO
+      DO I = 1, 64
+        A(I) = B(I)*2.0 + 1.0
+      ENDDO
+      TOT = 0.0
+      DO I = 1, 64
+        TOT = TOT + A(I)
+      ENDDO
+      WRITE(6,*) TOT
+      END
+";
+
+    fn jobs() -> Vec<SuiteJob> {
+        vec![SuiteJob {
+            name: "T".into(),
+            program: parse(SRC).unwrap(),
+            registry: AnnotRegistry::default(),
+        }]
+    }
+
+    #[test]
+    fn portfolio_contains_all_default_modes() {
+        let arms = portfolio();
+        for mode in InlineMode::all() {
+            assert!(
+                arms.iter()
+                    .any(|c| c.mode() == mode && c.label == mode.label()),
+                "portfolio lost default arm {:?}",
+                mode
+            );
+        }
+        // Labels are unique — they are the arm identity everywhere.
+        let mut labels: Vec<&str> = arms.iter().map(|c| c.label.as_str()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), arms.len());
+    }
+
+    #[test]
+    fn tournament_picks_a_winner_and_accounts_caches() {
+        let out = run_tournament(&jobs(), &DriverOptions::default());
+        assert_eq!(out.apps.len(), 1);
+        let app = &out.apps[0];
+        assert!(app.winner.is_some(), "{app:?}");
+        assert!(app.winner_score_micros >= 1_000_000, "{app:?}");
+        // Winner beats or ties every arm (argmax, ties to earliest).
+        for arm in &app.arms {
+            if let Some(s) = arm.score_micros {
+                assert!(app.winner_score_micros >= s, "{app:?}");
+            }
+        }
+        // Cache sharing: one baseline + 2 per *distinct* source, far
+        // under 3 runs × 7 arms.
+        assert!(app.interp_runs < 3 * app.arms.len() as u64, "{app:?}");
+        assert_eq!(out.metrics.configs, app.arms.len() as u64);
+        // The winner emitted at least one directive for this program.
+        assert!(!app.directives.is_empty(), "{app:?}");
+        assert!(app.directives.iter().all(|d| d.starts_with("!$OMP")));
+    }
+
+    #[test]
+    fn report_json_is_deterministic_across_workers() {
+        let a = run_tournament(
+            &jobs(),
+            &DriverOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let b = run_tournament(
+            &jobs(),
+            &DriverOptions {
+                workers: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn geomean_is_stable() {
+        assert_eq!(geomean_micros(&[]), 1_000_000);
+        assert_eq!(geomean_micros(&[2.0, 2.0]), 2_000_000);
+        assert_eq!(geomean_micros(&[f64::NAN, 4.0]), 2_000_000);
+        assert_eq!(geomean_micros(&[1.0, 4.0]), 2_000_000);
+    }
+}

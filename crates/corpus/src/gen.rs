@@ -410,6 +410,10 @@ pub struct RequestSpec {
     pub annotations: String,
     /// Inlining-mode label (`InlineMode::label` vocabulary).
     pub mode: &'static str,
+    /// When set, the request asks for a full portfolio tournament
+    /// (`op: "tournament"` on the wire) instead of a single-mode
+    /// evaluation; `mode` is ignored for such requests.
+    pub tournament: bool,
 }
 
 /// Lazily generate service requests `0..n` for `seed`, drawing programs
@@ -430,13 +434,59 @@ pub fn requests(seed: u64, n: u64, pool: u64) -> impl Iterator<Item = RequestSpe
             source: g.source,
             annotations: g.annotations,
             mode: MODES[rng.index(MODES.len())],
+            tournament: false,
         }
+    })
+}
+
+/// Like [`requests`], but roughly `tournament_percent` of positions are
+/// flagged as portfolio-tournament requests. The flag is drawn from its
+/// own substream, so positions that stay plain evaluations carry the
+/// *same* request as [`requests`] would — a mixed stream still shares
+/// cache entries with a pure one. Pure in `(seed, n, pool,
+/// tournament_percent)`.
+pub fn mixed_requests(
+    seed: u64,
+    n: u64,
+    pool: u64,
+    tournament_percent: u64,
+) -> impl Iterator<Item = RequestSpec> {
+    requests(seed, n, pool).enumerate().map(move |(i, mut r)| {
+        let mut rng = Rng::for_index(seed ^ 0x70C4_11A0_u64, i as u64);
+        r.tournament = rng.chance(tournament_percent.min(100), 100);
+        r
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mixed_requests_flag_is_pure_and_preserves_the_plain_stream() {
+        let mixed: Vec<_> = mixed_requests(77, 60, 8, 25).collect();
+        let again: Vec<_> = mixed_requests(77, 60, 8, 25).collect();
+        assert_eq!(mixed, again);
+        let plain: Vec<_> = requests(77, 60, 8).collect();
+        let flagged = mixed.iter().filter(|r| r.tournament).count();
+        assert!(flagged > 0 && flagged < 60, "flagged {flagged} of 60");
+        for (m, p) in mixed.iter().zip(&plain) {
+            // Only the flag differs; program content and mode are shared
+            // with the pure-evaluate stream.
+            assert_eq!(
+                (&m.name, &m.source, &m.annotations, m.mode),
+                (&p.name, &p.source, &p.annotations, p.mode)
+            );
+        }
+        assert!(
+            mixed_requests(77, 40, 8, 0).all(|r| !r.tournament),
+            "0% must flag nothing"
+        );
+        assert!(
+            mixed_requests(77, 40, 8, 100).all(|r| r.tournament),
+            "100% must flag everything"
+        );
+    }
 
     #[test]
     fn generation_is_pure_in_seed_and_index() {

@@ -23,6 +23,7 @@ pub mod gen;
 pub mod rng;
 
 pub use gen::{
-    differential_program, generate, jobs, requests, stream, GeneratedProgram, Idiom, RequestSpec,
+    differential_program, generate, jobs, mixed_requests, requests, stream, GeneratedProgram,
+    Idiom, RequestSpec,
 };
 pub use rng::Rng;

@@ -20,9 +20,13 @@
 //! [`ServerMetrics`] snapshot.
 
 use crate::admission::{AdmissionQueue, AdmitError, TokenBuckets};
-use crate::proto::{self, EvaluateRequest, FrameError, Request, DEFAULT_MAX_FRAME};
+use crate::proto::{
+    self, EvaluateRequest, FrameError, Request, TournamentRequest, DEFAULT_MAX_FRAME,
+};
 use ipp_core::driver::DriverOptions;
-use ipp_core::service::{evaluate_request, request_key, RequestCache, ServerMetrics};
+use ipp_core::service::{
+    evaluate_request, evaluate_tournament, request_key, RequestCache, ServerMetrics,
+};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -88,8 +92,34 @@ impl Default for ServerOptions {
     }
 }
 
+/// One admitted unit of work. A tournament is a single work item — one
+/// admission charge, one queue slot, one worker — even though it
+/// evaluates a whole portfolio: its arms share the request cache, one
+/// parse, and one baseline run, so its cost is bounded and the ladder's
+/// accounting stays per-request.
+enum WorkItem {
+    Evaluate(EvaluateRequest),
+    Tournament(TournamentRequest),
+}
+
+impl WorkItem {
+    fn id(&self) -> &str {
+        match self {
+            WorkItem::Evaluate(r) => &r.id,
+            WorkItem::Tournament(r) => &r.id,
+        }
+    }
+
+    fn client(&self) -> &str {
+        match self {
+            WorkItem::Evaluate(r) => &r.client,
+            WorkItem::Tournament(r) => &r.client,
+        }
+    }
+}
+
 struct Job {
-    req: EvaluateRequest,
+    item: WorkItem,
     reply: mpsc::Sender<String>,
 }
 
@@ -99,6 +129,7 @@ struct Counters {
     connections_rejected: AtomicU64,
     protocol_errors: AtomicU64,
     requests: AtomicU64,
+    tournament_requests: AtomicU64,
     shed: AtomicU64,
     throttled: AtomicU64,
     rejected_draining: AtomicU64,
@@ -160,6 +191,7 @@ impl Shared {
             connections_rejected: c.connections_rejected.load(Ordering::SeqCst),
             protocol_errors: c.protocol_errors.load(Ordering::SeqCst),
             requests: c.requests.load(Ordering::SeqCst),
+            tournament_requests: c.tournament_requests.load(Ordering::SeqCst),
             shed: c.shed.load(Ordering::SeqCst),
             throttled: c.throttled.load(Ordering::SeqCst),
             rejected_draining: c.rejected_draining.load(Ordering::SeqCst),
@@ -360,7 +392,13 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                     return;
                 }
                 Ok(Request::Evaluate(req)) => {
-                    let resp = admit_and_run(shared, req);
+                    let resp = admit_and_run(shared, WorkItem::Evaluate(req));
+                    if proto::write_frame(&mut stream, &resp).is_err() {
+                        return;
+                    }
+                }
+                Ok(Request::Tournament(req)) => {
+                    let resp = admit_and_run(shared, WorkItem::Tournament(req));
                     if proto::write_frame(&mut stream, &resp).is_err() {
                         return;
                     }
@@ -370,34 +408,40 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// Walk the admission ladder for one evaluate request and produce its
-/// response. Every exit is a structured answer.
-fn admit_and_run(shared: &Arc<Shared>, req: EvaluateRequest) -> String {
+/// Walk the admission ladder for one admitted work item (evaluate or
+/// tournament) and produce its response. Every exit is a structured
+/// answer, and every item lands in exactly one ledger bucket —
+/// `requests == completed_ok + failed + shed + throttled +
+/// rejected_draining` holds with tournaments in the mix.
+fn admit_and_run(shared: &Arc<Shared>, item: WorkItem) -> String {
     let c = &shared.counters;
     c.requests.fetch_add(1, Ordering::SeqCst);
+    if matches!(item, WorkItem::Tournament(_)) {
+        c.tournament_requests.fetch_add(1, Ordering::SeqCst);
+    }
     if shared.draining.load(Ordering::SeqCst) {
         c.rejected_draining.fetch_add(1, Ordering::SeqCst);
-        return proto::reject_response(&req.id, "draining", 0, "daemon is draining");
+        return proto::reject_response(item.id(), "draining", 0, "daemon is draining");
     }
-    if let Err(retry_ms) = shared.buckets.try_admit(&req.client) {
+    if let Err(retry_ms) = shared.buckets.try_admit(item.client()) {
         c.throttled.fetch_add(1, Ordering::SeqCst);
         return proto::reject_response(
-            &req.id,
+            item.id(),
             "budget",
             retry_ms,
             "per-client op budget exhausted",
         );
     }
     let (tx, rx) = mpsc::channel();
-    let id = req.id.clone();
-    match shared.queue.try_push(Job { req, reply: tx }) {
+    let id = item.id().to_string();
+    match shared.queue.try_push(Job { item, reply: tx }) {
         Err(AdmitError::Full(job)) => {
             c.shed.fetch_add(1, Ordering::SeqCst);
             // Hint scales with how deep the backlog is relative to the
             // worker pool — crude, bounded, and honest about overload.
             let hint = 25 * (shared.queue.len() as u64 / shared.opts.workers.max(1) as u64 + 1);
             proto::reject_response(
-                &job.req.id,
+                job.item.id(),
                 "overloaded",
                 hint.min(5_000),
                 "admission queue full",
@@ -405,7 +449,7 @@ fn admit_and_run(shared: &Arc<Shared>, req: EvaluateRequest) -> String {
         }
         Err(AdmitError::Draining(job)) => {
             c.rejected_draining.fetch_add(1, Ordering::SeqCst);
-            proto::reject_response(&job.req.id, "draining", 0, "daemon is draining")
+            proto::reject_response(job.item.id(), "draining", 0, "daemon is draining")
         }
         Ok(()) => {
             // Generous ceiling: the wall budget (if any) plus margin for
@@ -425,7 +469,10 @@ fn admit_and_run(shared: &Arc<Shared>, req: EvaluateRequest) -> String {
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let resp = process(shared, &job.req);
+        let resp = match &job.item {
+            WorkItem::Evaluate(req) => process(shared, req),
+            WorkItem::Tournament(req) => process_tournament(shared, req),
+        };
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         // The connection may have given up (timeout, disconnect) — a
         // dead reply channel is its problem, not ours.
@@ -470,6 +517,39 @@ fn process(shared: &Arc<Shared>, req: &EvaluateRequest) -> String {
             // The cache key is (mode, source, annotations, budget) — a
             // hit may carry the *first* requester's name. Re-attribute so
             // the response stays a pure function of this request.
+            e.app = req.name.clone();
+            proto::error_response(&req.id, &e)
+        }
+    }
+}
+
+/// Execute one admitted tournament through the shared cache: the arms
+/// read and write the same per-arm entries plain evaluate requests use
+/// ([`ipp_core::service::arm_key`]).
+fn process_tournament(shared: &Arc<Shared>, req: &TournamentRequest) -> String {
+    let opts = shared.driver_options();
+    let outcome = evaluate_tournament(
+        &req.name,
+        &req.source,
+        &req.annotations,
+        &opts,
+        Some(&shared.cache),
+    );
+    let c = &shared.counters;
+    match outcome {
+        Ok(report) => {
+            c.completed_ok.fetch_add(1, Ordering::SeqCst);
+            proto::tournament_response(&req.id, &report)
+        }
+        Err(mut e) => {
+            c.failed.fetch_add(1, Ordering::SeqCst);
+            if e.is_timeout() {
+                c.timed_out.fetch_add(1, Ordering::SeqCst);
+            }
+            if e.code() == "panic" {
+                c.panicked.fetch_add(1, Ordering::SeqCst);
+            }
+            shared.record_failure_code(e.code());
             e.app = req.name.clone();
             proto::error_response(&req.id, &e)
         }

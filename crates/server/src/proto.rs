@@ -12,8 +12,18 @@
 //! ```json
 //! {"op":"evaluate","id":"r-1","client":"ci","name":"ADM",
 //!  "mode":"annotation","source":"      PROGRAM ...","annotations":""}
+//! {"op":"tournament","id":"r-2","client":"ci","name":"ADM",
+//!  "source":"      PROGRAM ...","annotations":""}
 //! {"op":"metrics"}   {"op":"ping"}   {"op":"shutdown"}
 //! ```
+//!
+//! `tournament` is `evaluate` without a mode: the daemon runs the whole
+//! configuration portfolio ([`ipp_core::tournament::portfolio`]) for the
+//! program and answers with every arm's cost-model score plus the
+//! winner ([`ipp_core::service::TournamentReport`]). One admission
+//! charge covers the whole portfolio — the arms share the request cache,
+//! a single parse, and a single baseline run, so a tournament costs the
+//! daemon far less than arms × evaluate.
 //!
 //! Responses (daemon → client) always carry `"status"`: `"ok"`,
 //! `"error"` (the request was understood and failed structurally —
@@ -27,7 +37,7 @@
 use ipp_core::error::PipelineError;
 use ipp_core::phase::quote;
 use ipp_core::pipeline::InlineMode;
-use ipp_core::service::{RequestReport, ServerMetrics};
+use ipp_core::service::{RequestReport, ServerMetrics, TournamentReport};
 use std::fmt;
 use std::io::{Read, Write};
 
@@ -162,6 +172,9 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
 pub enum Request {
     /// Compile-and-parallelize one program under one mode.
     Evaluate(EvaluateRequest),
+    /// Run the configuration portfolio for one program and report the
+    /// best arm.
+    Tournament(TournamentRequest),
     /// Report the daemon-wide [`ServerMetrics`] snapshot.
     Metrics,
     /// Liveness probe.
@@ -181,6 +194,22 @@ pub struct EvaluateRequest {
     pub name: String,
     /// Inlining configuration.
     pub mode: InlineMode,
+    /// MiniF77 source text.
+    pub source: String,
+    /// Optional annotation registry source.
+    pub annotations: String,
+}
+
+/// The payload of a `tournament` request — [`EvaluateRequest`] minus the
+/// mode (the portfolio supplies the configurations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TournamentRequest {
+    /// Client-chosen request id, echoed verbatim in the response.
+    pub id: String,
+    /// Client identity for per-client budgeting (`"anon"` when absent).
+    pub client: String,
+    /// Application name (echoed in error context).
+    pub name: String,
     /// MiniF77 source text.
     pub source: String,
     /// Optional annotation registry source.
@@ -252,6 +281,20 @@ pub fn decode_request(payload: &str) -> Result<Request, String> {
                 annotations,
             }))
         }
+        "tournament" => {
+            let id = ident_field(&doc, "id", None)?;
+            let client = ident_field(&doc, "client", Some("anon"))?;
+            let name = ident_field(&doc, "name", None)?;
+            let source = text_field(&doc, "source", None)?;
+            let annotations = text_field(&doc, "annotations", Some(""))?;
+            Ok(Request::Tournament(TournamentRequest {
+                id,
+                client,
+                name,
+                source,
+                annotations,
+            }))
+        }
         other => Err(format!("unknown op \"{other}\"")),
     }
 }
@@ -285,8 +328,20 @@ fn report_json(r: &RequestReport) -> String {
             )
         })
         .collect();
+    let speedups: Vec<String> = r
+        .speedups
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"machine\":{},\"speedup_micros\":{},\"tuned_off\":{}}}",
+                quote(&s.machine),
+                s.speedup_micros,
+                s.tuned_off
+            )
+        })
+        .collect();
     format!(
-        "{{\"mode\":{},\"loc\":{},\"verified\":{},\"matches_original\":{},\"parallel_consistent\":{},\"races\":{},\"total_ops\":{},\"loops_total\":{},\"loops_parallel\":{},\"source_key\":{},\"loops\":[{}]}}",
+        "{{\"mode\":{},\"loc\":{},\"verified\":{},\"matches_original\":{},\"parallel_consistent\":{},\"races\":{},\"total_ops\":{},\"loops_total\":{},\"loops_parallel\":{},\"source_key\":{},\"speedups\":[{}],\"loops\":[{}]}}",
         quote(r.mode.label()),
         r.loc,
         r.verified(),
@@ -297,7 +352,71 @@ fn report_json(r: &RequestReport) -> String {
         r.loops.len(),
         r.loops_parallel,
         quote(&format!("{:032x}", r.source_key)),
+        speedups.join(","),
         loops.join(",")
+    )
+}
+
+fn tournament_json(t: &TournamentReport) -> String {
+    let arms: Vec<String> = t
+        .arms
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"arm\":{},\"mode\":{},\"verified\":{},\"score_micros\":{},\"loops_parallel\":{},\"loc\":{},\"error\":{}}}",
+                quote(&a.arm),
+                quote(a.mode.label()),
+                a.verified,
+                a.score_micros
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "null".to_string()),
+                a.loops_parallel,
+                a.loc,
+                a.error
+                    .as_deref()
+                    .map(quote)
+                    .unwrap_or_else(|| "null".to_string()),
+            )
+        })
+        .collect();
+    let strs = |v: &[String]| -> String {
+        let q: Vec<String> = v.iter().map(|s| quote(s)).collect();
+        format!("[{}]", q.join(","))
+    };
+    format!(
+        "{{\"winner\":{},\"winner_mode\":{},\"winner_score_micros\":{},\"gained\":{},\"lost\":{},\"arms\":[{}]}}",
+        t.winner
+            .as_deref()
+            .map(quote)
+            .unwrap_or_else(|| "null".to_string()),
+        t.winner_mode
+            .map(|m| quote(m.label()))
+            .unwrap_or_else(|| "null".to_string()),
+        t.winner_score_micros,
+        strs(&t.gained),
+        strs(&t.lost),
+        arms.join(",")
+    )
+}
+
+/// Serialize a `tournament` request (the client side).
+pub fn encode_tournament(req: &TournamentRequest) -> String {
+    format!(
+        "{{\"op\":\"tournament\",\"id\":{},\"client\":{},\"name\":{},\"source\":{},\"annotations\":{}}}",
+        quote(&req.id),
+        quote(&req.client),
+        quote(&req.name),
+        quote(&req.source),
+        quote(&req.annotations),
+    )
+}
+
+/// `status:"ok"` response for a completed tournament.
+pub fn tournament_response(id: &str, report: &TournamentReport) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"id\":{},\"tournament\":{}}}",
+        quote(id),
+        tournament_json(report)
     )
 }
 
@@ -428,6 +547,15 @@ mod tests {
         };
         let decoded = decode_request(&encode_evaluate(&req)).unwrap();
         assert_eq!(decoded, Request::Evaluate(req));
+        let treq = TournamentRequest {
+            id: "r-2".into(),
+            client: "soak".into(),
+            name: "ADM".into(),
+            source: "      PROGRAM MAIN\n      END\n".into(),
+            annotations: "".into(),
+        };
+        let decoded = decode_request(&encode_tournament(&treq)).unwrap();
+        assert_eq!(decoded, Request::Tournament(treq));
         assert_eq!(decode_request("{\"op\":\"ping\"}").unwrap(), Request::Ping);
         assert_eq!(
             decode_request("{\"op\":\"metrics\"}").unwrap(),
@@ -483,6 +611,11 @@ mod tests {
                 blockers: vec!["array-dep"],
             }],
             loops_parallel: 0,
+            speedups: vec![ipp_core::tournament::MachineScore {
+                machine: "intel8".into(),
+                speedup_micros: 1_500_000,
+                tuned_off: 0,
+            }],
             source_key: 0xABC,
         };
         let err = PipelineError::in_cell(
@@ -494,9 +627,26 @@ mod tests {
                 wall_ms: 0,
             },
         );
+        let tournament = TournamentReport {
+            winner: Some("annotation".into()),
+            winner_mode: Some(InlineMode::Annotation),
+            winner_score_micros: 2_000_000,
+            gained: vec!["MAIN#2".into()],
+            lost: vec![],
+            arms: vec![ipp_core::service::ArmSummary {
+                arm: "annotation".into(),
+                mode: InlineMode::Annotation,
+                score_micros: Some(2_000_000),
+                verified: true,
+                loops_parallel: 2,
+                loc: 10,
+                error: None,
+            }],
+        };
         for payload in [
             ok_response("r", &report),
             error_response("r", &err),
+            tournament_response("r", &tournament),
             protocol_error_response("bad \"frame\""),
             reject_response("r", "overloaded", 50, "queue full"),
             metrics_response(&ServerMetrics::default()),
@@ -516,5 +666,12 @@ mod tests {
         let e = json::parse(&error_response("r", &err)).unwrap();
         assert_eq!(e.get("code").and_then(Json::as_str), Some("timeout"));
         assert_eq!(e.get("stage").and_then(Json::as_str), Some("verify"));
+        let t = json::parse(&tournament_response("r", &tournament)).unwrap();
+        let tr = t.get("tournament").unwrap();
+        assert_eq!(tr.get("winner").and_then(Json::as_str), Some("annotation"));
+        assert_eq!(
+            tr.get("winner_score_micros").and_then(Json::as_u64),
+            Some(2_000_000)
+        );
     }
 }
