@@ -99,8 +99,17 @@ fn main() {
         (ctr, checksum)
     });
     println!(
-        "vm counters: insns={} fused={} calls={} pool_hits={} pool_misses={} peak_depth={} warm_allocs={} (pass allocs={allocs})",
-        ctr.insns_retired, ctr.fused_insns, ctr.calls, ctr.pool_hits, ctr.pool_misses, ctr.peak_call_depth, ctr.warm_allocs
+        "vm counters: insns={} fused={} fused_ticks={} fused_int={} scal_prebound={} calls={} pool_hits={} pool_misses={} peak_depth={} warm_allocs={} (pass allocs={allocs})",
+        ctr.insns_retired,
+        ctr.fused_insns,
+        ctr.fused_ticks,
+        ctr.fused_int,
+        ctr.scal_prebound,
+        ctr.calls,
+        ctr.pool_hits,
+        ctr.pool_misses,
+        ctr.peak_call_depth,
+        ctr.warm_allocs
     );
     let class_json: Vec<String> = OP_CLASS_NAMES
         .iter()
@@ -116,7 +125,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\"bench\":\"interp_engines\",\"samples_per_point\":{},\"workload\":\"race-checked sequential verification run, {} programs ({} apps x 3 inline modes)\",\"tree_walker_median_ns\":{},\"bytecode_vm_median_ns\":{},\"speedup_vm_vs_tree\":{:.4},\"vm_counters\":{{\"insns_retired\":{},\"fused_insns\":{},\"calls\":{},\"pool_hits\":{},\"pool_misses\":{},\"peak_call_depth\":{},\"warm_allocs\":{}}},\"vm_class_retired\":{{{}}},\"vm_pass_alloc_events\":{}}}\n",
+        "{{\"bench\":\"interp_engines\",\"samples_per_point\":{},\"workload\":\"race-checked sequential verification run, {} programs ({} apps x 3 inline modes); tick-folded control ops charge merged budget runs\",\"tree_walker_median_ns\":{},\"bytecode_vm_median_ns\":{},\"speedup_vm_vs_tree\":{:.4},\"vm_counters\":{{\"insns_retired\":{},\"fused_insns\":{},\"fused_ticks\":{},\"fused_int\":{},\"scal_prebound\":{},\"calls\":{},\"pool_hits\":{},\"pool_misses\":{},\"peak_call_depth\":{},\"warm_allocs\":{}}},\"vm_class_retired\":{{{}}},\"vm_pass_alloc_events\":{}}}\n",
         samples,
         programs.len(),
         apps.len(),
@@ -125,6 +134,9 @@ fn main() {
         speedup,
         ctr.insns_retired,
         ctr.fused_insns,
+        ctr.fused_ticks,
+        ctr.fused_int,
+        ctr.scal_prebound,
         ctr.calls,
         ctr.pool_hits,
         ctr.pool_misses,

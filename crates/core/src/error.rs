@@ -232,6 +232,7 @@ mod tests {
         let rt = RtError {
             message: "op budget exhausted (possible runaway loop)".into(),
             kind: fruntime::RtErrorKind::Budget,
+            ops: None,
         };
         let e = PipelineError::from_rt("X", InlineMode::None, FailStage::Verify, rt, 500);
         assert!(e.is_timeout());
@@ -246,6 +247,7 @@ mod tests {
         let rt = FailCause::Runtime(RtError {
             message: "boom".into(),
             kind: fruntime::RtErrorKind::General,
+            ops: None,
         });
         let op_timeout = FailCause::Timeout {
             max_ops: 100,

@@ -222,10 +222,10 @@ pub struct CellMetrics {
 }
 
 /// Serialize a [`fruntime::VmCounters`] block.
-fn vm_to_json(c: &fruntime::VmCounters) -> String {
+pub(crate) fn vm_to_json(c: &fruntime::VmCounters) -> String {
     format!(
-        "{{\"insns_retired\":{},\"fused_insns\":{},\"calls\":{},\"pool_hits\":{},\"pool_misses\":{},\"peak_call_depth\":{},\"warm_allocs\":{}}}",
-        c.insns_retired, c.fused_insns, c.calls, c.pool_hits, c.pool_misses, c.peak_call_depth, c.warm_allocs
+        "{{\"insns_retired\":{},\"fused_insns\":{},\"fused_ticks\":{},\"fused_int\":{},\"scal_prebound\":{},\"calls\":{},\"pool_hits\":{},\"pool_misses\":{},\"peak_call_depth\":{},\"warm_allocs\":{}}}",
+        c.insns_retired, c.fused_insns, c.fused_ticks, c.fused_int, c.scal_prebound, c.calls, c.pool_hits, c.pool_misses, c.peak_call_depth, c.warm_allocs
     )
 }
 

@@ -129,17 +129,36 @@ pub fn evaluate_request(
     mode: InlineMode,
     opts: &DriverOptions,
 ) -> Result<RequestReport, PipelineError> {
+    evaluate_request_metered(name, source, annotations, mode, opts).0
+}
+
+/// [`evaluate_request`], also reporting the VM execution counters of the
+/// verification runs this request actually paid for (zeros when the
+/// request failed before verification, or under the tree-walker). The
+/// counters ride outside the report so [`RequestReport`] stays a pure,
+/// cache-safe function of the request content — a cache-serving caller
+/// absorbs them on misses only, the same "zeros when cache-served"
+/// discipline as [`crate::phase::CellMetrics`].
+pub fn evaluate_request_metered(
+    name: &str,
+    source: &str,
+    annotations: &str,
+    mode: InlineMode,
+    opts: &DriverOptions,
+) -> (Result<RequestReport, PipelineError>, fruntime::VmCounters) {
+    let mut vm = fruntime::VmCounters::default();
     let out = catch_unwind(AssertUnwindSafe(|| {
-        evaluate_request_inner(name, source, annotations, mode, opts)
+        evaluate_request_inner(name, source, annotations, mode, opts, &mut vm)
     }));
-    out.unwrap_or_else(|payload| {
+    let report = out.unwrap_or_else(|payload| {
         Err(PipelineError::in_cell(
             name,
             mode,
             FailStage::Driver,
             FailCause::Panic(panic_message(&*payload)),
         ))
-    })
+    });
+    (report, vm)
 }
 
 /// Parse the request's two texts. Mode-independent, so a tournament
@@ -180,6 +199,7 @@ fn baseline_guarded(
             Err(fruntime::RtError {
                 message: panic_message(&*p),
                 kind: fruntime::RtErrorKind::General,
+                ops: None,
             })
         })
         .map_err(|e| {
@@ -222,6 +242,7 @@ fn verify_guarded(
         Err(fruntime::RtError {
             message: panic_message(&*p),
             kind: fruntime::RtErrorKind::General,
+            ops: None,
         })
     })
     .map_err(|e| {
@@ -305,6 +326,7 @@ fn evaluate_request_inner(
     annotations: &str,
     mode: InlineMode,
     opts: &DriverOptions,
+    vm: &mut fruntime::VmCounters,
 ) -> Result<RequestReport, PipelineError> {
     let deadline = WallDeadline::start(opts.wall_budget_ms);
     let max_ops = opts.verify_max_ops;
@@ -343,6 +365,7 @@ fn evaluate_request_inner(
 
     let verify = verify_guarded(name, mode, &base, &result.program, opts)?;
     check(FailStage::Verify)?;
+    vm.absorb(&verify.vm);
 
     Ok(report_from(mode, &result, &verify))
 }
@@ -442,16 +465,35 @@ pub fn evaluate_tournament(
     opts: &DriverOptions,
     cache: Option<&RequestCache>,
 ) -> Result<TournamentReport, PipelineError> {
+    evaluate_tournament_metered(name, source, annotations, opts, cache).0
+}
+
+/// [`evaluate_tournament`], also reporting the VM execution counters of
+/// the verification runs the tournament actually paid for — arms served
+/// from the [`RequestCache`] or the intra-request verify-dedup memo
+/// contribute zeros, mirroring [`evaluate_request_metered`].
+pub fn evaluate_tournament_metered(
+    name: &str,
+    source: &str,
+    annotations: &str,
+    opts: &DriverOptions,
+    cache: Option<&RequestCache>,
+) -> (
+    Result<TournamentReport, PipelineError>,
+    fruntime::VmCounters,
+) {
+    let mut vm = fruntime::VmCounters::default();
     let out = catch_unwind(AssertUnwindSafe(|| {
-        evaluate_tournament_inner(name, source, annotations, opts, cache)
+        evaluate_tournament_inner(name, source, annotations, opts, cache, &mut vm)
     }));
-    out.unwrap_or_else(|payload| {
+    let report = out.unwrap_or_else(|payload| {
         Err(PipelineError::pre_pipeline(
             name,
             FailStage::Driver,
             FailCause::Panic(panic_message(&*payload)),
         ))
-    })
+    });
+    (report, vm)
 }
 
 fn evaluate_tournament_inner(
@@ -460,6 +502,7 @@ fn evaluate_tournament_inner(
     annotations: &str,
     opts: &DriverOptions,
     cache: Option<&RequestCache>,
+    vm: &mut fruntime::VmCounters,
 ) -> Result<TournamentReport, PipelineError> {
     let arms: Vec<CellConfig> = if opts.arms.is_empty() {
         portfolio()
@@ -513,6 +556,7 @@ fn evaluate_tournament_inner(
                 Some(v) => v.clone(),
                 None => {
                     let v = verify_guarded(name, mode, base, &result.program, opts)?;
+                    vm.absorb(&v.vm);
                     verify_memo.insert(skey, v.clone());
                     v
                 }
@@ -809,6 +853,10 @@ pub struct ServerMetrics {
     pub in_flight_at_drain: u64,
     /// Failure cause code → count ([`FailCause::code`] keys).
     pub failure_codes: BTreeMap<String, u64>,
+    /// Aggregate VM execution counters across the verification work this
+    /// daemon actually ran (cache-served requests contribute zeros, like
+    /// [`crate::phase::CellMetrics`]; zeros under the tree-walker).
+    pub vm: fruntime::VmCounters,
 }
 
 impl ServerMetrics {
@@ -827,7 +875,7 @@ impl ServerMetrics {
             .map(|(k, v)| format!("{}:{}", quote(k), v))
             .collect();
         format!(
-            "{{\"wall_ns\":{},\"connections\":{},\"connections_rejected\":{},\"protocol_errors\":{},\"requests\":{},\"tournament_requests\":{},\"shed\":{},\"throttled\":{},\"rejected_draining\":{},\"completed_ok\":{},\"failed\":{},\"timed_out\":{},\"panicked\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\"cache_entries\":{},\"queue_peak\":{},\"in_flight_at_drain\":{},\"failure_codes\":{{{}}}}}",
+            "{{\"wall_ns\":{},\"connections\":{},\"connections_rejected\":{},\"protocol_errors\":{},\"requests\":{},\"tournament_requests\":{},\"shed\":{},\"throttled\":{},\"rejected_draining\":{},\"completed_ok\":{},\"failed\":{},\"timed_out\":{},\"panicked\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\"cache_entries\":{},\"queue_peak\":{},\"in_flight_at_drain\":{},\"failure_codes\":{{{}}},\"vm\":{}}}",
             self.wall_nanos,
             self.connections,
             self.connections_rejected,
@@ -847,7 +895,8 @@ impl ServerMetrics {
             self.cache_entries,
             self.queue_peak,
             self.in_flight_at_drain,
-            codes.join(",")
+            codes.join(","),
+            crate::phase::vm_to_json(&self.vm)
         )
     }
 }

@@ -16,6 +16,7 @@
 //! | [`Idiom::OpaqueChain`] | two-level CALL chain the chain autogen must summarize through |
 //! | [`Idiom::DeepCallTree`] | three-to-five-level CALL chain (summary substitution depth) |
 //! | [`Idiom::GuardedCall`] | a data-dependent guard around a CALL — the autogen `GuardedCall` refusal |
+//! | [`Idiom::IntIndexChain`] | integer-index-heavy loops: strided/affine index chains and an integer reduction (the typed engine's integer fused plans) |
 //!
 //! Each generated program is tagged with the idioms it exercises, and
 //! idioms that define subroutines sometimes carry a hand-written
@@ -43,11 +44,13 @@ pub enum Idiom {
     DeepCallTree,
     /// Data-guarded CALL (chain autogen refuses with `GuardedCall`).
     GuardedCall,
+    /// Strided/affine integer index chains and an integer reduction.
+    IntIndexChain,
 }
 
 impl Idiom {
     /// Every idiom, in catalog order.
-    pub const ALL: [Idiom; 7] = [
+    pub const ALL: [Idiom; 8] = [
         Idiom::PlainParallel,
         Idiom::Reduction,
         Idiom::IndirectSubscript,
@@ -55,6 +58,7 @@ impl Idiom {
         Idiom::OpaqueChain,
         Idiom::DeepCallTree,
         Idiom::GuardedCall,
+        Idiom::IntIndexChain,
     ];
 
     /// Stable label (reports, artifacts).
@@ -67,6 +71,7 @@ impl Idiom {
             Idiom::OpaqueChain => "opaque-chain",
             Idiom::DeepCallTree => "deep-call-tree",
             Idiom::GuardedCall => "guarded-call",
+            Idiom::IntIndexChain => "int-index-chain",
         }
     }
 }
@@ -307,6 +312,31 @@ fn emit_idiom(
                      }}\n"
                 ));
             }
+        }
+        Idiom::IntIndexChain => {
+            // Integer-index-heavy section: a strided index chained
+            // through integer temps feeding a subscripted write, then a
+            // pure integer reduction folded into the checksum. All the
+            // arithmetic is wrapping-safe Add/Sub/Mul on INTEGER locals
+            // — the shapes the typed engine's integer fused plans and
+            // compare-and-branch-on-literal lowering target. The 1/128
+            // weight keeps the checksum exact in f64.
+            let st = rng.range(1, 7);
+            let ph = rng.range(0, 5);
+            let c = rng.range(1, 9);
+            body.push_str(&format!(
+                "      K{section} = {ph}\n\
+                 \x20     DO I = 1, {n}\n\
+                 \x20       K{section} = MOD(K{section}*{st} + I, {n}) + 1\n\
+                 \x20       L{section} = K{section}*3 - K{section}*2\n\
+                 \x20       W(L{section}) = W(L{section}) + A(I)*0.25\n\
+                 \x20     ENDDO\n\
+                 \x20     M{section} = 0\n\
+                 \x20     DO I = 1, {n}\n\
+                 \x20       M{section} = M{section} + I*{c} - I\n\
+                 \x20     ENDDO\n\
+                 \x20     B(1) = B(1) + M{section}*0.0078125\n"
+            ));
         }
     }
 }

@@ -118,6 +118,12 @@ pub(crate) struct LoopMeta {
     pub(crate) exit_pc: u32,
     pub(crate) id: LoopId,
     pub(crate) dir: Option<DirPlan>,
+    /// Typed body only: when the body opens with a `Tick`/`TickP`, its
+    /// cost — the back-edge charges it and re-enters past the tick
+    /// (identical op totals and budget positions, one fewer dispatch per
+    /// iteration). 0 in the stack body and when the body has no leading
+    /// tick.
+    pub(crate) body_cost: u64,
 }
 
 /// Compile-time view of a loop's parallel directive.
@@ -486,6 +492,7 @@ impl<'p> UnitCompiler<'p> {
                     exit_pc: 0,
                     id: d.id.clone(),
                     dir,
+                    body_cost: 0,
                 });
                 self.emit(Insn::DoInit(m));
                 self.loops[m as usize].body_pc = self.here();
@@ -926,6 +933,14 @@ pub(crate) struct VmState {
     pub(crate) regs: RegStack,
     /// Live DO loops of every frame (each frame owns a base index).
     pub(crate) loop_stack: Vec<LoopRec>,
+    /// Typed body only: pre-resolved scalar operand stream — one packed
+    /// `(slot << 32) | offset` word per frame register, snapshotted at
+    /// `exec_typed` entry and truncated with the frame on return.
+    /// `u64::MAX` marks unbound (or unpackably large) entries, which
+    /// fall back to the full [`Reg`] read. Sound because frame windows
+    /// are immutable during execution: bindings are written only by
+    /// [`build_frame`]; execution appends arg views past the window.
+    pub(crate) scal: Vec<u64>,
     /// Reusable subscript buffer.
     pub(crate) idx_scratch: Vec<i64>,
     /// Reusable section-bounds buffers (`StoreSection`).
@@ -1236,7 +1251,7 @@ fn exec_value(
         Insn::Tick(n) => {
             st.ops += n;
             if st.ops > budget {
-                return Err(RtError::budget().into());
+                return Err(RtError::budget_at(st.ops).into());
             }
         }
         Insn::PushI(v) => st.stack.push(Scalar::I(*v)),
@@ -1515,6 +1530,7 @@ pub(crate) fn call_unit(
     // Release the callee frame and its argument window: pure truncation,
     // capacity stays for the next call.
     st.regs.regs.truncate(args_base);
+    st.scal.truncate(args_base);
     st.regs.dims.truncate(dims_mark);
     st.mem.release(mark);
     Ok(flow)
@@ -1639,7 +1655,7 @@ pub(crate) fn run_frame(
                     if st.ops > max_ops {
                         st.sec_bounds = bounds;
                         st.sec_idx = idx;
-                        return Err(RtError::budget().into());
+                        return Err(RtError::budget_at(st.ops).into());
                     }
                 }
                 st.sec_bounds = bounds;
@@ -2158,6 +2174,87 @@ mod tests {
             started.elapsed() < std::time::Duration::from_secs(5),
             "budget bail-out took {:?}",
             started.elapsed()
+        );
+    }
+
+    #[test]
+    fn typed_body_budget_positions_match_the_unfused_stack_body() {
+        // The typed body folds Tick/TickP charges into control
+        // transfers (branch-carried costs, DoNext back-edge charges,
+        // J*IK literal folds). The stack body keeps explicit leading
+        // Ticks — the unfused reference stream. Both must charge at the
+        // same cumulative op indices: for EVERY budget the two bodies
+        // must exhaust together and report the identical position
+        // (`RtError::ops`), or both finish. This pins the fold's
+        // position-equivalence argument directly, engine-internally.
+        let p = parse(
+            "      PROGRAM P
+      COMMON /C/ A(8), S
+      DIMENSION W(8)
+      DO I = 1, 8
+        A(I) = I*0.5
+        W(I) = 0.0
+      ENDDO
+      K = 1
+      DO I = 1, 8
+        K = MOD(K*5 + I, 8) + 1
+        IF (K .GT. 3) THEN
+          W(K) = W(K) + A(I)
+        ELSE
+          W(K) = W(K) - 0.25
+        ENDIF
+      ENDDO
+      S = 0.0
+      DO I = 1, 8
+        DO J = 1, 3
+          S = S + W(I)*0.125 + J*0.0625
+        ENDDO
+      ENDDO
+      WRITE(6,*) S
+      END
+",
+        );
+        let typed = compile(&p);
+        let mut stack = compile(&p);
+        for u in &mut stack.units {
+            u.typed = None;
+        }
+        assert!(
+            typed.units.iter().any(|u| u.typed.is_some()),
+            "workload must take the typed body"
+        );
+        let total = run_compiled(&typed, &vm_opts(u64::MAX))
+            .expect("full run")
+            .total_ops;
+        assert_eq!(
+            total,
+            run_compiled(&stack, &vm_opts(u64::MAX))
+                .expect("full stack run")
+                .total_ops,
+            "bodies disagree on total ops"
+        );
+        let mut distinct = std::collections::BTreeSet::new();
+        for max_ops in 0..total {
+            let te = run_compiled(&typed, &vm_opts(max_ops))
+                .expect_err("typed body must exhaust under total");
+            let se = run_compiled(&stack, &vm_opts(max_ops))
+                .expect_err("stack body must exhaust under total");
+            assert_eq!(te.kind, crate::interp::RtErrorKind::Budget);
+            assert_eq!(se.kind, crate::interp::RtErrorKind::Budget);
+            assert_eq!(te.message, se.message, "messages diverged at {max_ops}");
+            assert_eq!(
+                te.ops, se.ops,
+                "budget positions diverged at max_ops={max_ops}"
+            );
+            let at = te.ops.expect("typed budget error carries a position");
+            assert!(at > max_ops, "charge at {at} did not exceed {max_ops}");
+            distinct.insert(at);
+        }
+        // The sweep must cross real fold boundaries, not one giant run.
+        assert!(
+            distinct.len() >= 12,
+            "only {} distinct charge points in 0..{total}",
+            distinct.len()
         );
     }
 

@@ -11,6 +11,14 @@
 //! "we used empirical performance tuning to disable a selected set of loops
 //! from being parallelized if their parallelization incurs a slowdown" —
 //! [`tune`] returns exactly that set, computed from the measured events.
+//!
+//! Op counts are an *engine-invariant* currency: the tree-walker charges
+//! one op per step while the typed-register VM folds budget ticks into
+//! control ops and charges merged runs, but `total_ops` and every
+//! `ParLoopEvent::ops` come out identical (pinned by the engine
+//! differential suites and `tests/budget_position.rs`). Simulated
+//! speedups therefore do not depend on which engine produced the
+//! measurement.
 
 use crate::interp::ParLoopEvent;
 use fir::ast::LoopId;

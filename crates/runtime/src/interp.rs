@@ -145,6 +145,17 @@ pub struct VmCounters {
     /// Superword-fused instructions retired by the typed register engine
     /// (each replaces two to four stack-era instructions).
     pub fused_insns: u64,
+    /// Budget charges folded into control transfers (DoNext back-edges and
+    /// branch/jump targets that absorbed a `Tick`): each one is a tick
+    /// instruction the typed engine did *not* dispatch.
+    pub fused_ticks: u64,
+    /// Integer superword plans retired (`FusedI` + compare-and-branch on
+    /// integer registers); a subset of the work also reflected in
+    /// per-class counts.
+    pub fused_int: u64,
+    /// Frame entries whose scalar operands were pre-resolved to direct
+    /// slot/offset pointers at typed-frame setup.
+    pub scal_prebound: u64,
     /// Instructions retired per opcode class (typed register engine
     /// only), index-aligned with [`OP_CLASS_NAMES`].
     pub class_retired: [u64; N_OP_CLASSES],
@@ -161,6 +172,9 @@ impl VmCounters {
         self.peak_call_depth = self.peak_call_depth.max(o.peak_call_depth);
         self.warm_allocs += o.warm_allocs;
         self.fused_insns += o.fused_insns;
+        self.fused_ticks += o.fused_ticks;
+        self.fused_int += o.fused_int;
+        self.scal_prebound += o.scal_prebound;
         for (k, v) in self.class_retired.iter_mut().zip(o.class_retired) {
             *k += v;
         }
@@ -231,12 +245,27 @@ pub enum RtErrorKind {
 }
 
 /// Runtime error.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RtError {
     /// What happened.
     pub message: String,
     /// Failure class (semantic error vs. exhausted op budget).
     pub kind: RtErrorKind,
+    /// For [`RtErrorKind::Budget`] fuel exhaustion: the op count at which
+    /// the budget check fired. This is the *located position* of the
+    /// failure — both engines must report the same value for the same
+    /// program and `max_ops`, which is what pins the control-fused tick
+    /// charges to the op index the unfused stream would have charged at.
+    pub ops: Option<u64>,
+}
+
+// Errors compare on what happened, not where the engine noticed: `ops` is
+// asserted explicitly by the budget-position tests, while the broad
+// differential suites keep comparing message + kind.
+impl PartialEq for RtError {
+    fn eq(&self, other: &RtError) -> bool {
+        self.message == other.message && self.kind == other.kind
+    }
 }
 
 impl RtError {
@@ -244,6 +273,7 @@ impl RtError {
         RtError {
             message: m.into(),
             kind: RtErrorKind::General,
+            ops: None,
         }
     }
 
@@ -251,6 +281,16 @@ impl RtError {
         RtError {
             message: "op budget exhausted (possible runaway loop)".into(),
             kind: RtErrorKind::Budget,
+            ops: None,
+        }
+    }
+
+    /// Budget exhaustion located at op count `ops` (the counter value the
+    /// engine held when the check fired).
+    pub(crate) fn budget_at(ops: u64) -> RtError {
+        RtError {
+            ops: Some(ops),
+            ..RtError::budget()
         }
     }
 
@@ -258,6 +298,7 @@ impl RtError {
         RtError {
             message: "call depth exceeded (runaway recursion)".into(),
             kind: RtErrorKind::Budget,
+            ops: None,
         }
     }
 
@@ -638,7 +679,7 @@ impl<'a> Interp<'a> {
     fn tick(&mut self, n: u64) -> Result<(), RtError> {
         self.st.ops += n;
         if self.st.ops > self.opts.max_ops {
-            return Err(RtError::budget());
+            return Err(RtError::budget_at(self.st.ops));
         }
         Ok(())
     }

@@ -176,6 +176,18 @@ ops! {
     // `consts_i` pool via `imm`, erasing the `ConstI` materialization
     // dispatch (`a` is the register operand, `c` the destination).
     AddIK, SubIK, MulIK,
+    // Element access whose single subscript is a scalar INTEGER local,
+    // read directly from the frame (`a` array local, `b` subscript
+    // local, `c` value register, `imm` displacement) — the trailing
+    // `LoadI` collapses into the access, one retirement instead of two.
+    LoadElemIV, LoadElemFV, LoadElemBV, StoreElemV,
+    // Integer superword plan (an [`IFusedPlan`] via `imm`): wrapping
+    // Add/Sub/Mul whose operands may be absorbed integer loads.
+    FusedI,
+    // Fused compare-and-branch against a `consts_i` pool literal in `b`
+    // (the `ConstI` materialization erased; same FALSE-jump polarity as
+    // the register forms).
+    JEqIK, JNeIK, JLtIK, JLeIK, JGtIK, JGeIK,
 }
 
 impl Op {
@@ -186,16 +198,17 @@ impl Op {
         use Op::*;
         match self {
             ConstI | ConstF | ConstB => 0,
-            LoadI | LoadF | LoadB | LoadElemI | LoadElemF | LoadElemB => 1,
-            StoreScal | StoreElem | StoreSec => 2,
+            LoadI | LoadF | LoadB | LoadElemI | LoadElemF | LoadElemB | LoadElemIV | LoadElemFV
+            | LoadElemBV => 1,
+            StoreScal | StoreElem | StoreSec | StoreElemV => 2,
             AddI | SubI | MulI | DivI | PowI | AddF | SubF | MulF | DivF | PowF | CmpEqI
             | CmpNeI | CmpLtI | CmpLeI | CmpGtI | CmpGeI | CmpEqF | CmpNeF | CmpLtF | CmpLeF
             | CmpGtF | CmpGeF | AndB | OrB | NotB | NegI | NegF | IToF | FToI | IToB | FToB
             | FToRawI | FToRawB | IToRawB | AddIK | SubIK | MulIK => 3,
             ModII | ModFF | AbsI | AbsF | MinI | MaxI | MinF | MaxF | SqrtF | ExpF | LogF
             | SinF | CosF | SignI | SignF | UnkOpF | UniqOpI => 4,
-            Fused | JEqI | JNeI | JLtI | JLeI | JGtI | JGeI | JEqF | JNeF | JLtF | JLeF | JGtF
-            | JGeF => 5,
+            Fused | FusedI | JEqI | JNeI | JLtI | JLeI | JGtI | JGeI | JEqF | JNeF | JLtF
+            | JLeF | JGtF | JGeF | JEqIK | JNeIK | JLtIK | JLeIK | JGtIK | JGeIK => 5,
             Tick | TickP | Jump | JmpFalse | Bad | Stop | Ret | EndUnit | DoInit | DoNext
             | WriteBegin | WriteStr | WriteValI | WriteValF | WriteValB | WriteEnd => 6,
             ArgVar | ArgElem | ArgValI | ArgValF | ArgValB | Call | CallUnknown => 7,
@@ -307,6 +320,11 @@ pub(crate) enum FOperand {
     /// 1-D element load: local `l`, subscript in register `s` plus
     /// constant displacement `d` (an absorbed `AddIK`/`SubIK`).
     Elem1 { l: u16, s: u16, d: i32 },
+    /// 1-D element load whose subscript is the scalar INTEGER local `sl`,
+    /// read from the frame at execution (an absorbed [`Op::LoadElemFV`]).
+    /// The subscript read records first, then the element read — the
+    /// order the collapsed `LoadI`/`LoadElemF` pair produced.
+    Elem1V { l: u16, sl: u16, d: i32 },
 }
 
 /// The destination of a fused instruction.
@@ -319,6 +337,14 @@ pub(crate) enum FDest {
     Elem1 {
         l: u16,
         s: u16,
+        d: i32,
+    },
+    /// 1-D element store whose subscript is the scalar INTEGER local
+    /// `sl` (the subscript `LoadI` absorbed into the plan; its read
+    /// records immediately before the store's write, as unfused).
+    Elem1V {
+        l: u16,
+        sl: u16,
         d: i32,
     },
 }
@@ -346,6 +372,49 @@ impl FusedPlan {
     }
 }
 
+/// Integer fused operator — restricted to the wrapping ops that can
+/// never error (`DivI` raises on zero, `PowI` saturates through checked
+/// arithmetic; both stay unfused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IOp {
+    Add,
+    Sub,
+    Mul,
+}
+
+/// One operand of an integer fused instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IOperand {
+    /// A value register (already i64 bits).
+    Reg(u16),
+    /// A `consts_i` pool entry (an absorbed `ConstI`).
+    Const(u32),
+    /// Scalar load of an INTEGER local.
+    Scal(u16),
+    /// 1-D element load, subscript in a register plus displacement.
+    Elem1 { l: u16, s: u16, d: i32 },
+    /// 1-D element load, subscript read from INTEGER local `sl`.
+    Elem1V { l: u16, sl: u16, d: i32 },
+}
+
+/// Destination of an integer fused instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IDest {
+    Reg(u16),
+    /// Scalar (or whole-array) store to an INTEGER local.
+    Scal(u16),
+}
+
+/// Plan of one integer superword instruction, mirroring [`FusedPlan`] on
+/// the i64 side: reads left to right, then the write.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IFusedPlan {
+    pub(crate) op: IOp,
+    pub(crate) lhs: IOperand,
+    pub(crate) rhs: IOperand,
+    pub(crate) dst: IDest,
+}
+
 /// The typed body of one unit: a second, faster lowering sharing the
 /// stack body's frame layout (local indices come from the same
 /// [`UnitCompiler`] name map) and its loop index space (loop `k` here is
@@ -356,6 +425,7 @@ pub(crate) struct TypedUnit {
     pub(crate) loops: Vec<LoopMeta>,
     pub(crate) secs: Vec<Vec<SecDimPlan>>,
     pub(crate) fused: Vec<FusedPlan>,
+    pub(crate) ifused: Vec<IFusedPlan>,
     pub(crate) consts_i: Vec<i64>,
     pub(crate) consts_f: Vec<f64>,
     /// Overflow pool for `Tick` costs wider than `u32`.
@@ -391,6 +461,7 @@ struct TC<'a, 'p> {
     loops: Vec<LoopMeta>,
     secs: Vec<Vec<SecDimPlan>>,
     fused: Vec<FusedPlan>,
+    ifused: Vec<IFusedPlan>,
     consts_i: Vec<i64>,
     consts_f: Vec<f64>,
     ticks: Vec<u64>,
@@ -417,6 +488,7 @@ pub(crate) fn lower_typed(
         loops: Vec::new(),
         secs: Vec::new(),
         fused: Vec::new(),
+        ifused: Vec::new(),
         consts_i: Vec::new(),
         consts_f: Vec::new(),
         ticks: Vec::new(),
@@ -430,6 +502,7 @@ pub(crate) fn lower_typed(
     if !tc.ok || tc.code.len() > u32::MAX as usize {
         return None;
     }
+    fold_branch_ticks(&mut tc.code);
     let mut guards = Vec::new();
     for sym in table.iter() {
         if matches!(sym.storage, Storage::Formal(_) | Storage::Common(_)) {
@@ -442,6 +515,7 @@ pub(crate) fn lower_typed(
         loops: tc.loops,
         secs: tc.secs,
         fused: tc.fused,
+        ifused: tc.ifused,
         consts_i: tc.consts_i,
         consts_f: tc.consts_f,
         ticks: tc.ticks,
@@ -450,6 +524,57 @@ pub(crate) fn lower_typed(
         // typed body exists (`DoNext`-only bodies use none).
         nvregs: tc.max_depth.max(1),
     })
+}
+
+/// Post-lowering peephole: a branch whose target instruction is a
+/// `Tick` absorbs the tick's cost into its free carried-cost field and
+/// retargets past it — the taken path charges the budget at the branch,
+/// one retirement earlier in the stream but at the *same op count* the
+/// skipped `Tick` would have charged (nothing executes in between), so
+/// budget-exhaustion positions stay differentially identical. The `Tick`
+/// itself stays in place for fall-through entry. `TickP` (pool-width)
+/// and costs beyond `u16` stay unfused. For the register branches the
+/// cost rides in `c`; `J*IK` keeps its pool literal in `b` and likewise
+/// carries cost in `c`.
+fn fold_branch_ticks(code: &mut [TOp]) {
+    use Op::*;
+    for i in 0..code.len() {
+        let insn = code[i];
+        let foldable = matches!(
+            insn.op,
+            Jump | JmpFalse
+                | JEqI
+                | JNeI
+                | JLtI
+                | JLeI
+                | JGtI
+                | JGeI
+                | JEqF
+                | JNeF
+                | JLtF
+                | JLeF
+                | JGtF
+                | JGeF
+                | JEqIK
+                | JNeIK
+                | JLtIK
+                | JLeIK
+                | JGtIK
+                | JGeIK
+        );
+        if !foldable || insn.c != 0 {
+            continue;
+        }
+        let t = insn.imm as usize;
+        if t >= code.len() {
+            continue;
+        }
+        let tick = code[t];
+        if tick.op == Tick && tick.imm > 0 && tick.imm <= u16::MAX as u32 {
+            code[i].c = tick.imm as u16;
+            code[i].imm = insn.imm + 1;
+        }
+    }
 }
 
 impl TC<'_, '_> {
@@ -656,6 +781,20 @@ impl TC<'_, '_> {
                 self.block(&d.body);
                 self.emit(Op::DoNext, 0, 0, 0, 0, mi as u32);
                 self.loops[mi].exit_pc = self.here();
+                // When the body opens with its budget tick, the back-edge
+                // absorbs it: `DoNext` charges the cost itself and re-
+                // enters at `body_pc + 1`. Entry from `DoInit` (and chunk
+                // iterations) still falls onto the tick, so every
+                // iteration charges exactly once, at the same op count as
+                // the unfused stream.
+                let entry = self.loops[mi].body_pc as usize;
+                if let Some(first) = self.code.get(entry) {
+                    self.loops[mi].body_cost = match first.op {
+                        Op::Tick => first.imm as u64,
+                        Op::TickP => self.ticks[first.imm as usize],
+                        _ => 0,
+                    };
+                }
             }
             StmtKind::Call { name, args } => {
                 if args.len() > u8::MAX as usize {
@@ -766,6 +905,10 @@ impl TC<'_, '_> {
                     self.pop(1);
                     return;
                 }
+                if vt == Ty::I && dt == Ty::I && self.try_fuse_store_scal_i(l, base) {
+                    self.pop(1);
+                    return;
+                }
                 self.store_conv(base, vt, dt);
                 self.emit(Op::StoreScal, l, base, 0, 0, 0);
                 self.pop(1);
@@ -796,14 +939,30 @@ impl TC<'_, '_> {
                 } else {
                     (first, 0)
                 };
+                let sl = if subs.len() == 1 {
+                    self.fold_sub_var(src)
+                } else {
+                    None
+                };
                 if let Some(cand) = cand {
-                    if self.try_fuse_store_elem(cand, l, src, disp as i32) {
+                    let done = match sl {
+                        Some(sl) => self.try_fuse_store_elem_v(cand, l, sl, disp as i32),
+                        None => self.try_fuse_store_elem(cand, l, src, disp as i32),
+                    };
+                    if done {
                         self.pop(1 + subs.len() + hole);
                         return;
                     }
                 }
                 self.store_conv(base, vt, dt);
-                self.emit(Op::StoreElem, l, src, base, subs.len() as u8, disp);
+                match sl {
+                    Some(sl) => {
+                        self.emit(Op::StoreElemV, l, sl, base, 1, disp);
+                    }
+                    None => {
+                        self.emit(Op::StoreElem, l, src, base, subs.len() as u8, disp);
+                    }
+                }
                 self.pop(1 + subs.len() + hole);
             }
             Expr::Section(n, ranges) => {
@@ -883,6 +1042,30 @@ impl TC<'_, '_> {
             };
             if let Some(op) = fused {
                 if insn.c == cond {
+                    // Integer compare against a literal: erase the
+                    // `ConstI` materialization too — the branch carries
+                    // the pool index in `b` (`J*IK` forms).
+                    let kop = match op {
+                        JEqI => Some(JEqIK),
+                        JNeI => Some(JNeIK),
+                        JLtI => Some(JLtIK),
+                        JLeI => Some(JLeIK),
+                        JGtI => Some(JGtIK),
+                        JGeI => Some(JGeIK),
+                        _ => None,
+                    };
+                    if let Some(kop) = kop {
+                        if last > self.stmt_start {
+                            let kinsn = self.code[last - 1];
+                            if kinsn.op == ConstI
+                                && kinsn.c == insn.b
+                                && kinsn.imm <= u32::from(u16::MAX)
+                            {
+                                self.code.truncate(last - 1);
+                                return self.emit(kop, insn.a, kinsn.imm as u16, 0, 0, 0);
+                            }
+                        }
+                    }
                     self.code[last] = TOp {
                         op,
                         n: 0,
@@ -954,14 +1137,31 @@ impl TC<'_, '_> {
                 } else {
                     (base, 0)
                 };
+                let sl = if subs.len() == 1 {
+                    self.fold_sub_var(src)
+                } else {
+                    None
+                };
                 let l = self.local16(n);
                 let t = self.class_of(n);
-                let op = match t {
-                    Ty::I => Op::LoadElemI,
-                    Ty::F => Op::LoadElemF,
-                    Ty::B => Op::LoadElemB,
-                };
-                self.emit(op, l, src, base, subs.len() as u8, disp);
+                match sl {
+                    Some(sl) => {
+                        let op = match t {
+                            Ty::I => Op::LoadElemIV,
+                            Ty::F => Op::LoadElemFV,
+                            Ty::B => Op::LoadElemBV,
+                        };
+                        self.emit(op, l, sl, base, 1, disp);
+                    }
+                    None => {
+                        let op = match t {
+                            Ty::I => Op::LoadElemI,
+                            Ty::F => Op::LoadElemF,
+                            Ty::B => Op::LoadElemB,
+                        };
+                        self.emit(op, l, src, base, subs.len() as u8, disp);
+                    }
+                }
                 self.pop(subs.len());
                 let r = self.push();
                 debug_assert_eq!(r, base);
@@ -1047,11 +1247,13 @@ impl TC<'_, '_> {
                 // eval_bin's integer path requires *both* operands to be
                 // Scalar::I — a logical falls through to the float path.
                 if lt == Ty::I && rt == Ty::I {
-                    if !self.fold_bin_ik(op, base) {
+                    if matches!(op, Add | Sub | Mul) {
+                        // Wrapping ops can absorb operand loads into an
+                        // integer superword plan (and fall back to the
+                        // `*IK` const fold / plain op).
+                        self.fuse_or_emit_bini(op, base);
+                    } else if !self.fold_bin_ik(op, base) {
                         let o = match op {
-                            Add => Op::AddI,
-                            Sub => Op::SubI,
-                            Mul => Op::MulI,
                             Div => Op::DivI,
                             Pow => Op::PowI,
                             _ => unreachable!(),
@@ -1235,8 +1437,11 @@ impl TC<'_, '_> {
             | CmpLeI | CmpGtI | CmpGeI | CmpEqF | CmpNeF | CmpLtF | CmpLeF | CmpGtF | CmpGeF
             | AndB | OrB | NotB | NegI | NegF | ModII | ModFF | AbsI | AbsF | MinI | MaxI
             | MinF | MaxF | SqrtF | ExpF | LogF | SinF | CosF | SignI | SignF | UnkOpF
-            | UniqOpI | AddIK | SubIK | MulIK => Some(insn.c),
-            Fused => None, // resolved through the plan; treated opaquely
+            | UniqOpI | AddIK | SubIK | MulIK | LoadElemIV | LoadElemFV | LoadElemBV => {
+                Some(insn.c)
+            }
+            // Resolved through their plans; treated opaquely.
+            Fused | FusedI => None,
             _ => None,
         }
     }
@@ -1250,6 +1455,31 @@ impl TC<'_, '_> {
             Op::LoadElemF if insn.c == r && insn.n == 1 => Some(FOperand::Elem1 {
                 l: insn.a,
                 s: insn.b,
+                d: insn.imm as i32,
+            }),
+            Op::LoadElemFV if insn.c == r && insn.n == 1 => Some(FOperand::Elem1V {
+                l: insn.a,
+                sl: insn.b,
+                d: insn.imm as i32,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Integer mirror of [`Self::as_load_operand`]: a removable INTEGER
+    /// producer of register `r`. `ConstI` stays with the `*IK` fold,
+    /// which is cheaper than a plan indirection.
+    fn as_load_operand_i(insn: &TOp, r: u16) -> Option<IOperand> {
+        match insn.op {
+            Op::LoadI if insn.c == r => Some(IOperand::Scal(insn.a)),
+            Op::LoadElemI if insn.c == r && insn.n == 1 => Some(IOperand::Elem1 {
+                l: insn.a,
+                s: insn.b,
+                d: insn.imm as i32,
+            }),
+            Op::LoadElemIV if insn.c == r && insn.n == 1 => Some(IOperand::Elem1V {
+                l: insn.a,
+                sl: insn.b,
                 d: insn.imm as i32,
             }),
             _ => None,
@@ -1360,6 +1590,25 @@ impl TC<'_, '_> {
             }
         }
         (first, 0)
+    }
+
+    /// After [`Self::fold_elem_disp`], collapse a trailing `LoadI` that
+    /// produced the subscript register `src`: the element op reads the
+    /// INTEGER local directly (the `*V` forms), one retirement instead
+    /// of two. The load's record position is preserved — it was the
+    /// immediately preceding instruction, and the collapsed op performs
+    /// its read (and record) first.
+    fn fold_sub_var(&mut self, src: u16) -> Option<u16> {
+        let end = self.code.len();
+        if end <= self.stmt_start {
+            return None;
+        }
+        let insn = self.code[end - 1];
+        if insn.op == Op::LoadI && insn.c == src {
+            self.code.pop();
+            return Some(insn.a);
+        }
+        None
     }
 
     /// Emit a REAL arithmetic op over `base`/`base+1`, absorbing operand
@@ -1518,6 +1767,171 @@ impl TC<'_, '_> {
             }
         }
     }
+
+    /// [`Self::try_fuse_store_elem`] with the subscript `LoadI` already
+    /// collapsed away (see [`Self::fold_sub_var`]): the destination
+    /// becomes [`FDest::Elem1V`], whose subscript read records
+    /// immediately before the write — exactly where the popped load sat.
+    /// With the load gone the remaining crossed subscript code is
+    /// typically empty, so even memory-operand plans move.
+    fn try_fuse_store_elem_v(&mut self, cand: Cand, l: u16, sl: u16, d: i32) -> bool {
+        match cand {
+            Cand::Bin(pos) => {
+                let insn = self.code.remove(pos);
+                let fop = Self::binf_op(insn.op).expect("captured as arithmetic");
+                self.fused.push(FusedPlan {
+                    op: fop,
+                    lhs: FOperand::Reg(insn.a),
+                    rhs: FOperand::Reg(insn.b),
+                    dst: FDest::Elem1V { l, sl, d },
+                });
+                let idx = (self.fused.len() - 1) as u32;
+                self.emit(Op::Fused, 0, 0, 0, 0, idx);
+                true
+            }
+            Cand::Fus(pos) => {
+                let idx = self.code[pos].imm as usize;
+                let movable = self.fused[idx].record_free()
+                    || self.code[pos + 1..].iter().all(|i| i.op.record_free());
+                if !movable {
+                    return false;
+                }
+                let insn = self.code.remove(pos);
+                self.fused[idx].dst = FDest::Elem1V { l, sl, d };
+                self.code.push(insn);
+                true
+            }
+        }
+    }
+
+    fn bini_op(op: Op) -> Option<IOp> {
+        match op {
+            Op::AddI => Some(IOp::Add),
+            Op::SubI => Some(IOp::Sub),
+            Op::MulI => Some(IOp::Mul),
+            _ => None,
+        }
+    }
+
+    /// Integer mirror of [`Self::try_fuse_store_scal`]: fold a trailing
+    /// wrapping integer producer of `base` (plain, `*IK`, or an existing
+    /// `FusedI`) into a scalar store to INTEGER local `l`. The store's
+    /// raw conversion (`as_i(v) as f64`) moves into the plan.
+    fn try_fuse_store_scal_i(&mut self, l: u16, base: u16) -> bool {
+        let end = self.code.len();
+        if end <= self.stmt_start {
+            return false;
+        }
+        let insn = self.code[end - 1];
+        if insn.c == base {
+            if let Some(iop) = Self::bini_op(insn.op) {
+                self.code.pop();
+                self.ifused.push(IFusedPlan {
+                    op: iop,
+                    lhs: IOperand::Reg(insn.a),
+                    rhs: IOperand::Reg(insn.b),
+                    dst: IDest::Scal(l),
+                });
+                let idx = (self.ifused.len() - 1) as u32;
+                self.emit(Op::FusedI, 0, 0, 0, 0, idx);
+                return true;
+            }
+            if matches!(insn.op, Op::AddIK | Op::SubIK | Op::MulIK) {
+                let iop = match insn.op {
+                    Op::AddIK => IOp::Add,
+                    Op::SubIK => IOp::Sub,
+                    _ => IOp::Mul,
+                };
+                self.code.pop();
+                self.ifused.push(IFusedPlan {
+                    op: iop,
+                    lhs: IOperand::Reg(insn.a),
+                    rhs: IOperand::Const(insn.imm),
+                    dst: IDest::Scal(l),
+                });
+                let idx = (self.ifused.len() - 1) as u32;
+                self.emit(Op::FusedI, 0, 0, 0, 0, idx);
+                return true;
+            }
+        }
+        if insn.op == Op::FusedI {
+            let idx = insn.imm as usize;
+            if self.ifused[idx].dst == IDest::Reg(base) {
+                self.ifused[idx].dst = IDest::Scal(l);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Integer mirror of [`Self::fuse_or_emit_binf`] for the wrapping
+    /// ops (Add/Sub/Mul — the only integer bins that cannot error):
+    /// absorb an adjacent rhs load, or an lhs load whose deferral
+    /// crosses only record-free code, into an [`IFusedPlan`]. When no
+    /// load is absorbable the `*IK` const fold (cheaper than a plan
+    /// indirection) and the plain three-address op remain the lowering.
+    fn fuse_or_emit_bini(&mut self, op: BinOp, base: u16) {
+        let iop = match op {
+            BinOp::Add => IOp::Add,
+            BinOp::Sub => IOp::Sub,
+            BinOp::Mul => IOp::Mul,
+            _ => unreachable!("integer fusion is Add/Sub/Mul only"),
+        };
+        let end = self.code.len();
+        let mut rhs = IOperand::Reg(base + 1);
+        let mut rpos = None;
+        if end > self.stmt_start {
+            if let Some(o) = Self::as_load_operand_i(&self.code[end - 1], base + 1) {
+                rhs = o;
+                rpos = Some(end - 1);
+            }
+        }
+        let mut lhs = IOperand::Reg(base);
+        let mut lpos = None;
+        let scan_end = rpos.unwrap_or(end);
+        let mut p = scan_end;
+        while p > self.stmt_start {
+            p -= 1;
+            let insn = self.code[p];
+            if Self::def_reg(&insn) == Some(base) {
+                if let Some(o) = Self::as_load_operand_i(&insn, base) {
+                    lhs = o;
+                    lpos = Some(p);
+                }
+                break;
+            }
+            if !insn.op.record_free() {
+                break;
+            }
+        }
+        if rpos.is_none() && lpos.is_none() {
+            if !self.fold_bin_ik(op, base) {
+                let o = match op {
+                    BinOp::Add => Op::AddI,
+                    BinOp::Sub => Op::SubI,
+                    BinOp::Mul => Op::MulI,
+                    _ => unreachable!(),
+                };
+                self.emit(o, base, base + 1, base, 0, 0);
+            }
+            return;
+        }
+        // Remove higher positions first so lower indices stay valid.
+        if let Some(rp) = rpos {
+            self.code.remove(rp);
+        }
+        if let Some(lp) = lpos {
+            self.code.remove(lp);
+        }
+        self.ifused.push(IFusedPlan {
+            op: iop,
+            lhs,
+            rhs,
+            dst: IDest::Reg(base),
+        });
+        let idx = (self.ifused.len() - 1) as u32;
+        self.emit(Op::FusedI, 0, 0, 0, 0, idx);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1617,8 +2031,23 @@ fn want_reg(st: &VmState, t: &Tcx<'_>, l: u16, what: &'static str) -> Result<Reg
     }
 }
 
+/// Pack a register binding for the pre-resolved operand stream:
+/// `(slot << 32) | offset`, or `u64::MAX` when unbound or either half
+/// does not fit in 32 bits. `slot` is held strictly under `u32::MAX` so
+/// a packed word can never collide with the sentinel.
+#[inline]
+pub(crate) fn pack_scal(r: &Reg) -> u64 {
+    if r.slot >= u32::MAX as usize || r.offset > u32::MAX as usize {
+        return u64::MAX;
+    }
+    ((r.slot as u64) << 32) | r.offset as u64
+}
+
 /// Scalar-access fast path: slot and element offset only, no 4-word
-/// [`Reg`] round-tripped through a stack temporary.
+/// [`Reg`] round-tripped through a stack temporary. Reads the packed
+/// operand stream `exec_typed` pre-resolved for this frame; the
+/// sentinel falls back to the full register read (unbound locals keep
+/// their exact error, oversize bindings stay correct).
 #[inline(always)]
 fn want_scal(
     st: &VmState,
@@ -1626,6 +2055,10 @@ fn want_scal(
     l: u16,
     what: &'static str,
 ) -> Result<(usize, usize), VmErr> {
+    let p = st.scal[t.fb + l as usize];
+    if p != u64::MAX {
+        return Ok(((p >> 32) as usize, (p & 0xFFFF_FFFF) as usize));
+    }
     let r = st.regs.regs[t.fb + l as usize];
     if r.slot == UNBOUND {
         return Err(unbound_err(t, l, what));
@@ -1694,6 +2127,44 @@ fn subscript_err1(st: &mut VmState, t: &Tcx<'_>, l: u16, sub: i64) -> VmErr {
     subscript_err(st, t, l)
 }
 
+/// [`elem_off`] for a subscript value already in hand (the `*V` opcodes
+/// and `Elem1V` fused operands read it from a frame local, not a vreg).
+/// `sub` already includes any folded displacement.
+#[inline]
+fn elem_off1(st: &mut VmState, t: &Tcx<'_>, l: u16, sub: i64) -> Result<(Reg, usize), VmErr> {
+    let r = st.regs.regs[t.fb + l as usize];
+    if r.slot == UNBOUND {
+        return Err(unbound_err(t, l, "undefined array"));
+    }
+    if let [d] = st.regs.dims_of(r) {
+        let d = *d;
+        let idx = sub.wrapping_sub(1);
+        let off = r.offset.wrapping_add(idx as usize);
+        if idx >= 0 && (d == 0 || (idx as usize) < d) && off < st.mem.slots[r.slot].data.len() {
+            return Ok((r, off));
+        }
+        return Err(subscript_err1(st, t, l, sub));
+    }
+    st.idx_scratch.clear();
+    st.idx_scratch.push(sub);
+    let slot_len = st.mem.slots[r.slot].data.len();
+    match flat_view(r.offset, st.regs.dims_of(r), &st.idx_scratch, slot_len) {
+        Some(off) => Ok((r, off)),
+        None => Err(subscript_err(st, t, l)),
+    }
+}
+
+/// Read the scalar INTEGER local `sl` as a subscript — `LoadI`
+/// semantics (raw f64 `as i64`, read recorded), the collapsed half of a
+/// `LoadI` + element-access pair.
+#[inline(always)]
+fn sub_local(st: &mut VmState, t: &Tcx<'_>, sl: u16) -> Result<i64, VmErr> {
+    let (slot, off) = want_scal(st, t, sl, "undefined variable")?;
+    let v = st.mem.slots[slot].data[off] as i64;
+    record(st, slot, off, false);
+    Ok(v)
+}
+
 /// Read one fused operand: registers are free, memory operands record a
 /// shared read exactly where the unfused load would have (lowering only
 /// absorbs a load when its record position is preserved).
@@ -1712,6 +2183,39 @@ fn fop_read(st: &mut VmState, t: &Tcx<'_>, o: FOperand) -> Result<f64, VmErr> {
             let (r, off) = elem_off(st, t, l, s, 1, d)?;
             record(st, r.slot, off, false);
             Ok(st.mem.slots[r.slot].data[off])
+        }
+        FOperand::Elem1V { l, sl, d } => {
+            let sub = sub_local(st, t, sl)?.wrapping_add(d as i64);
+            let (r, off) = elem_off1(st, t, l, sub)?;
+            record(st, r.slot, off, false);
+            Ok(st.mem.slots[r.slot].data[off])
+        }
+    }
+}
+
+/// Read one integer fused operand — the i64 mirror of [`fop_read`], with
+/// `LoadI`/`LoadElemI` semantics (`raw as i64`) on the memory paths.
+#[inline(always)]
+fn iop_read(st: &mut VmState, t: &Tcx<'_>, o: IOperand) -> Result<i64, VmErr> {
+    match o {
+        IOperand::Reg(r) => Ok(vi(st, r)),
+        IOperand::Const(i) => Ok(t.tu.consts_i[i as usize]),
+        IOperand::Scal(l) => {
+            let (slot, off) = want_scal(st, t, l, "undefined variable")?;
+            let v = st.mem.slots[slot].data[off] as i64;
+            record(st, slot, off, false);
+            Ok(v)
+        }
+        IOperand::Elem1 { l, s, d } => {
+            let (r, off) = elem_off(st, t, l, s, 1, d)?;
+            record(st, r.slot, off, false);
+            Ok(st.mem.slots[r.slot].data[off] as i64)
+        }
+        IOperand::Elem1V { l, sl, d } => {
+            let sub = sub_local(st, t, sl)?.wrapping_add(d as i64);
+            let (r, off) = elem_off1(st, t, l, sub)?;
+            record(st, r.slot, off, false);
+            Ok(st.mem.slots[r.slot].data[off] as i64)
         }
     }
 }
@@ -1734,12 +2238,28 @@ fn step(k: Op, t: &Tcx<'_>, st: &mut VmState, op: TOp) -> Result<Ctl, VmErr> {
     /// holds, jump when it is false (`JumpIfFalse` polarity). Written
     /// over the *positive* comparison so NaN (which fails every
     /// comparison) falls on the jump side, exactly like the unfused
-    /// `Cmp*` + `JmpFalse` pair.
+    /// `Cmp*` + `JmpFalse` pair. A nonzero carried `cost` is an absorbed
+    /// target `Tick`: the taken path charges it at the branch (same op
+    /// count the skipped tick would reach) and the target already points
+    /// past the tick.
     #[inline(always)]
-    fn jcc(holds: bool, target: u32) -> Result<Ctl, VmErr> {
+    fn jcc(
+        t: &Tcx<'_>,
+        st: &mut VmState,
+        holds: bool,
+        target: u32,
+        cost: u16,
+    ) -> Result<Ctl, VmErr> {
         if holds {
             Ok(Ctl::Next)
         } else {
+            if cost != 0 {
+                st.ops += cost as u64;
+                st.ctr.fused_ticks += 1;
+                if st.ops > t.cx.opts.max_ops {
+                    return Err(RtError::budget_at(st.ops).into());
+                }
+            }
             Ok(Ctl::Goto(target))
         }
     }
@@ -1749,42 +2269,71 @@ fn step(k: Op, t: &Tcx<'_>, st: &mut VmState, op: TOp) -> Result<Ctl, VmErr> {
     fn fi(st: &VmState, r: u16) -> f64 {
         vi(st, r) as f64
     }
+    /// Pool-literal comparison operand for the `J*IK` forms.
+    #[inline(always)]
+    fn ki(t: &Tcx<'_>, i: u16) -> f64 {
+        t.tu.consts_i[i as usize] as f64
+    }
     match k {
         // -- control ------------------------------------------------------
         Op::Tick => {
             st.ops += imm as u64;
             if st.ops > t.cx.opts.max_ops {
-                return Err(RtError::budget().into());
+                return Err(RtError::budget_at(st.ops).into());
             }
             Ok(Ctl::Next)
         }
         Op::TickP => {
             st.ops += t.tu.ticks[imm as usize];
             if st.ops > t.cx.opts.max_ops {
-                return Err(RtError::budget().into());
+                return Err(RtError::budget_at(st.ops).into());
             }
             Ok(Ctl::Next)
         }
-        Op::Jump => Ok(Ctl::Goto(imm)),
+        Op::Jump => {
+            if c != 0 {
+                st.ops += c as u64;
+                st.ctr.fused_ticks += 1;
+                if st.ops > t.cx.opts.max_ops {
+                    return Err(RtError::budget_at(st.ops).into());
+                }
+            }
+            Ok(Ctl::Goto(imm))
+        }
         Op::JmpFalse => {
             if st.vregs[a as usize] == 0 {
+                if c != 0 {
+                    st.ops += c as u64;
+                    st.ctr.fused_ticks += 1;
+                    if st.ops > t.cx.opts.max_ops {
+                        return Err(RtError::budget_at(st.ops).into());
+                    }
+                }
                 Ok(Ctl::Goto(imm))
             } else {
                 Ok(Ctl::Next)
             }
         }
-        Op::JEqI => jcc(fi(st, a) == fi(st, b), imm),
-        Op::JNeI => jcc(fi(st, a) != fi(st, b), imm),
-        Op::JLtI => jcc(fi(st, a) < fi(st, b), imm),
-        Op::JLeI => jcc(fi(st, a) <= fi(st, b), imm),
-        Op::JGtI => jcc(fi(st, a) > fi(st, b), imm),
-        Op::JGeI => jcc(fi(st, a) >= fi(st, b), imm),
-        Op::JEqF => jcc(vf(st, a) == vf(st, b), imm),
-        Op::JNeF => jcc(vf(st, a) != vf(st, b), imm),
-        Op::JLtF => jcc(vf(st, a) < vf(st, b), imm),
-        Op::JLeF => jcc(vf(st, a) <= vf(st, b), imm),
-        Op::JGtF => jcc(vf(st, a) > vf(st, b), imm),
-        Op::JGeF => jcc(vf(st, a) >= vf(st, b), imm),
+        Op::JEqI => jcc(t, st, fi(st, a) == fi(st, b), imm, c),
+        Op::JNeI => jcc(t, st, fi(st, a) != fi(st, b), imm, c),
+        Op::JLtI => jcc(t, st, fi(st, a) < fi(st, b), imm, c),
+        Op::JLeI => jcc(t, st, fi(st, a) <= fi(st, b), imm, c),
+        Op::JGtI => jcc(t, st, fi(st, a) > fi(st, b), imm, c),
+        Op::JGeI => jcc(t, st, fi(st, a) >= fi(st, b), imm, c),
+        Op::JEqF => jcc(t, st, vf(st, a) == vf(st, b), imm, c),
+        Op::JNeF => jcc(t, st, vf(st, a) != vf(st, b), imm, c),
+        Op::JLtF => jcc(t, st, vf(st, a) < vf(st, b), imm, c),
+        Op::JLeF => jcc(t, st, vf(st, a) <= vf(st, b), imm, c),
+        Op::JGtF => jcc(t, st, vf(st, a) > vf(st, b), imm, c),
+        Op::JGeF => jcc(t, st, vf(st, a) >= vf(st, b), imm, c),
+        // Pool-literal rhs (`b` indexes `consts_i`; compares as f64 like
+        // the unfused `ConstI` + `CmpI` pair it replaces).
+        Op::JEqIK => jcc(t, st, fi(st, a) == ki(t, b), imm, c),
+        Op::JNeIK => jcc(t, st, fi(st, a) != ki(t, b), imm, c),
+        Op::JLtIK => jcc(t, st, fi(st, a) < ki(t, b), imm, c),
+        Op::JLeIK => jcc(t, st, fi(st, a) <= ki(t, b), imm, c),
+        Op::JGtIK => jcc(t, st, fi(st, a) > ki(t, b), imm, c),
+        Op::JGeIK => jcc(t, st, fi(st, a) >= ki(t, b), imm, c),
         Op::Bad => Err(VmErr::Raise(imm)),
         Op::Stop => {
             unwind_loops(st, &t.tu.loops, t.lb);
@@ -1850,6 +2399,31 @@ fn step(k: Op, t: &Tcx<'_>, st: &mut VmState, op: TOp) -> Result<Ctl, VmErr> {
             sb(st, c, v);
             Ok(Ctl::Next)
         }
+        // Collapsed `LoadI` + element access: the subscript reads (and
+        // records) first, exactly like the pair it replaces.
+        Op::LoadElemIV => {
+            let sub = sub_local(st, t, b)?.wrapping_add(imm as i32 as i64);
+            let (r, off) = elem_off1(st, t, a, sub)?;
+            record(st, r.slot, off, false);
+            si(st, c, st.mem.slots[r.slot].data[off] as i64);
+            Ok(Ctl::Next)
+        }
+        Op::LoadElemFV => {
+            let sub = sub_local(st, t, b)?.wrapping_add(imm as i32 as i64);
+            let (r, off) = elem_off1(st, t, a, sub)?;
+            record(st, r.slot, off, false);
+            let v = st.mem.slots[r.slot].data[off];
+            sf(st, c, v);
+            Ok(Ctl::Next)
+        }
+        Op::LoadElemBV => {
+            let sub = sub_local(st, t, b)?.wrapping_add(imm as i32 as i64);
+            let (r, off) = elem_off1(st, t, a, sub)?;
+            record(st, r.slot, off, false);
+            let v = st.mem.slots[r.slot].data[off] != 0.0;
+            sb(st, c, v);
+            Ok(Ctl::Next)
+        }
         // -- stores (value register already holds the slot's raw f64) -----
         Op::StoreScal => {
             let r = want_reg(st, t, a, "assignment to undeclared")?;
@@ -1897,6 +2471,34 @@ fn step(k: Op, t: &Tcx<'_>, st: &mut VmState, op: TOp) -> Result<Ctl, VmErr> {
                 let d0 = st.idx_scratch[0].wrapping_add(imm as i32 as i64);
                 st.idx_scratch[0] = d0;
             }
+            let slot_len = st.mem.slots[r.slot].data.len();
+            let Some(off) = flat_view(r.offset, st.regs.dims_of(r), &st.idx_scratch, slot_len)
+            else {
+                return Err(store_subscript_err());
+            };
+            let raw = f64::from_bits(st.vregs[c as usize]);
+            store_raw(st, r.slot, off, raw);
+            Ok(Ctl::Next)
+        }
+        // Collapsed `LoadI` + `StoreElem`: subscript read records first,
+        // then the store; range failures use the store-side message.
+        Op::StoreElemV => {
+            let sub = sub_local(st, t, b)?.wrapping_add(imm as i32 as i64);
+            let r = want_reg(st, t, a, "undefined array")?;
+            if let [d] = st.regs.dims_of(r) {
+                let d = *d;
+                let idx = sub.wrapping_sub(1);
+                let off = r.offset.wrapping_add(idx as usize);
+                if idx >= 0 && (d == 0 || (idx as usize) < d) && off < st.mem.slots[r.slot].data.len()
+                {
+                    let raw = f64::from_bits(st.vregs[c as usize]);
+                    store_raw(st, r.slot, off, raw);
+                    return Ok(Ctl::Next);
+                }
+                return Err(store_subscript_err());
+            }
+            st.idx_scratch.clear();
+            st.idx_scratch.push(sub);
             let slot_len = st.mem.slots[r.slot].data.len();
             let Some(off) = flat_view(r.offset, st.regs.dims_of(r), &st.idx_scratch, slot_len)
             else {
@@ -2200,6 +2802,50 @@ fn step(k: Op, t: &Tcx<'_>, st: &mut VmState, op: TOp) -> Result<Ctl, VmErr> {
                     };
                     store_raw(st, r.slot, off, v);
                 }
+                FDest::Elem1V { l, sl, d } => {
+                    let sub = sub_local(st, t, sl)?.wrapping_add(d as i64);
+                    let r = want_reg(st, t, l, "undefined array")?;
+                    st.idx_scratch.clear();
+                    st.idx_scratch.push(sub);
+                    let slot_len = st.mem.slots[r.slot].data.len();
+                    let Some(off) =
+                        flat_view(r.offset, st.regs.dims_of(r), &st.idx_scratch, slot_len)
+                    else {
+                        return Err(store_subscript_err());
+                    };
+                    store_raw(st, r.slot, off, v);
+                }
+            }
+            Ok(Ctl::Next)
+        }
+        // -- integer superword --------------------------------------------
+        Op::FusedI => {
+            st.ctr.fused_insns += 1;
+            st.ctr.fused_int += 1;
+            let plan = t.tu.ifused[imm as usize];
+            let x = iop_read(st, t, plan.lhs)?;
+            let y = iop_read(st, t, plan.rhs)?;
+            let v = match plan.op {
+                IOp::Add => x.wrapping_add(y),
+                IOp::Sub => x.wrapping_sub(y),
+                IOp::Mul => x.wrapping_mul(y),
+            };
+            match plan.dst {
+                IDest::Reg(r) => si(st, r, v),
+                IDest::Scal(l) => {
+                    // store_conv (I value, I slot) is `as_i(v) as f64`.
+                    let raw = v as f64;
+                    let r = want_reg(st, t, l, "assignment to undeclared")?;
+                    if r.dims_len == 0 {
+                        store_raw(st, r.slot, r.offset, raw);
+                    } else {
+                        let slot_len = st.mem.slots[r.slot].data.len();
+                        let len = view_len(r.offset, st.regs.dims_of(r), slot_len);
+                        for j in 0..len {
+                            store_raw(st, r.slot, r.offset + j, raw);
+                        }
+                    }
+                }
             }
             Ok(Ctl::Next)
         }
@@ -2249,7 +2895,19 @@ fn step(k: Op, t: &Tcx<'_>, st: &mut VmState, op: TOp) -> Result<Ctl, VmErr> {
                     }
                 }
                 write_var(&mut st.mem, var, Scalar::I(cur));
-                Ok(Ctl::Goto(t.tu.loops[meta as usize].body_pc))
+                let lm = &t.tu.loops[meta as usize];
+                if lm.body_cost != 0 {
+                    // Absorbed body tick: charge here (the op count the
+                    // skipped `Tick` would reach) and re-enter past it.
+                    st.ops += lm.body_cost;
+                    st.ctr.fused_ticks += 1;
+                    if st.ops > t.cx.opts.max_ops {
+                        return Err(RtError::budget_at(st.ops).into());
+                    }
+                    Ok(Ctl::Goto(lm.body_pc + 1))
+                } else {
+                    Ok(Ctl::Goto(lm.body_pc))
+                }
             } else {
                 let rec = st.loop_stack.pop().expect("checked len above");
                 if let Some(ops_before) = rec.par {
@@ -2345,7 +3003,7 @@ fn step_cold(k: Op, t: &Tcx<'_>, st: &mut VmState, op: TOp) -> Result<Ctl, VmErr
                 if st.ops > t.cx.opts.max_ops {
                     st.sec_bounds = bounds;
                     st.sec_idx = idx;
-                    return Err(RtError::budget().into());
+                    return Err(RtError::budget_at(st.ops).into());
                 }
             }
             st.sec_bounds = bounds;
@@ -2605,6 +3263,20 @@ pub(crate) fn exec_typed(
     // callee): grow it once here, idempotent afterwards.
     if st.vregs.len() < cx.prog.max_vregs {
         st.vregs.resize(cx.prog.max_vregs, 0);
+    }
+    // Operand-stream pre-resolution: snapshot each frame register's
+    // slot/offset into one packed word so scalar operand reads stop
+    // re-basing through the 4-word `Reg` (see `want_scal`). Frame
+    // windows are immutable during execution, so one snapshot per frame
+    // entry is sound; the length guard makes chunk re-entry (same
+    // frame, many iterations) and mixed stack/typed call chains
+    // idempotent. `call_unit` truncates the cache with the frame.
+    if st.scal.len() < st.regs.regs.len() {
+        let from = st.scal.len();
+        for r in &st.regs.regs[from..] {
+            st.scal.push(pack_scal(r));
+        }
+        st.ctr.scal_prebound += (st.scal.len() - from) as u64;
     }
     let t = Tcx {
         cx,

@@ -25,7 +25,7 @@ use crate::proto::{
 };
 use ipp_core::driver::DriverOptions;
 use ipp_core::service::{
-    evaluate_request, evaluate_tournament, request_key, RequestCache, ServerMetrics,
+    evaluate_request_metered, evaluate_tournament_metered, request_key, RequestCache, ServerMetrics,
 };
 use std::collections::BTreeMap;
 use std::io;
@@ -151,6 +151,10 @@ struct Shared {
     in_flight: AtomicU64,
     counters: Counters,
     failure_codes: Mutex<BTreeMap<String, u64>>,
+    /// Aggregate VM counters of verification work actually executed
+    /// (cache-served requests contribute zeros — the metered evaluate
+    /// entry points only report fresh runs).
+    vm: Mutex<fruntime::VmCounters>,
 }
 
 impl Shared {
@@ -172,6 +176,13 @@ impl Shared {
                 .store(in_flight, Ordering::SeqCst);
             self.queue.drain();
         }
+    }
+
+    fn absorb_vm(&self, vm: &fruntime::VmCounters) {
+        self.vm
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .absorb(vm);
     }
 
     fn record_failure_code(&self, code: &str) {
@@ -210,6 +221,7 @@ impl Shared {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .clone(),
+            vm: *self.vm.lock().unwrap_or_else(PoisonError::into_inner),
         }
     }
 }
@@ -274,6 +286,7 @@ pub fn spawn(opts: ServerOptions) -> io::Result<ServerHandle> {
         in_flight: AtomicU64::new(0),
         counters: Counters::default(),
         failure_codes: Mutex::new(BTreeMap::new()),
+        vm: Mutex::new(fruntime::VmCounters::default()),
         opts,
     });
 
@@ -492,9 +505,10 @@ fn process(shared: &Arc<Shared>, req: &EvaluateRequest) -> String {
         Some(cached) => cached,
         None => {
             let opts = shared.driver_options();
-            let outcome =
-                evaluate_request(&req.name, &req.source, &req.annotations, req.mode, &opts)
-                    .map(Arc::new);
+            let (outcome, vm) =
+                evaluate_request_metered(&req.name, &req.source, &req.annotations, req.mode, &opts);
+            let outcome = outcome.map(Arc::new);
+            shared.absorb_vm(&vm);
             shared.cache.insert(key, outcome.clone());
             outcome
         }
@@ -528,13 +542,14 @@ fn process(shared: &Arc<Shared>, req: &EvaluateRequest) -> String {
 /// ([`ipp_core::service::arm_key`]).
 fn process_tournament(shared: &Arc<Shared>, req: &TournamentRequest) -> String {
     let opts = shared.driver_options();
-    let outcome = evaluate_tournament(
+    let (outcome, vm) = evaluate_tournament_metered(
         &req.name,
         &req.source,
         &req.annotations,
         &opts,
         Some(&shared.cache),
     );
+    shared.absorb_vm(&vm);
     let c = &shared.counters;
     match outcome {
         Ok(report) => {

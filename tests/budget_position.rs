@@ -1,0 +1,220 @@
+//! Cross-engine budget-position pinning: with control-fused ticks in the
+//! typed-register engine, budget exhaustion must stay *differentially
+//! observable* — the same error kind and message as the tree-walker for
+//! every budget, and the exact same reported op count wherever the VM's
+//! merged-tick charge points align with the tree-walker's per-step
+//! charges (`RtError::ops`).
+//!
+//! The sweep runs every `max_ops` in `0..total_ops`, deliberately
+//! straddling every fold boundary (branch-carried costs, `DoNext`
+//! back-edge charges, `J*IK` compare-and-branch folds): the tree-walker
+//! charges one op per statement/eval step, so its error position is
+//! `max_ops + 1` (frame construction charges a few unchecked ops for
+//! dimension-extent evals, so the very smallest budgets all fail at the
+//! first checked tick past that fixed prefix); the VM charges whole
+//! statement runs at control transfers, so its position is the smallest
+//! charge boundary past the budget. The invariants pinned here:
+//!
+//! 1. error-iff: both engines exhaust exactly when `max_ops < total`;
+//! 2. kind/message: `RtErrorKind::Budget`, byte-identical message;
+//! 3. position: the VM's reported op count is the least charge boundary
+//!    above the budget — never below the tree-walker's, equal to it
+//!    precisely when the budget ends one short of a boundary (the
+//!    "run-boundary − 1" alignment), and that alignment actually occurs
+//!    (the set of boundaries is non-trivial, so the equality case is not
+//!    vacuous).
+
+use fruntime::{run, Engine, ExecOptions, RtErrorKind};
+
+/// Loop-heavy programs whose typed lowering exercises every fold site:
+/// plain DO back-edges, IF/ELSE branch folds, integer compare-and-branch
+/// literal folds, and nested DO odometers.
+const PROGRAMS: &[(&str, &str)] = &[
+    (
+        "plain-do",
+        "      PROGRAM P1
+      COMMON /C/ A(12), S
+      DO I = 1, 12
+        A(I) = I*2.0
+      ENDDO
+      S = 0.0
+      DO I = 1, 12
+        S = S + A(I)
+      ENDDO
+      WRITE(6,*) S
+      END
+",
+    ),
+    (
+        "branchy-if",
+        "      PROGRAM P2
+      COMMON /C/ A(10), S
+      DO I = 1, 10
+        A(I) = I*1.5
+      ENDDO
+      S = 0.0
+      DO I = 1, 10
+        IF (A(I) .GT. 7.0) THEN
+          S = S + A(I)
+        ELSE
+          S = S - 1.0
+        ENDIF
+      ENDDO
+      WRITE(6,*) S
+      END
+",
+    ),
+    (
+        "int-index-chain",
+        "      PROGRAM P3
+      COMMON /C/ A(9), S
+      DIMENSION W(9)
+      DO I = 1, 9
+        A(I) = I*0.5
+        W(I) = 0.0
+      ENDDO
+      K = 2
+      DO I = 1, 9
+        K = MOD(K*3 + I, 9) + 1
+        IF (K .GT. 4) THEN
+          W(K) = W(K) + A(I)
+        ENDIF
+      ENDDO
+      S = 0.0
+      DO I = 1, 9
+        S = S + W(I)
+      ENDDO
+      WRITE(6,*) S
+      END
+",
+    ),
+    (
+        "nested-do",
+        "      PROGRAM P4
+      COMMON /C/ A(6), S
+      S = 0.0
+      DO I = 1, 6
+        DO J = 1, 5
+          S = S + I*0.25 + J*0.125
+        ENDDO
+        A(I) = S
+      ENDDO
+      WRITE(6,*) S
+      END
+",
+    ),
+];
+
+fn opts(engine: Engine, max_ops: u64) -> ExecOptions {
+    ExecOptions {
+        engine,
+        max_ops,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn budget_positions_are_pinned_across_engines() {
+    for (label, src) in PROGRAMS {
+        let p = fir::parse(src).expect(label);
+        let total = run(&p, &opts(Engine::Bytecode, u64::MAX))
+            .unwrap_or_else(|e| panic!("{label}: full run failed: {e}"))
+            .total_ops;
+        let tree_total = run(&p, &opts(Engine::TreeWalk, u64::MAX))
+            .unwrap_or_else(|e| panic!("{label}: tree run failed: {e}"))
+            .total_ops;
+        assert_eq!(total, tree_total, "{label}: engines disagree on totals");
+        assert!(total > 40, "{label}: workload too small to straddle folds");
+
+        // First pass: collect the VM's charge boundaries over the whole
+        // sweep. `err.ops` is the cumulative count at the failing check,
+        // so the set of distinct values *is* the set of charge points.
+        let mut boundaries = std::collections::BTreeSet::new();
+        let mut vm_errs = Vec::with_capacity(total as usize);
+        for max_ops in 0..total {
+            let e = run(&p, &opts(Engine::Bytecode, max_ops))
+                .expect_err(&format!("{label}: vm must exhaust at {max_ops} < {total}"));
+            assert_eq!(e.kind, RtErrorKind::Budget, "{label} @ {max_ops}");
+            let at = e
+                .ops
+                .unwrap_or_else(|| panic!("{label} @ {max_ops}: budget error carries no position"));
+            boundaries.insert(at);
+            vm_errs.push((max_ops, at, e));
+        }
+
+        // The tree-walker's first checked tick: frame construction
+        // evaluates dimension extents through an unbounded throwaway
+        // interpreter, so a fixed prefix of ops accrues before the first
+        // budget check can fire. Past that prefix the position is exactly
+        // `max_ops + 1`.
+        let tree_first = run(&p, &opts(Engine::TreeWalk, 0))
+            .expect_err(&format!("{label}: tree must exhaust at 0"))
+            .ops
+            .unwrap_or_else(|| panic!("{label}: tree error carries no position"));
+
+        let mut aligned = 0u64;
+        for (max_ops, vm_at, vm_err) in vm_errs {
+            let tree_err = run(&p, &opts(Engine::TreeWalk, max_ops)).expect_err(&format!(
+                "{label}: tree must exhaust at {max_ops} < {total}"
+            ));
+            assert_eq!(tree_err.kind, RtErrorKind::Budget, "{label} @ {max_ops}");
+            assert_eq!(
+                tree_err.message, vm_err.message,
+                "{label} @ {max_ops}: messages diverged"
+            );
+            // The tree-walker charges one op per step: position is one
+            // past the budget, clamped up to the first checked tick
+            // (frame-construction ops are charged before any check).
+            let tree_at = tree_err
+                .ops
+                .unwrap_or_else(|| panic!("{label} @ {max_ops}: tree error carries no position"));
+            assert_eq!(
+                tree_at,
+                (max_ops + 1).max(tree_first),
+                "{label} @ {max_ops}: tree-walker position"
+            );
+            // The VM charges merged runs: position is the least charge
+            // boundary past the budget — never earlier than the tree's.
+            let least = *boundaries
+                .range(max_ops + 1..)
+                .next()
+                .unwrap_or_else(|| panic!("{label} @ {max_ops}: no boundary past budget"));
+            assert_eq!(
+                vm_at, least,
+                "{label} @ {max_ops}: VM position is not the least boundary past the budget"
+            );
+            assert!(vm_at > max_ops, "{label} @ {max_ops}: charge before check");
+            // Alignment: whenever the budget ends one short of a charge
+            // boundary, the two engines must agree exactly.
+            if boundaries.contains(&(max_ops + 1)) {
+                assert_eq!(
+                    vm_at,
+                    max_ops + 1,
+                    "{label} @ {max_ops}: aligned budgets must agree"
+                );
+                aligned += 1;
+            }
+        }
+        // The equality case must actually exercise fold boundaries, not
+        // hold vacuously.
+        assert!(
+            aligned >= 8,
+            "{label}: only {aligned} aligned budget points in 0..{total}"
+        );
+        assert!(
+            boundaries.len() >= 8,
+            "{label}: only {} distinct charge boundaries",
+            boundaries.len()
+        );
+
+        // At and past the total both engines finish cleanly.
+        for max_ops in [total, total + 1] {
+            let t = run(&p, &opts(Engine::TreeWalk, max_ops));
+            let v = run(&p, &opts(Engine::Bytecode, max_ops));
+            match (t, v) {
+                (Ok(t), Ok(v)) => assert_eq!(t.io, v.io, "{label}: io diverged at {max_ops}"),
+                (t, v) => panic!("{label} @ {max_ops}: unexpected failure: {t:?} {v:?}"),
+            }
+        }
+    }
+}
